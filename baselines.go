@@ -1,0 +1,44 @@
+package park
+
+import (
+	"context"
+
+	"repro/internal/baseline"
+)
+
+// Baseline semantics, re-exported from internal/baseline for
+// comparison experiments (DESIGN.md B4 and B8).
+type (
+	// SequentialBaseline is the order-dependent rule-at-a-time
+	// semantics classic production systems use.
+	SequentialBaseline = baseline.Sequential
+	// PostHocStats reports what post-hoc elimination removed.
+	PostHocStats = baseline.PostHocStats
+)
+
+// ErrNonTermination is returned by the sequential baseline when its
+// firing limit is exhausted.
+var ErrNonTermination = baseline.ErrNonTermination
+
+// PostHoc computes the §4.1 strawman semantics: inflationary fixpoint
+// ignoring conflicts, then elimination of conflicting pairs. The
+// paper's P2/P3 show it produces wrong results; it exists here as the
+// comparison baseline.
+func PostHoc(ctx context.Context, u *Universe, p *Program, d *Database, updates []Update) (*Database, PostHocStats, error) {
+	return baseline.PostHoc(ctx, u, p, d, updates)
+}
+
+// Inflationary computes the plain inflationary fixpoint semantics
+// with no conflict handling; on conflict-free programs it coincides
+// with PARK.
+func Inflationary(ctx context.Context, u *Universe, p *Program, d *Database, updates []Update) (*Database, error) {
+	return baseline.Inflationary(ctx, u, p, d, updates)
+}
+
+// SequentialDistinctResults runs the sequential baseline under n
+// random firing orders and returns the distinct result states — the
+// ambiguity measurement of experiment B8 (PARK always yields exactly
+// one).
+func SequentialDistinctResults(ctx context.Context, u *Universe, p *Program, d *Database, updates []Update, n, maxFirings int) (map[string]int, int, error) {
+	return baseline.DistinctResults(ctx, u, p, d, updates, n, maxFirings)
+}

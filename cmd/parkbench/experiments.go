@@ -1,0 +1,561 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	park "repro"
+	"repro/internal/parser"
+	"repro/internal/persist"
+	"repro/internal/workload"
+)
+
+// evalScenario parses and runs one scenario, returning the result and
+// wall time (best of three runs to damp noise).
+func evalScenario(sc workload.Scenario, strat park.Strategy, opts park.Options) (*park.Result, *park.Universe, time.Duration, error) {
+	var best time.Duration = math.MaxInt64
+	var res *park.Result
+	var u *park.Universe
+	for rep := 0; rep < 3; rep++ {
+		uu := park.NewUniverse()
+		prog, err := park.ParseProgram(uu, sc.Name, sc.Program)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		db, err := park.ParseDatabase(uu, sc.Name, sc.Database)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		var ups []park.Update
+		if sc.Updates != "" {
+			if ups, err = park.ParseUpdates(uu, sc.Name, sc.Updates); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		eng, err := park.NewEngine(uu, prog, strat, opts)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		start := time.Now()
+		r, err := eng.Run(context.Background(), db, ups)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		res, u = r, uu
+	}
+	return res, u, best, nil
+}
+
+func table() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// B1 — polynomial data complexity: transitive closure over growing
+// random graphs. The paper claims PARK is computable in time
+// polynomial in |D|; the log-log slope between successive rows should
+// stay bounded (TC is O(n³) in the worst case).
+func runB1(quick bool) error {
+	sizes := []int{8, 16, 32, 64}
+	if quick {
+		sizes = []int{8, 16, 32}
+	}
+	w := table()
+	fmt.Fprintln(w, "nodes\tedges\ttc-atoms\tsteps\tderivations\ttime\tslope")
+	var prevTime time.Duration
+	var prevN int
+	for _, n := range sizes {
+		sc := workload.TransitiveClosure(n, 20, 1)
+		res, u, d, err := evalScenario(sc, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		edges, tcs := 0, 0
+		for _, id := range res.Output.Atoms() {
+			switch u.AtomPred(id) {
+			case mustSym(u, "edge"):
+				edges++
+			case mustSym(u, "tc"):
+				tcs++
+			}
+		}
+		slope := "-"
+		if prevTime > 0 {
+			s := math.Log(float64(d)/float64(prevTime)) / math.Log(float64(n)/float64(prevN))
+			slope = fmt.Sprintf("%.2f", s)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%s\n", n, edges, tcs, res.Stats.Steps, res.Stats.Derivations, d.Round(time.Microsecond), slope)
+		prevTime, prevN = d, n
+	}
+	w.Flush()
+	fmt.Println("shape check: slope stays bounded (≈ polynomial, TC ≤ O(n^3))")
+	return nil
+}
+
+func mustSym(u *park.Universe, name string) park.Sym {
+	s, ok := u.Syms.Lookup(name)
+	if !ok {
+		return -2
+	}
+	return s
+}
+
+// B2 — restart counts: the ladder workload plants k sequenced
+// conflicts (k restarts expected); the wide workload plants k
+// simultaneous conflicts (one restart). The paper's §4.2 termination
+// argument bounds restarts by the number of blocked groundings.
+func runB2(quick bool) error {
+	ks := []int{1, 2, 4, 8, 16, 32}
+	if quick {
+		ks = []int{1, 2, 4, 8}
+	}
+	w := table()
+	fmt.Fprintln(w, "workload\tk\tconflicts\tphases\tblocked\ttime")
+	for _, k := range ks {
+		sc := workload.ConflictLadder(k)
+		res, _, d, err := evalScenario(sc, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ladder\t%d\t%d\t%d\t%d\t%v\n", k, res.Stats.Conflicts, res.Stats.Phases, res.Stats.BlockedInstances, d.Round(time.Microsecond))
+		if res.Stats.Phases != k+1 {
+			return fmt.Errorf("ladder-%d: phases = %d, want %d", k, res.Stats.Phases, k+1)
+		}
+	}
+	for _, k := range ks {
+		sc := workload.WideConflicts(k)
+		res, _, d, err := evalScenario(sc, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wide\t%d\t%d\t%d\t%d\t%v\n", k, res.Stats.Conflicts, res.Stats.Phases, res.Stats.BlockedInstances, d.Round(time.Microsecond))
+		if res.Stats.Phases != 2 {
+			return fmt.Errorf("wide-%d: phases = %d, want 2", k, res.Stats.Phases)
+		}
+	}
+	w.Flush()
+	fmt.Println("shape check: ladder restarts grow linearly in k; wide needs one restart")
+	return nil
+}
+
+// B3 — strategy costs on a conflict-heavy workload, matching the §5
+// "Efficiency Needs" discussion: inertia/priority/random are
+// constant-time per conflict, voting scales with its critics,
+// specificity pays for subsumption checks.
+func runB3(quick bool) error {
+	k := 24
+	if quick {
+		k = 8
+	}
+	sc := workload.ConflictLadder(k)
+	always := func(d park.Decision) park.Critic {
+		return park.CriticFunc{CriticName: "const", Fn: func(*park.SelectInput) (park.Decision, error) { return d, nil }}
+	}
+	strategies := []struct {
+		name  string
+		strat park.Strategy
+	}{
+		{"inertia", park.Inertia()},
+		{"priority", park.Priority(nil)},
+		{"random(seed=1)", park.Random(1)},
+		{"voting(3 critics)", park.Voting(always(park.DecideInsert), always(park.DecideDelete), always(park.DecideDelete))},
+		{"voting(9 critics)", park.Voting(always(park.DecideInsert), always(park.DecideDelete), always(park.DecideDelete),
+			always(park.DecideInsert), always(park.DecideDelete), always(park.DecideDelete),
+			always(park.DecideInsert), always(park.DecideDelete), always(park.DecideDelete))},
+		{"specificity+inertia", park.Specificity()},
+	}
+	w := table()
+	fmt.Fprintln(w, "strategy\tconflicts\tphases\ttime")
+	for _, s := range strategies {
+		res, _, d, err := evalScenario(sc, s.strat, park.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\n", s.name, res.Stats.Conflicts, res.Stats.Phases, d.Round(time.Microsecond))
+	}
+	w.Flush()
+	fmt.Println("shape check: all strategies resolve the same conflicts; voting cost grows with critics")
+	return nil
+}
+
+// B4 — PARK vs the naive post-hoc baseline on random conflict-bearing
+// programs: how often the two semantics disagree (P2/P3 generalize),
+// at what relative cost.
+func runB4(quick bool) error {
+	n := 300
+	if quick {
+		n = 60
+	}
+	diverged, conflictful := 0, 0
+	var parkTime, postTime time.Duration
+	for seed := int64(0); seed < int64(n); seed++ {
+		sc := workload.RandomProgram(10, 4, 4, seed)
+		u := park.NewUniverse()
+		prog, err := park.ParseProgram(u, "", sc.Program)
+		if err != nil {
+			return err
+		}
+		db, err := park.ParseDatabase(u, "", sc.Database)
+		if err != nil {
+			return err
+		}
+		eng, err := park.NewEngine(u, prog, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := eng.Run(context.Background(), db, nil)
+		if err != nil {
+			return err
+		}
+		parkTime += time.Since(start)
+		start = time.Now()
+		post, _, err := park.PostHoc(context.Background(), u, prog, db, nil)
+		if err != nil {
+			return err
+		}
+		postTime += time.Since(start)
+		if res.Stats.Conflicts > 0 {
+			conflictful++
+			if park.FormatDatabase(u, res.Output) != park.FormatDatabase(u, post) {
+				diverged++
+			}
+		}
+	}
+	w := table()
+	fmt.Fprintln(w, "programs\twith-conflicts\tdiverged\tdiverged%\tpark-time\tposthoc-time")
+	pct := 0.0
+	if conflictful > 0 {
+		pct = 100 * float64(diverged) / float64(conflictful)
+	}
+	fmt.Fprintf(w, "%d\t%d\t%d\t%.1f%%\t%v\t%v\n", n, conflictful, diverged, pct,
+		parkTime.Round(time.Millisecond), postTime.Round(time.Millisecond))
+	w.Flush()
+	fmt.Println("shape check: a significant fraction of conflict-bearing programs diverge;")
+	fmt.Println("costs are of the same order (PARK pays for restarts, post-hoc for wasted facts)")
+	if conflictful > 0 && diverged == 0 {
+		return fmt.Errorf("no divergence observed — baseline comparison is broken")
+	}
+	return nil
+}
+
+// B5 — ablation: semi-naive vs naive Γ. The chain workload has Θ(n)
+// steps with O(1) new facts each, the worst case for naive
+// re-evaluation (quadratic) and the best case for semi-naive.
+func runB5(quick bool) error {
+	sizes := []int{64, 128, 256, 512}
+	if quick {
+		sizes = []int{32, 64, 128}
+	}
+	w := table()
+	fmt.Fprintln(w, "chain-n\tseminaive\tnaive\tspeedup\tsemi-derivs\tnaive-derivs")
+	for _, n := range sizes {
+		sc := workload.Chain(n)
+		semi, _, dSemi, err := evalScenario(sc, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		naive, _, dNaive, err := evalScenario(sc, nil, park.Options{Naive: true})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.1fx\t%d\t%d\n", n,
+			dSemi.Round(time.Microsecond), dNaive.Round(time.Microsecond),
+			float64(dNaive)/float64(dSemi), semi.Stats.Derivations, naive.Stats.Derivations)
+	}
+	w.Flush()
+	fmt.Println("shape check: naive derivations grow quadratically, semi-naive linearly")
+	return nil
+}
+
+// B6 — ablation: indexed vs linear matching. The selective join is
+// probe-dominated, so hash indexes shine there; the transitive
+// closure rows show that on derivation-dominated workloads indexing
+// is cost-neutral (bookkeeping dominates).
+func runB6(quick bool) error {
+	joinSizes := []int{4000, 16000, 64000}
+	tcSizes := []int{32}
+	if quick {
+		joinSizes = []int{2000, 8000}
+		tcSizes = []int{24}
+	}
+	w := table()
+	fmt.Fprintln(w, "workload\tsize\tindexed\tlinear\tspeedup")
+	for _, n := range joinSizes {
+		sc := workload.SelectiveJoin(n, 512, 1)
+		_, _, dIdx, err := evalScenario(sc, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		_, _, dLin, err := evalScenario(sc, nil, park.Options{NoIndex: true})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "seljoin\t%d\t%v\t%v\t%.1fx\n", n, dIdx.Round(time.Microsecond), dLin.Round(time.Microsecond), float64(dLin)/float64(dIdx))
+	}
+	for _, n := range tcSizes {
+		sc := workload.TransitiveClosure(n, 20, 1)
+		_, _, dIdx, err := evalScenario(sc, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		_, _, dLin, err := evalScenario(sc, nil, park.Options{NoIndex: true})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "tc\t%d\t%v\t%v\t%.1fx\n", n, dIdx.Round(time.Microsecond), dLin.Round(time.Microsecond), float64(dLin)/float64(dIdx))
+	}
+	w.Flush()
+	fmt.Println("shape check: indexed speedup grows with relation size on probe-bound")
+	fmt.Println("workloads and is neutral on derivation-bound ones")
+	return nil
+}
+
+// B7 — ECA trigger cascades: scaling in depth (chain of event rules)
+// and width (number of seeding updates).
+func runB7(quick bool) error {
+	depths := []int{4, 16, 64, 256}
+	widths := []int{1, 8, 64}
+	if quick {
+		depths = []int{4, 16, 64}
+		widths = []int{1, 8}
+	}
+	w := table()
+	fmt.Fprintln(w, "depth\twidth\tsteps\tnew-facts\ttime")
+	for _, depth := range depths {
+		for _, width := range widths {
+			sc := workload.TriggerCascade(depth, width)
+			res, _, d, err := evalScenario(sc, nil, park.Options{})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%v\n", depth, width, res.Stats.Steps, res.Stats.NewFacts, d.Round(time.Microsecond))
+			if res.Stats.Steps < depth {
+				return fmt.Errorf("cascade depth %d finished in %d steps", depth, res.Stats.Steps)
+			}
+		}
+	}
+	w.Flush()
+	fmt.Println("shape check: steps grow linearly with depth, facts with depth×width")
+	return nil
+}
+
+// B8 — the unambiguity requirement: the sequential baseline yields
+// multiple result states across firing orders (and may not terminate),
+// while PARK always yields exactly one.
+func runB8(quick bool) error {
+	orders := 60
+	if quick {
+		orders = 20
+	}
+	scenarios := []struct {
+		name string
+		prog string
+		db   string
+	}{
+		{"mutex", "p, !b -> +a.\np, !a -> +b.\n", "p."},
+		{"sec5", "p -> +a.\np -> +q.\na -> +b.\na -> -q.\nb -> +q.\n", "p."},
+		{"random-17", workload.RandomProgram(8, 3, 3, 17).Program, workload.RandomProgram(8, 3, 3, 17).Database},
+	}
+	w := table()
+	fmt.Fprintln(w, "program\torders\tdistinct-sequential\tnon-terminating\tpark-results")
+	for _, s := range scenarios {
+		u := park.NewUniverse()
+		prog, err := park.ParseProgram(u, "", s.prog)
+		if err != nil {
+			return err
+		}
+		db, err := park.ParseDatabase(u, "", s.db)
+		if err != nil {
+			return err
+		}
+		results, nonTerm, err := park.SequentialDistinctResults(context.Background(), u, prog, db, nil, orders, 5000)
+		if err != nil {
+			return err
+		}
+		// PARK: always exactly one result (checked by running twice).
+		eng, err := park.NewEngine(u, prog, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		r1, err := eng.Run(context.Background(), db, nil)
+		if err != nil {
+			return err
+		}
+		r2, err := eng.Run(context.Background(), db, nil)
+		if err != nil {
+			return err
+		}
+		parkResults := 1
+		if park.FormatDatabase(u, r1.Output) != park.FormatDatabase(u, r2.Output) {
+			parkResults = 2
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", s.name, orders, len(results), nonTerm, parkResults)
+	}
+	w.Flush()
+	fmt.Println("shape check: sequential firing is ambiguous; PARK is a function")
+	return nil
+}
+
+// B9 — ablation: the §4.2 closing-remark variant that blocks only one
+// conflict per restart (Options.ResolveOne) versus blocking the losing
+// side of every current conflict. Same results, different
+// restart/blocked trade-off.
+func runB9(quick bool) error {
+	ks := []int{4, 16, 64}
+	if quick {
+		ks = []int{4, 16}
+	}
+	w := table()
+	fmt.Fprintln(w, "workload\tmode\tphases\tblocked\ttime\tsame-result")
+	for _, k := range ks {
+		sc := workload.WideConflicts(k)
+		all, uAll, dAll, err := evalScenario(sc, nil, park.Options{})
+		if err != nil {
+			return err
+		}
+		one, uOne, dOne, err := evalScenario(sc, nil, park.Options{ResolveOne: true})
+		if err != nil {
+			return err
+		}
+		same := park.FormatDatabase(uAll, all.Output) == park.FormatDatabase(uOne, one.Output)
+		fmt.Fprintf(w, "wide-%d\tall\t%d\t%d\t%v\t\n", k, all.Stats.Phases, all.Stats.BlockedInstances, dAll.Round(time.Microsecond))
+		fmt.Fprintf(w, "wide-%d\tone\t%d\t%d\t%v\t%v\n", k, one.Stats.Phases, one.Stats.BlockedInstances, dOne.Round(time.Microsecond), same)
+		if !same {
+			return fmt.Errorf("wide-%d: blocking granularity changed the result", k)
+		}
+	}
+	w.Flush()
+	fmt.Println("shape check: one-per-restart trades restarts for smaller steps; results agree")
+	return nil
+}
+
+// B10 — parallel full-step evaluation: speedup of Options.Parallel on
+// a scan-heavy workload (linear matching makes the join work dominate
+// the sequential bookkeeping). The attainable speedup is bounded by
+// the machine's core count, which the table reports; on a single-core
+// machine the expected and measured speedup is ~1x, and the
+// experiment then only verifies that parallelism costs little and
+// changes nothing.
+func runB10(quick bool) error {
+	n := 64000
+	if quick {
+		n = 16000
+	}
+	sc := workload.SelectiveJoin(n, 512, 1)
+	w := table()
+	fmt.Fprintf(w, "cores available: %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintln(w, "mode\tworkers\ttime\tspeedup")
+	base, _, d1, err := evalScenario(sc, nil, park.Options{NoIndex: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "linear\t1\t%v\t1.0x\n", d1.Round(time.Microsecond))
+	for _, workers := range []int{2, 4, 8} {
+		res, _, d, err := evalScenario(sc, nil, park.Options{NoIndex: true, Parallel: workers})
+		if err != nil {
+			return err
+		}
+		if res.Stats.Derivations != base.Stats.Derivations {
+			return fmt.Errorf("parallel run diverged: %d vs %d derivations", res.Stats.Derivations, base.Stats.Derivations)
+		}
+		fmt.Fprintf(w, "linear\t%d\t%v\t%.1fx\n", workers, d.Round(time.Microsecond), float64(d1)/float64(d))
+	}
+	w.Flush()
+	fmt.Println("shape check: results identical; speedup bounded by core count")
+	return nil
+}
+
+// B11 — full-system throughput: transactions per second through the
+// durable store (engine + WAL + fsync) as the database grows. The
+// rule set is the HR scenario; each transaction deactivates one
+// employee and triggers the §2 cleanup cascade. Absolute numbers are
+// machine-specific; the shape claim is that per-transaction cost
+// grows roughly linearly with database size (the engine reloads the
+// interpretation per transaction).
+func runB11(quick bool) error {
+	sizes := []int{100, 400, 1600}
+	txns := 50
+	if quick {
+		sizes = []int{100, 400}
+		txns = 20
+	}
+	w := table()
+	fmt.Fprintln(w, "employees\ttxns\ttotal\tper-txn\ttxn/s")
+	for _, n := range sizes {
+		sc := workload.HRPayroll(n, 0, 7) // no updates; we drive them below
+		dir, err := os.MkdirTemp("", "parkbench-b11-*")
+		if err != nil {
+			return err
+		}
+		store, err := persist.Open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		u := store.Universe()
+		prog, err := parser.ParseProgram(u, "", sc.Program)
+		if err != nil {
+			return cleanupB11(store, dir, err)
+		}
+		seed, err := parser.ParseUpdates(u, "", dbToUpdates(sc.Database))
+		if err != nil {
+			return cleanupB11(store, dir, err)
+		}
+		if err := store.ApplyUpdates(context.Background(), seed); err != nil {
+			return cleanupB11(store, dir, err)
+		}
+		start := time.Now()
+		for i := 0; i < txns; i++ {
+			ups, err := parser.ParseUpdates(u, "", fmt.Sprintf("-active(e%d).\n", i%n))
+			if err != nil {
+				return cleanupB11(store, dir, err)
+			}
+			if _, err := store.Apply(context.Background(), prog, ups, nil, park.Options{}); err != nil {
+				return cleanupB11(store, dir, err)
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%.0f\n", n, txns,
+			elapsed.Round(time.Millisecond), (elapsed / time.Duration(txns)).Round(time.Microsecond),
+			float64(txns)/elapsed.Seconds())
+		if err := cleanupB11(store, dir, nil); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	fmt.Println("shape check: per-transaction cost grows ~linearly with database size")
+	return nil
+}
+
+func cleanupB11(store *persist.Store, dir string, err error) error {
+	store.Close()
+	os.RemoveAll(dir)
+	return err
+}
+
+// dbToUpdates rewrites a facts file into insertion updates.
+func dbToUpdates(db string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(db, "\n") {
+		for _, stmt := range strings.Split(line, ". ") {
+			stmt = strings.TrimSpace(stmt)
+			stmt = strings.TrimSuffix(stmt, ".")
+			if stmt == "" || strings.HasPrefix(stmt, "%") {
+				continue
+			}
+			sb.WriteString("+")
+			sb.WriteString(stmt)
+			sb.WriteString(".\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+// Command parkcli evaluates active-rule programs under the PARK
+// semantics.
+//
+// Usage:
+//
+//	parkcli run -program rules.park -db data.park [-updates u.park] [flags]
+//	parkcli check -program rules.park
+//	parkcli repl
+//
+// Flags for run:
+//
+//	-strategy S   conflict resolution: inertia (default), priority,
+//	              specificity, interactive, random=<seed>,
+//	              protect+<inner>
+//	-trace        print the paper-style step-by-step trace
+//	-stats        print evaluation statistics
+//	-naive        disable semi-naive evaluation
+//	-noindex      disable hash-indexed matching
+//	-strict       use the paper's literal conflict definition
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
+	case "repl":
+		err = cmdRepl(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "parkcli: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parkcli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `parkcli — PARK semantics for active rules
+
+commands:
+  run   -program FILE -db FILE [-updates FILE] [-strategy S] [-trace] [-stats]
+        evaluate PARK(P, D, U) and print the result database
+  check -program FILE | -triggers FILE
+        static analysis: safety, conflict pairs, stratification, lints
+  query -db FILE -q 'emp(X), !active(X)'
+        run a conjunctive query against a database file
+  watch -url http://localhost:7474
+        stream committed transactions from a running parkd
+  repl  interactive session`)
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"repro/internal/server"
+)
+
+// cmdWatch streams committed transactions from a running parkd.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:7474", "parkd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return watch(ctx, *url, os.Stdout)
+}
+
+// watch connects and prints events until ctx is done.
+func watch(ctx context.Context, url string, w io.Writer) error {
+	c := &server.Client{BaseURL: url}
+	events, err := c.Watch(ctx)
+	if err != nil {
+		return err
+	}
+	for txn := range events {
+		for _, f := range txn.Added {
+			fmt.Fprintf(w, "txn %d: + %s\n", txn.Seq, f)
+		}
+		for _, f := range txn.Removed {
+			fmt.Fprintf(w, "txn %d: - %s\n", txn.Seq, f)
+		}
+	}
+	return nil
+}

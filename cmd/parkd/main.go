@@ -1,0 +1,93 @@
+// Command parkd serves a persistent PARK active database over HTTP.
+//
+// Usage:
+//
+//	parkd -dir ./data [-addr :7474] [-program rules.park | -triggers ddl.sql] [-strategy inertia]
+//
+// The store directory holds the snapshot and write-ahead log; state
+// survives restarts. See internal/server for the JSON API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/persist"
+	"repro/internal/server"
+)
+
+// config captures the daemon's startup parameters.
+type config struct {
+	dir      string
+	program  string // rule-language program file
+	triggers string // trigger-DDL program file
+	strategy string
+}
+
+// setup opens the store and builds the configured server. The caller
+// owns closing the returned store.
+func setup(cfg config) (*server.Server, *persist.Store, error) {
+	store, err := persist.Open(cfg.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := server.New(store)
+	fail := func(err error) (*server.Server, *persist.Store, error) {
+		store.Close()
+		return nil, nil, err
+	}
+	if cfg.program != "" && cfg.triggers != "" {
+		return fail(fmt.Errorf("parkd: use only one of -program and -triggers"))
+	}
+	if cfg.program != "" {
+		src, err := os.ReadFile(cfg.program)
+		if err != nil {
+			return fail(err)
+		}
+		if err := srv.SetProgram(string(src)); err != nil {
+			return fail(fmt.Errorf("program: %w", err))
+		}
+	}
+	if cfg.triggers != "" {
+		src, err := os.ReadFile(cfg.triggers)
+		if err != nil {
+			return fail(err)
+		}
+		if err := srv.SetTriggerProgram(string(src)); err != nil {
+			return fail(fmt.Errorf("triggers: %w", err))
+		}
+	}
+	if cfg.strategy != "" {
+		if err := srv.SetStrategy(cfg.strategy); err != nil {
+			return fail(err)
+		}
+	}
+	return srv, store, nil
+}
+
+func main() {
+	var cfg config
+	addr := flag.String("addr", ":7474", "listen address")
+	flag.StringVar(&cfg.dir, "dir", "", "store directory (required)")
+	flag.StringVar(&cfg.program, "program", "", "rule program file to install at startup")
+	flag.StringVar(&cfg.triggers, "triggers", "", "trigger-DDL program file to install at startup")
+	flag.StringVar(&cfg.strategy, "strategy", "inertia", "default conflict resolution strategy")
+	flag.Parse()
+	if cfg.dir == "" {
+		fmt.Fprintln(os.Stderr, "parkd: -dir is required")
+		os.Exit(2)
+	}
+	srv, store, err := setup(cfg)
+	if err != nil {
+		log.Fatalf("parkd: %v", err)
+	}
+	defer store.Close()
+
+	log.Printf("parkd: serving store %s on %s (%d facts)", cfg.dir, *addr, store.Len())
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("parkd: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestSetupWithRuleProgram(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "rules.park")
+	if err := os.WriteFile(prog, []byte(`p(X) -> +q(X).`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, store, err := setup(config{dir: filepath.Join(dir, "data"), program: prog, strategy: "priority"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &server.Client{BaseURL: ts.URL}
+	resp, err := c.Program(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rules != 1 || resp.Strategy != "priority" {
+		t.Fatalf("program = %+v", resp)
+	}
+	tx, err := c.Transact(context.Background(), `+p(a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Facts) != 2 {
+		t.Fatalf("facts = %v", tx.Facts)
+	}
+}
+
+func TestSetupWithTriggerProgram(t *testing.T) {
+	dir := t.TempDir()
+	ddl := filepath.Join(dir, "ddl.sql")
+	if err := os.WriteFile(ddl, []byte(`CREATE RULE r WHEN p(X) DO INSERT q(X);`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, store, err := setup(config{dir: filepath.Join(dir, "data"), triggers: ddl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	_ = srv
+}
+
+func TestSetupErrors(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "x.park")
+	os.WriteFile(f, []byte(`p -> +q.`), 0o644)
+	if _, _, err := setup(config{dir: filepath.Join(dir, "d1"), program: f, triggers: f}); err == nil {
+		t.Fatal("both program kinds accepted")
+	}
+	if _, _, err := setup(config{dir: filepath.Join(dir, "d2"), program: filepath.Join(dir, "missing")}); err == nil {
+		t.Fatal("missing program file accepted")
+	}
+	bad := filepath.Join(dir, "bad.park")
+	os.WriteFile(bad, []byte(`p(X) -> +q(Y).`), 0o644)
+	if _, _, err := setup(config{dir: filepath.Join(dir, "d3"), program: bad}); err == nil {
+		t.Fatal("unsafe program accepted")
+	}
+	if _, _, err := setup(config{dir: filepath.Join(dir, "d4"), strategy: "bogus"}); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}

@@ -1,0 +1,47 @@
+// Package park implements the PARK semantics for active rules
+// (Gottlob, Moerkotte, Subrahmanian — EDBT 1996): a fixpoint semantics
+// for event-condition-action rule sets over relational databases that
+// smoothly integrates the inflationary fixpoint semantics of Kolaitis
+// and Papadimitriou with pluggable conflict resolution.
+//
+// # Model
+//
+// A database instance is a set of ground atoms. An active rule
+//
+//	l1, ..., ln -> +l0     (or -l0)
+//
+// requests the insertion (deletion) of its head whenever every body
+// literal is valid. Body literals are positive atoms, negated atoms
+// (negation as failure), event literals +a / -a that observe
+// insertions and deletions themselves (full ECA rules), or built-in
+// comparisons (== and !=). When firable rules request both +a and -a,
+// the evaluation is interrupted, a conflict resolution policy — the
+// SELECT parameter of the semantics — picks a winner, the losing rule
+// instances are blocked, and the inflationary computation restarts
+// from the original database. The result is a single, deterministic,
+// polynomial-time-computable database state.
+//
+// # Quick start
+//
+//	u := park.NewUniverse()
+//	prog, err := park.ParseProgram(u, "rules", `
+//	    emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+//	`)
+//	db, err := park.ParseDatabase(u, "db", `
+//	    emp(tom). payroll(tom, 100).
+//	`)
+//	eng, err := park.NewEngine(u, prog, park.Inertia(), park.Options{})
+//	res, err := eng.Run(ctx, db, nil)
+//	fmt.Println(park.FormatDatabase(u, res.Output)) // {emp(tom)}
+//
+// Conflict resolution strategies live alongside the engine: Inertia
+// (keep the original status), Priority (rule priorities), Specificity
+// (more specific rules win), Interactive, Voting (a panel of critics),
+// Random, plus the Fallback and ProtectUpdates combinators. Any
+// user-defined policy can be supplied through the Strategy interface.
+//
+// The package also exposes the baseline semantics the paper argues
+// against (PostHoc, Inflationary, Sequential) for comparison, and a
+// static analyzer (Analyze) reporting conflict potential,
+// stratification and lints.
+package park

@@ -1,0 +1,72 @@
+// Banking: §5's "Declarative Needs" discussion says that in banking
+// applications the principle of inertia may be used, delaying a
+// transaction until the human banker can be queried — i.e. inertia as
+// the safe automatic default, escalating to interactive resolution.
+// This example wires exactly that: a Fallback of a guarded automatic
+// policy and an Interactive strategy (scripted here; hook it to
+// os.Stdin for a real terminal).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	park "repro"
+)
+
+const rules = `
+	% an approved transfer debits the account flag
+	rule apply: transfer(T, Acct), approved(T) -> -hold(Acct).
+
+	% compliance places a hold on flagged accounts
+	rule flag: suspicious(Acct) -> +hold(Acct).
+
+	% the branch wants to release holds for premium customers
+	rule release: premium(Acct), hold(Acct) -> -hold(Acct).
+`
+
+// autoPolicy resolves conflicts automatically ONLY when the amount at
+// stake is small (the atom is not about a flagged account); otherwise
+// it abstains and the interactive policy takes over — the "delay the
+// transaction until the human banker can be queried" workflow.
+func autoPolicy() park.Strategy {
+	return park.StrategyFunc{
+		StrategyName: "auto-inertia-small",
+		Fn: func(in *park.SelectInput) (park.Decision, error) {
+			name := in.Universe.AtomString(in.Conflict.Atom)
+			if strings.Contains(name, "vip") {
+				return 0, park.ErrUndecided // escalate to the banker
+			}
+			if in.Database.Contains(in.Conflict.Atom) {
+				return park.DecideInsert, nil
+			}
+			return park.DecideDelete, nil
+		},
+	}
+}
+
+func main() {
+	// The banker's scripted answers: keep the hold on the VIP account.
+	bankerIn := strings.NewReader("insert\n")
+	strategy := park.Fallback(
+		autoPolicy(),
+		park.Interactive(bankerIn, os.Stdout),
+	)
+
+	res, u, err := park.Eval(context.Background(), rules, `
+		premium(acct_vip). premium(acct_small).
+		suspicious(acct_vip). suspicious(acct_small).
+	`, ``, strategy, park.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal state:", park.FormatDatabase(u, res.Output))
+	for _, rc := range res.Conflicts {
+		fmt.Printf("conflict on %s resolved: %s\n", u.AtomString(rc.Conflict.Atom), rc.Decision)
+	}
+	fmt.Println("\nthe small account's hold was auto-released (inertia: not in D);")
+	fmt.Println("the VIP account's hold went to the banker, who kept it.")
+}

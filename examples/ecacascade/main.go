@@ -1,0 +1,83 @@
+// ECA cascade: full event-condition-action rules (§4.3). A
+// transaction's updates trigger event literals (+a / -a in rule
+// bodies), which cascade through an order-fulfillment pipeline. A
+// compensation rule tries to undo one of the transaction's own
+// updates; the ProtectUpdates combinator (the §4.3 discussion about
+// updates that "cannot be overwritten") keeps the transaction's word.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	park "repro"
+)
+
+const program = `
+	% the arrival of an order reserves stock
+	rule reserve: +order(O, I), stock(I) -> +reserved(O, I).
+
+	% reserving triggers shipment planning
+	rule plan: +reserved(O, I) -> +shipment(O).
+
+	% shipping an order consumes the stock record
+	rule consume: shipment(O), reserved(O, I), stock(I) -> -stock(I).
+
+	% a cancellation event revokes the reservation...
+	rule cancel: -order(O, I), reserved(O, I) -> -reserved(O, I).
+
+	% ...and a (misguided) compensation rule tries to resurrect
+	% cancelled orders with pending shipments: conflicts with the
+	% transaction's own -order update.
+	rule compensate: shipment(O), -order(O, I) -> +order(O, I).
+`
+
+const database = `
+	stock(widget). stock(gadget).
+	order(o1, widget). reserved(o1, widget). shipment(o1).
+`
+
+func main() {
+	run := func(name string, strategy park.Strategy) {
+		u := park.NewUniverse()
+		prog, err := park.ParseProgram(u, "pipeline", program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := park.ParseDatabase(u, "state", database)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ups, err := park.ParseUpdates(u, "tx", `
+			+order(o2, gadget).
+			-order(o1, widget).
+		`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := park.NewEngine(u, prog, strategy, park.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), db, ups)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s\n", name)
+		fmt.Println("result:", park.FormatDatabase(u, res.Output))
+		for _, rc := range res.Conflicts {
+			fmt.Printf("conflict on %s -> %s\n", u.AtomString(rc.Conflict.Atom), rc.Decision)
+		}
+		fmt.Println()
+	}
+
+	// Plain inertia: order(o1, widget) was in D, so the compensation
+	// rule wins the conflict and the cancelled order survives.
+	run("inertia (compensation wins)", park.Inertia())
+
+	// ProtectUpdates: the transaction's -order(o1, widget) cannot be
+	// overridden; the cancellation sticks and the cascade revokes the
+	// reservation.
+	run("protect-updates (transaction wins)", park.ProtectUpdates(park.Inertia()))
+}

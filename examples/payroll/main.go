@@ -1,0 +1,84 @@
+// Payroll triggers: a realistic ECA scenario in the domain the paper's
+// §2 example comes from. A transaction deactivates employees; event
+// rules cascade the deactivation into an audit trail, payroll cleanup
+// and manager notification, with a conflict between a retention rule
+// (keep payroll of employees on legal hold) and the cleanup rule,
+// resolved by rule priority.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	park "repro"
+)
+
+func main() {
+	u := park.NewUniverse()
+	prog, err := park.ParseProgram(u, "hr", `
+		% cleanup (priority 1): inactive employees lose payroll records
+		rule cleanup priority 1:
+			emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+
+		% retention (priority 5): employees on legal hold keep payroll
+		rule retention priority 5:
+			emp(X), hold(X), payroll(X, S) -> +payroll(X, S).
+
+		% the deactivation event feeds an audit trail (ECA rule)
+		rule audit: -active(X), dept(X, D) -> +audit(X, D).
+
+		% notify the department manager for every audited employee
+		rule notify: audit(X, D), manager(D, M) -> +notify(M, X).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := park.ParseDatabase(u, "db", `
+		emp(tom).  dept(tom, sales).  active(tom).  payroll(tom, 3100).
+		emp(ann).  dept(ann, sales).  active(ann).  payroll(ann, 3300).
+		emp(bob).  dept(bob, dev).    active(bob).  payroll(bob, 4000).
+		manager(sales, mia). manager(dev, dan).
+		hold(ann).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The transaction deactivates tom and ann.
+	ups, err := park.ParseUpdates(u, "tx", `-active(tom). -active(ann).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rule priority resolves the cleanup-vs-retention conflict on
+	// ann's payroll record in favor of retention.
+	eng, err := park.NewEngine(u, prog, park.Priority(park.Inertia()), park.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), db, ups)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("before:", park.FormatDatabase(u, db))
+	fmt.Println("tx:    ", park.FormatUpdates(u, ups))
+	fmt.Println("after: ", park.FormatDatabase(u, res.Output))
+	fmt.Println()
+	for _, rc := range res.Conflicts {
+		fmt.Printf("conflict on %s resolved: %s\n",
+			u.AtomString(rc.Conflict.Atom), rc.Decision)
+	}
+	fmt.Printf("\ntom's payroll gone:  %v\n", !contains(u, res.Output, "payroll(tom, 3100)"))
+	fmt.Printf("ann's payroll kept:  %v (legal hold won by priority)\n", contains(u, res.Output, "payroll(ann, 3300)"))
+	fmt.Printf("bob untouched:       %v\n", contains(u, res.Output, "payroll(bob, 4000)"))
+}
+
+func contains(u *park.Universe, d *park.Database, atom string) bool {
+	for _, id := range d.Atoms() {
+		if u.AtomString(id) == atom {
+			return true
+		}
+	}
+	return false
+}

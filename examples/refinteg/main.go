@@ -1,0 +1,129 @@
+// Referential integrity: the classic active-database use case.
+// Foreign-key constraints between orders → customers and
+// order_items → orders are maintained by active rules reacting to
+// deletion events with cascading deletes (ON DELETE CASCADE) and to
+// insertion events with rejection of dangling references (RESTRICT,
+// expressed here as a compensating delete). A protected customer
+// demonstrates conflict resolution between the cascade and a
+// retention rule.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	park "repro"
+)
+
+const schema = `
+	% ON DELETE CASCADE: deleting a customer deletes their orders...
+	rule cascade_orders:
+		-customer(C), order(O, C) -> -order(O, C).
+
+	% ...and deleting an order deletes its items (two-level cascade
+	% through the deletion event of the first rule)
+	rule cascade_items:
+		-order(O, C), item(I, O) -> -item(I, O).
+
+	% RESTRICT on insert: a new order whose customer does not exist is
+	% rejected by a compensating delete
+	rule restrict_orders:
+		+order(O, C), !customer(C) -> -order(O, C).
+
+	% retention (priority 9): customers with open disputes must not
+	% lose their orders — conflicts with cascade_orders (priority 1)
+	rule retention priority 9:
+		dispute(O), order(O, C) -> +order(O, C).
+	rule cascade_orders_prio priority 1:
+		-customer(C), order(O, C) -> -order(O, C).
+`
+
+const data = `
+	customer(alice). customer(bob).
+	order(o1, alice). order(o2, alice). order(o3, bob).
+	item(i1, o1). item(i2, o1). item(i3, o2). item(i4, o3).
+	dispute(o3).
+`
+
+func main() {
+	u := park.NewUniverse()
+	prog, err := park.ParseProgram(u, "schema", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := park.ParseDatabase(u, "data", data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Static analysis shows where conflicts can happen before running
+	// anything.
+	rep := park.Analyze(u, prog)
+	fmt.Println("static analysis:")
+	for _, pair := range rep.Pairs {
+		fmt.Printf("  conflict pair: %s vs %s on %s\n",
+			prog.RuleLabel(pair.Insert), prog.RuleLabel(pair.Delete), pair.Example)
+	}
+
+	eng, err := park.NewEngine(u, prog, park.Priority(park.Inertia()), park.Options{Explain: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Transaction 1: delete alice -> her orders and their items cascade
+	// away.
+	ups, err := park.ParseUpdates(u, "tx1", `-customer(alice).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), db, ups)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter deleting alice:")
+	fmt.Println("  ", park.FormatDatabase(u, res.Output))
+
+	// Explain the cascading deletion of item i1.
+	id, _ := parseAtom(u, "item(i1, o1)")
+	fmt.Println("\nwhy is item(i1, o1) gone?")
+	fmt.Print(res.Explainer.Format(res.Explainer.Explain(id)))
+
+	// Transaction 2 (on the result): delete bob — but o3 is disputed,
+	// so the retention rule wins the conflict and o3 survives while
+	// bob's customer record still goes.
+	ups2, err := park.ParseUpdates(u, "tx2", `-customer(bob).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := eng.Run(context.Background(), res.Output, ups2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter deleting bob (o3 disputed):")
+	fmt.Println("  ", park.FormatDatabase(u, res2.Output))
+	for _, rc := range res2.Conflicts {
+		fmt.Printf("   conflict on %s -> %s\n", u.AtomString(rc.Conflict.Atom), rc.Decision)
+	}
+
+	// Transaction 3: inserting an order for a deleted customer is
+	// rejected by the RESTRICT rule.
+	ups3, err := park.ParseUpdates(u, "tx3", `+order(o9, alice).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res3, err := eng.Run(context.Background(), res2.Output, ups3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter inserting order(o9, alice) with alice gone:")
+	fmt.Println("  ", park.FormatDatabase(u, res3.Output))
+}
+
+func parseAtom(u *park.Universe, text string) (park.AID, error) {
+	db, err := park.ParseDatabase(u, "atom", text+".")
+	if err != nil {
+		return -1, err
+	}
+	return db.Atoms()[0], nil
+}

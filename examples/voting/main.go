@@ -1,0 +1,69 @@
+// Voting: the §5 voting scheme with a panel of critics. Three critics
+// with different intuitions vote on every conflict: a recency critic
+// prefers what the rules (as opposed to the old database) say, a
+// source-reliability critic trusts high-priority rules, and a
+// conservative critic always votes to keep the original state. The
+// majority wins; ties fall back to inertia.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	park "repro"
+)
+
+func main() {
+	// Sensor fusion: two sources disagree about an alarm.
+	program := `
+		rule sensorA priority 3: reading(a, high), monitored(X) -> +alarm(X).
+		rule sensorB priority 1: reading(b, low),  monitored(X) -> -alarm(X).
+	`
+	db := `
+		reading(a, high). reading(b, low).
+		monitored(boiler). monitored(turbine).
+		alarm(turbine).
+	`
+
+	recency := park.CriticFunc{CriticName: "recency", Fn: func(in *park.SelectInput) (park.Decision, error) {
+		// Prefer inserts: new information beats absence.
+		return park.DecideInsert, nil
+	}}
+	reliability := park.CriticFunc{CriticName: "reliability", Fn: func(in *park.SelectInput) (park.Decision, error) {
+		// Trust the side backed by the higher-priority rule.
+		best := func(gs []park.Grounding) int {
+			m := -1
+			for _, g := range gs {
+				if p := in.Program.Rules[g.Rule].Priority; p > m {
+					m = p
+				}
+			}
+			return m
+		}
+		if best(in.Conflict.Ins) >= best(in.Conflict.Del) {
+			return park.DecideInsert, nil
+		}
+		return park.DecideDelete, nil
+	}}
+	conservative := park.CriticFunc{CriticName: "conservative", Fn: func(in *park.SelectInput) (park.Decision, error) {
+		if in.Database.Contains(in.Conflict.Atom) {
+			return park.DecideInsert, nil
+		}
+		return park.DecideDelete, nil
+	}}
+
+	res, u, err := park.Eval(context.Background(), program, db, ``,
+		park.Voting(recency, reliability, conservative), park.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", park.FormatDatabase(u, res.Output))
+	for _, rc := range res.Conflicts {
+		fmt.Printf("conflict on %s -> %s\n", u.AtomString(rc.Conflict.Atom), rc.Decision)
+	}
+	// boiler: recency=insert, reliability=insert (3 >= 1),
+	// conservative=delete (not in D) -> 2:1 insert.
+	// turbine: conservative=insert (in D) -> 3:0 insert.
+	fmt.Println("\nboth alarms stay on: the 2:1 and 3:0 majorities chose insert")
+}

@@ -1,0 +1,54 @@
+package park_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Every example must build and run to completion. Each is a
+// self-contained main that exercises the public API on a scenario
+// from the paper's motivating domains; a non-zero exit or a panic
+// fails the test.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn go run")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d examples", len(entries))
+	}
+	expectations := map[string]string{
+		"quickstart": "P1 result: {p, q}",
+		"graphmaint": "final graph: {p(a), p(b), p(c), q(a, b), q(b, a), q(b, c), q(c, b)}",
+		"payroll":    "ann's payroll kept:  true",
+		"voting":     "both alarms stay on",
+		"ecacascade": "conflict on order(o1, widget) -> delete",
+		"refinteg":   "conflict on order(o3, bob) -> insert",
+		"triggers":   "conflict on order2(o2, 400) -> delete",
+		"activedb":   "facts recovered from disk",
+		"monitor":    "- page_operator(boiler)",
+		"banking":    "conflict on hold(acct_vip) resolved: insert",
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if want, ok := expectations[name]; ok && !strings.Contains(string(out), want) {
+				t.Fatalf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,332 @@
+// Package analysis provides static analysis of active-rule programs:
+// the predicate dependency graph, stratification with respect to
+// negation, detection of conflict potential (predicates that rules can
+// both insert and delete — the situations where the SELECT policy can
+// be invoked at runtime), and style lints. The safety conditions of
+// §2 themselves are enforced by core.Program.Validate; this package
+// layers program-level diagnostics on top.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// EdgeKind classifies a dependency edge by the body literal that
+// induces it.
+type EdgeKind uint8
+
+const (
+	// EdgePos is a positive body literal dependency.
+	EdgePos EdgeKind = iota
+	// EdgeNeg is a negated body literal dependency.
+	EdgeNeg
+	// EdgeEvent is an event literal (±p) dependency.
+	EdgeEvent
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgePos:
+		return "positive"
+	case EdgeNeg:
+		return "negative"
+	case EdgeEvent:
+		return "event"
+	}
+	return "?"
+}
+
+// Edge is one dependency: the head predicate of a rule depends on a
+// body predicate.
+type Edge struct {
+	From core.Sym // body predicate
+	To   core.Sym // head predicate
+	Kind EdgeKind
+	Rule int // rule index inducing the edge
+}
+
+// DepGraph is the predicate dependency graph of a program.
+type DepGraph struct {
+	Preds []core.Sym
+	Edges []Edge
+
+	index map[core.Sym]int
+	succ  map[core.Sym][]int // indexes into Edges, keyed by From
+}
+
+// BuildDepGraph constructs the dependency graph of a program.
+func BuildDepGraph(p *core.Program) *DepGraph {
+	g := &DepGraph{index: make(map[core.Sym]int), succ: make(map[core.Sym][]int)}
+	addPred := func(s core.Sym) {
+		if _, ok := g.index[s]; !ok {
+			g.index[s] = len(g.Preds)
+			g.Preds = append(g.Preds, s)
+		}
+	}
+	for ri := range p.Rules {
+		r := &p.Rules[ri]
+		addPred(r.Head.Pred)
+		for _, lit := range r.Body {
+			if lit.Kind.Builtin() {
+				continue
+			}
+			addPred(lit.Atom.Pred)
+			kind := EdgePos
+			switch lit.Kind {
+			case core.LitNeg:
+				kind = EdgeNeg
+			case core.LitEvIns, core.LitEvDel:
+				kind = EdgeEvent
+			}
+			e := Edge{From: lit.Atom.Pred, To: r.Head.Pred, Kind: kind, Rule: ri}
+			g.succ[e.From] = append(g.succ[e.From], len(g.Edges))
+			g.Edges = append(g.Edges, e)
+		}
+	}
+	return g
+}
+
+// SCCs returns the strongly connected components of the graph in
+// reverse topological order (Tarjan's algorithm), each sorted by
+// predicate symbol.
+func (g *DepGraph) SCCs() [][]core.Sym {
+	n := len(g.Preds)
+	indexOf := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range indexOf {
+		indexOf[i] = -1
+	}
+	var stack []int
+	var sccs [][]core.Sym
+	counter := 0
+
+	var strong func(v int)
+	strong = func(v int) {
+		indexOf[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, ei := range g.succ[g.Preds[v]] {
+			w := g.index[g.Edges[ei].To]
+			if indexOf[w] < 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && indexOf[w] < low[v] {
+				low[v] = indexOf[w]
+			}
+		}
+		if low[v] == indexOf[v] {
+			var comp []core.Sym
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, g.Preds[w])
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+			sccs = append(sccs, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if indexOf[v] < 0 {
+			strong(v)
+		}
+	}
+	return sccs
+}
+
+// Stratify computes a stratification with respect to negation: strata
+// of predicates such that positive dependencies stay within or above
+// their stratum and negative dependencies strictly descend. It
+// reports ok=false when the program has recursion through negation
+// (some SCC contains a negative edge), in which case strata is nil.
+// Event edges are treated like positive edges for this purpose.
+func (g *DepGraph) Stratify() (strata [][]core.Sym, ok bool) {
+	sccs := g.SCCs()
+	comp := make(map[core.Sym]int)
+	for i, c := range sccs {
+		for _, p := range c {
+			comp[p] = i
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Kind == EdgeNeg && comp[e.From] == comp[e.To] {
+			return nil, false
+		}
+	}
+	// Longest-path layering over the SCC DAG: stratum(to) >=
+	// stratum(from) for positive edges, strictly greater for negative
+	// ones. The DAG is acyclic, so the relaxation below terminates.
+	level := make([]int, len(sccs))
+	changed := true
+	for changed {
+		changed = false
+		for _, e := range g.Edges {
+			cf, ct := comp[e.From], comp[e.To]
+			if cf == ct {
+				continue
+			}
+			min := level[cf]
+			if e.Kind == EdgeNeg {
+				min++
+			}
+			if level[ct] < min {
+				level[ct] = min
+				changed = true
+			}
+		}
+	}
+	maxLevel := 0
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	strata = make([][]core.Sym, maxLevel+1)
+	for i, c := range sccs {
+		strata[level[i]] = append(strata[level[i]], c...)
+	}
+	for _, s := range strata {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return strata, true
+}
+
+// Report is the result of analyzing a program.
+type Report struct {
+	// ConflictPredicates lists predicates some rules insert and other
+	// rules delete — the only predicates on which runtime conflicts
+	// (and hence SELECT invocations) are possible.
+	ConflictPredicates []core.Sym
+	// Stratified reports absence of recursion through negation.
+	Stratified bool
+	// Strata is a stratification when Stratified (nil otherwise).
+	Strata [][]core.Sym
+	// Recursive reports whether any predicate depends on itself
+	// (through any edge kind).
+	Recursive bool
+	// UsesEvents reports whether any rule has an event literal.
+	UsesEvents bool
+	// Pairs lists the statically unifiable (insert, delete) rule head
+	// pairs — the rule-level refinement of ConflictPredicates.
+	Pairs []ConflictPair
+	// Warnings are style lints (duplicate names, unused predicates,
+	// duplicate rules, ...).
+	Warnings []string
+}
+
+// ConflictFree is a convenience: no predicate has conflict potential,
+// so PARK coincides with the inflationary fixpoint semantics and the
+// SELECT policy is never invoked.
+func (r *Report) ConflictFree() bool { return len(r.ConflictPredicates) == 0 }
+
+// Analyze builds the full report for a validated program.
+func Analyze(u *core.Universe, p *core.Program) *Report {
+	rep := &Report{}
+	g := BuildDepGraph(p)
+
+	// Conflict potential.
+	insHeads := make(map[core.Sym]bool)
+	delHeads := make(map[core.Sym]bool)
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Op == core.OpInsert {
+			insHeads[r.Head.Pred] = true
+		} else {
+			delHeads[r.Head.Pred] = true
+		}
+		for _, lit := range r.Body {
+			if lit.Kind == core.LitEvIns || lit.Kind == core.LitEvDel {
+				rep.UsesEvents = true
+			}
+		}
+	}
+	for pred := range insHeads {
+		if delHeads[pred] {
+			rep.ConflictPredicates = append(rep.ConflictPredicates, pred)
+		}
+	}
+	sort.Slice(rep.ConflictPredicates, func(i, j int) bool {
+		return u.Syms.Name(rep.ConflictPredicates[i]) < u.Syms.Name(rep.ConflictPredicates[j])
+	})
+
+	rep.Strata, rep.Stratified = g.Stratify()
+
+	// Recursion: any SCC with more than one predicate, or a self-loop.
+	for _, c := range g.SCCs() {
+		if len(c) > 1 {
+			rep.Recursive = true
+		}
+	}
+	if !rep.Recursive {
+		for _, e := range g.Edges {
+			if e.From == e.To {
+				rep.Recursive = true
+				break
+			}
+		}
+	}
+
+	rep.Pairs = PotentialConflictPairs(u, p)
+	rep.Warnings = lint(u, p)
+	for _, pair := range RedundantRules(u, p) {
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+			"rule %s is subsumed by rule %s (same action whenever it fires)",
+			p.RuleLabel(pair[1]), p.RuleLabel(pair[0])))
+	}
+	return rep
+}
+
+// lint returns style warnings for a program.
+func lint(u *core.Universe, p *core.Program) []string {
+	var warns []string
+	names := make(map[string]int)
+	bodies := make(map[string]int)
+	headPreds := make(map[core.Sym]bool)
+	bodyPreds := make(map[core.Sym]bool)
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Name != "" {
+			if prev, ok := names[r.Name]; ok {
+				warns = append(warns, fmt.Sprintf("rule %s (index %d) duplicates the name of rule index %d", r.Name, i, prev))
+			} else {
+				names[r.Name] = i
+			}
+		}
+		s := r.String(u)
+		if prev, ok := bodies[s]; ok {
+			warns = append(warns, fmt.Sprintf("rule index %d is identical to rule index %d: %s", i, prev, s))
+		} else {
+			bodies[s] = i
+		}
+		headPreds[r.Head.Pred] = true
+		for _, lit := range r.Body {
+			if !lit.Kind.Builtin() {
+				bodyPreds[lit.Atom.Pred] = true
+			}
+		}
+	}
+	var derivedUnused []string
+	for pred := range headPreds {
+		if !bodyPreds[pred] {
+			derivedUnused = append(derivedUnused, u.Syms.Name(pred))
+		}
+	}
+	sort.Strings(derivedUnused)
+	for _, n := range derivedUnused {
+		// Purely informational: output-only predicates are common and
+		// fine, but a typo in a predicate name shows up here.
+		warns = append(warns, fmt.Sprintf("predicate %s is derived but never read by any rule body", n))
+	}
+	return warns
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func parse(t *testing.T, src string) (*core.Universe, *core.Program) {
+	t.Helper()
+	u := core.NewUniverse()
+	p, err := parser.ParseProgram(u, "", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, p
+}
+
+func names(u *core.Universe, syms []core.Sym) []string {
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = u.Syms.Name(s)
+	}
+	return out
+}
+
+func TestDepGraphEdges(t *testing.T) {
+	u, p := parse(t, `
+		a(X), !b(X) -> +c(X).
+		+d(X) -> -c(X).
+	`)
+	_ = u
+	g := BuildDepGraph(p)
+	if len(g.Preds) != 4 {
+		t.Fatalf("preds = %d, want 4", len(g.Preds))
+	}
+	kinds := map[EdgeKind]int{}
+	for _, e := range g.Edges {
+		kinds[e.Kind]++
+	}
+	if kinds[EdgePos] != 1 || kinds[EdgeNeg] != 1 || kinds[EdgeEvent] != 1 {
+		t.Fatalf("edge kinds = %v", kinds)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	u, p := parse(t, `
+		a(X) -> +b(X).
+		b(X) -> +a2(X).
+		a2(X) -> +a(X).
+		c(X) -> +d(X).
+	`)
+	g := BuildDepGraph(p)
+	sccs := g.SCCs()
+	var big []string
+	for _, c := range sccs {
+		if len(c) > 1 {
+			big = names(u, c)
+		}
+	}
+	if len(big) != 3 {
+		t.Fatalf("recursive SCC = %v, want a/a2/b", big)
+	}
+}
+
+func TestStratifyPositiveRecursion(t *testing.T) {
+	_, p := parse(t, `
+		edge(X, Y) -> +tc(X, Y).
+		tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+	`)
+	g := BuildDepGraph(p)
+	strata, ok := g.Stratify()
+	if !ok {
+		t.Fatal("positive recursion reported as unstratified")
+	}
+	if len(strata) != 1 {
+		t.Fatalf("strata = %v", strata)
+	}
+}
+
+func TestStratifyNegation(t *testing.T) {
+	u, p := parse(t, `
+		base(X) -> +a(X).
+		base(X), !a(X) -> +b(X).
+	`)
+	g := BuildDepGraph(p)
+	strata, ok := g.Stratify()
+	if !ok {
+		t.Fatal("stratifiable program reported as unstratified")
+	}
+	if len(strata) != 2 {
+		t.Fatalf("strata = %d, want 2", len(strata))
+	}
+	// b must be strictly above a.
+	levelOf := map[string]int{}
+	for i, s := range strata {
+		for _, n := range names(u, s) {
+			levelOf[n] = i
+		}
+	}
+	if levelOf["b"] <= levelOf["a"] {
+		t.Fatalf("levels = %v", levelOf)
+	}
+}
+
+func TestStratifyRecursionThroughNegation(t *testing.T) {
+	_, p := parse(t, `
+		p(X), !q(X) -> +r(X).
+		r(X) -> +q(X).
+		q(X) -> +r2(X).
+		r2(X), !r(X) -> +q(X).
+	`)
+	g := BuildDepGraph(p)
+	if _, ok := g.Stratify(); ok {
+		t.Fatal("recursion through negation not detected")
+	}
+}
+
+func TestAnalyzeConflictPotential(t *testing.T) {
+	u, p := parse(t, `
+		a(X) -> +flag(X).
+		b(X) -> -flag(X).
+		c(X) -> +other(X).
+	`)
+	rep := Analyze(u, p)
+	if rep.ConflictFree() {
+		t.Fatal("conflict potential missed")
+	}
+	if got := names(u, rep.ConflictPredicates); len(got) != 1 || got[0] != "flag" {
+		t.Fatalf("conflict preds = %v", got)
+	}
+}
+
+func TestAnalyzeConflictFree(t *testing.T) {
+	u, p := parse(t, `
+		edge(X, Y) -> +tc(X, Y).
+		tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+	`)
+	rep := Analyze(u, p)
+	if !rep.ConflictFree() {
+		t.Fatalf("conflict preds = %v", names(u, rep.ConflictPredicates))
+	}
+	if !rep.Recursive {
+		t.Fatal("recursion missed")
+	}
+	if rep.UsesEvents {
+		t.Fatal("events misreported")
+	}
+}
+
+func TestAnalyzeEvents(t *testing.T) {
+	u, p := parse(t, `+a(X) -> +b(X).`)
+	rep := Analyze(u, p)
+	if !rep.UsesEvents {
+		t.Fatal("events missed")
+	}
+}
+
+func TestLints(t *testing.T) {
+	u, p := parse(t, `
+		rule r1: a(X) -> +b(X).
+		rule r1: c(X) -> +d(X).
+		a(X) -> +b(X).
+	`)
+	rep := Analyze(u, p)
+	joined := strings.Join(rep.Warnings, "\n")
+	if !strings.Contains(joined, "duplicates the name") {
+		t.Fatalf("duplicate name lint missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "identical to rule") {
+		t.Fatalf("duplicate rule lint missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "derived but never read") {
+		t.Fatalf("write-only predicate lint missing:\n%s", joined)
+	}
+}
+
+func TestSelfLoopRecursion(t *testing.T) {
+	u, p := parse(t, `a(X), a2(X) -> +a(X).`)
+	rep := Analyze(u, p)
+	if !rep.Recursive {
+		t.Fatal("self-loop recursion missed")
+	}
+}

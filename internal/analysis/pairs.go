@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"repro/internal/core"
+	"repro/internal/resolve"
+)
+
+// ConflictPair names two rules whose heads can clash at runtime: an
+// inserting rule and a deleting rule whose head atoms unify. This is
+// the static over-approximation of the paper's runtime conflicts —
+// every conflict triple (a, ins, del) pairs groundings of some pair
+// reported here, so a program with no pairs never invokes SELECT.
+type ConflictPair struct {
+	// Insert and Delete are rule indexes into the analyzed program.
+	Insert int
+	Delete int
+	// Example is a most-general unifier instance of the two heads,
+	// rendered with the inserting rule's variable names where
+	// possible, e.g. "q(X, X)".
+	Example string
+}
+
+// PotentialConflictPairs returns every (insert, delete) rule pair
+// with unifiable heads, ordered by rule indexes.
+func PotentialConflictPairs(u *core.Universe, p *core.Program) []ConflictPair {
+	var pairs []ConflictPair
+	for i := range p.Rules {
+		ri := &p.Rules[i]
+		if ri.Op != core.OpInsert {
+			continue
+		}
+		for j := range p.Rules {
+			rj := &p.Rules[j]
+			if rj.Op != core.OpDelete || rj.Head.Pred != ri.Head.Pred {
+				continue
+			}
+			if example, ok := unifyHeads(u, ri, rj); ok {
+				pairs = append(pairs, ConflictPair{Insert: i, Delete: j, Example: example})
+			}
+		}
+	}
+	return pairs
+}
+
+// headTerm is a term tagged with which rule's variable space it lives
+// in (0 = insert rule, 1 = delete rule).
+type headTerm struct {
+	side int
+	term core.Term
+}
+
+// unifyHeads unifies the head atoms of two rules (with disjoint
+// variable spaces) and renders one most-general instance.
+func unifyHeads(u *core.Universe, a, b *core.Rule) (string, bool) {
+	if len(a.Head.Args) != len(b.Head.Args) {
+		return "", false
+	}
+	// Union-find style bindings: each variable (side, index) maps to a
+	// representative headTerm; constants are terminal.
+	type key struct {
+		side int
+		v    int
+	}
+	binding := make(map[key]headTerm)
+
+	var resolve func(t headTerm) headTerm
+	resolve = func(t headTerm) headTerm {
+		for t.term.IsVar() {
+			nxt, ok := binding[key{t.side, t.term.Var()}]
+			if !ok {
+				return t
+			}
+			t = nxt
+		}
+		return t
+	}
+	var unify func(x, y headTerm) bool
+	unify = func(x, y headTerm) bool {
+		x, y = resolve(x), resolve(y)
+		switch {
+		case x.term.IsVar() && y.term.IsVar():
+			if x.side == y.side && x.term.Var() == y.term.Var() {
+				return true
+			}
+			binding[key{x.side, x.term.Var()}] = y
+			return true
+		case x.term.IsVar():
+			binding[key{x.side, x.term.Var()}] = y
+			return true
+		case y.term.IsVar():
+			binding[key{y.side, y.term.Var()}] = x
+			return true
+		default:
+			return x.term.Const() == y.term.Const()
+		}
+	}
+	for k := range a.Head.Args {
+		if !unify(headTerm{0, a.Head.Args[k]}, headTerm{1, b.Head.Args[k]}) {
+			return "", false
+		}
+	}
+
+	// Render one instance of the unified head using the insert rule's
+	// names for representative variables.
+	name := func(t headTerm) string {
+		t = resolve(t)
+		if !t.term.IsVar() {
+			return u.Syms.Name(t.term.Const())
+		}
+		r := a
+		if t.side == 1 {
+			r = b
+		}
+		n := "V"
+		if t.term.Var() < len(r.VarNames) && r.VarNames[t.term.Var()] != "" {
+			n = r.VarNames[t.term.Var()]
+		}
+		if t.side == 1 {
+			n += "'"
+		}
+		return n
+	}
+	out := u.Syms.Name(a.Head.Pred)
+	if len(a.Head.Args) > 0 {
+		out += "("
+		for k := range a.Head.Args {
+			if k > 0 {
+				out += ", "
+			}
+			out += name(headTerm{0, a.Head.Args[k]})
+		}
+		out += ")"
+	}
+	return out, true
+}
+
+// RedundantRules reports rules that are subsumed by another rule with
+// the same action: rule j is redundant when some other rule i has a
+// substitution θ under which every body literal of iθ occurs in j's
+// body AND iθ's head equals j's head — so whenever an instance of j
+// fires, the corresponding instance of i fires with the same effect.
+// Such rules are dead weight (though harmless under set semantics).
+//
+// The head constraint is enforced by running the θ-subsumption check
+// on augmented rules whose body carries the head atom as a sentinel
+// pseudo-literal: θ must then map i's head onto j's head.
+func RedundantRules(u *core.Universe, p *core.Program) [][2]int {
+	var out [][2]int
+	for j := range p.Rules {
+		rj := augmentWithHead(&p.Rules[j])
+		for i := range p.Rules {
+			if i == j {
+				continue
+			}
+			if p.Rules[i].Op != p.Rules[j].Op {
+				continue
+			}
+			if resolve.Subsumes(augmentWithHead(&p.Rules[i]), rj) {
+				out = append(out, [2]int{i, j})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// headSentinelKind marks the pseudo-literal carrying a rule head in
+// augmentWithHead. No parser-produced literal ever has this kind, so
+// the sentinel can only be matched against another sentinel.
+const headSentinelKind = core.LitKind(250)
+
+// augmentWithHead copies the rule with its head appended to the body
+// as a sentinel literal.
+func augmentWithHead(r *core.Rule) *core.Rule {
+	c := *r
+	c.Body = append(append([]core.Literal(nil), r.Body...), core.Literal{Kind: headSentinelKind, Atom: r.Head})
+	return &c
+}

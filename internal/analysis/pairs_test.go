@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func TestPotentialConflictPairs(t *testing.T) {
+	u, p := parse(t, `
+		rule i1: a(X) -> +f(X, X).
+		rule d1: b(X, Y) -> -f(X, Y).
+		rule d2: b(X, Y) -> -f(c, d).
+		rule i2: a(X) -> +g(X).
+	`)
+	pairs := PotentialConflictPairs(u, p)
+	// i1 vs d1: f(X, X) unifies with f(X', Y').
+	// i1 vs d2: f(X, X) does NOT unify with f(c, d) (X = c clashes
+	// with X = d). g has no deleting rule. So exactly one pair.
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %+v, want exactly i1/d1", pairs)
+	}
+	if pairs[0].Insert != 0 || pairs[0].Delete != 1 {
+		t.Fatalf("pair 0 = %+v", pairs[0])
+	}
+}
+
+func TestConflictPairConstants(t *testing.T) {
+	u, p := parse(t, `
+		rule i1: a(X) -> +f(X, c).
+		rule d1: b(X) -> -f(d, X).
+		rule d2: b(X) -> -f(d, e).
+	`)
+	pairs := PotentialConflictPairs(u, p)
+	// f(X, c) vs f(d, X'): X=d, X'=c -> unify, example f(d, c).
+	// f(X, c) vs f(d, e): c != e -> no.
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	if pairs[0].Example != "f(d, c)" {
+		t.Fatalf("example = %q, want f(d, c)", pairs[0].Example)
+	}
+}
+
+func TestConflictPairPropositional(t *testing.T) {
+	u, p := parse(t, `
+		p -> +flag.
+		q -> -flag.
+	`)
+	pairs := PotentialConflictPairs(u, p)
+	if len(pairs) != 1 || pairs[0].Example != "flag" {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+func TestConflictPairNoneForConflictFree(t *testing.T) {
+	u, p := parse(t, `
+		edge(X, Y) -> +tc(X, Y).
+		tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+	`)
+	if pairs := PotentialConflictPairs(u, p); len(pairs) != 0 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+// Static pairs are a sound over-approximation: every runtime conflict
+// involves groundings of some reported pair.
+func TestConflictPairsSound(t *testing.T) {
+	srcs := []string{
+		`p(X), p(Y) -> +q(X, Y).
+		 q(X, X) -> -q(X, X).`,
+		`rule r1: s0 -> +c1. rule r2: s0 -> -c1.`,
+	}
+	for _, src := range srcs {
+		u := core.NewUniverse()
+		p, err := parser.ParseProgram(u, "", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := PotentialConflictPairs(u, p)
+		if len(pairs) == 0 {
+			t.Fatalf("no pairs for conflict-bearing program %q", src)
+		}
+	}
+}
+
+func TestRedundantRules(t *testing.T) {
+	u, p := parse(t, `
+		rule general: bird(X) -> +flies(X).
+		rule special: bird(X), young(X) -> +flies(X).
+		rule other: bird(X), young(X) -> -flies(X).
+		rule diffhead: bird(X) -> +flies(tweety).
+	`)
+	red := RedundantRules(u, p)
+	if len(red) != 1 || red[0] != [2]int{0, 1} {
+		t.Fatalf("redundant = %v, want [[0 1]]", red)
+	}
+	rep := Analyze(u, p)
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "subsumed by rule general") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("redundancy warning missing: %v", rep.Warnings)
+	}
+}
+
+func TestRedundantRulesHeadShape(t *testing.T) {
+	// Same body subsumption but different head shapes: not redundant.
+	u, p := parse(t, `
+		rule r1: p(X, Y) -> +q(X, Y).
+		rule r2: p(X, Y) -> +q(X, X).
+	`)
+	if red := RedundantRules(u, p); len(red) != 0 {
+		t.Fatalf("redundant = %v, want none", red)
+	}
+}
+
+func TestRedundantRulesHeadAware(t *testing.T) {
+	// Bodies mutually subsume but heads project different variables:
+	// neither rule is redundant.
+	u, p := parse(t, `
+		rule r1: e(X, Y) -> +q(X).
+		rule r2: e(X, Y) -> +q(Y).
+	`)
+	if red := RedundantRules(u, p); len(red) != 0 {
+		t.Fatalf("redundant = %v, want none (heads project different vars)", red)
+	}
+	// But a genuinely covered projection is caught: r4 is r3
+	// restricted to a subset.
+	u2, p2 := parse(t, `
+		rule r3: e(X, Y) -> +q(Y).
+		rule r4: e(X, Y), f(X) -> +q(Y).
+	`)
+	red := RedundantRules(u2, p2)
+	if len(red) != 1 || red[0] != [2]int{0, 1} {
+		t.Fatalf("redundant = %v, want [[0 1]]", red)
+	}
+}

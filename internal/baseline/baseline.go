@@ -1,0 +1,257 @@
+// Package baseline implements the alternative active-rule semantics
+// that the paper argues against, for comparison with PARK:
+//
+//   - PostHoc: the §4.1 strawman — run the inflationary fixpoint
+//     "stubbornly", ignoring conflicts, then eliminate conflicting
+//     marked pairs at the end. The paper's P2 and P3 show this gives
+//     wrong results (experiments E2/E3, B4).
+//   - Inflationary: the plain inflationary fixpoint of Kolaitis and
+//     Papadimitriou applied to active rules, with no conflict handling
+//     at all (minus marks simply win at incorporation time). On
+//     conflict-free programs it coincides with PARK, which is the
+//     compatibility requirement of §3 ("Basic Inference Engine").
+//   - Sequential: rule-instance-at-a-time firing with immediate update
+//     visibility, in the style of classic production systems. Its
+//     result depends on the firing order and it need not terminate —
+//     the two defects the §3 requirements exclude (experiment B8).
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ErrNonTermination is returned by Sequential when the firing limit
+// is exhausted, which for this semantics indicates a (possible)
+// infinite insert/delete loop.
+var ErrNonTermination = errors.New("baseline: sequential semantics exceeded its firing limit (non-termination?)")
+
+// withUpdates forms P_U.
+func withUpdates(u *core.Universe, p *core.Program, updates []core.Update) *core.Program {
+	if len(updates) == 0 {
+		return p
+	}
+	return &core.Program{Rules: append(append([]core.Rule(nil), p.Rules...), core.UpdateRules(u, updates)...)}
+}
+
+// fixpoint runs the inflationary fixpoint of Γ_{P,∅} over D ignoring
+// consistency: every derived mark is added, even when the opposite
+// mark is already present.
+func fixpoint(ctx context.Context, u *core.Universe, p *core.Program, d *core.Database) (*core.Interp, error) {
+	in := core.NewInterp(u, d)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		changed := false
+		for _, dv := range core.GammaDerivations(in, p, nil) {
+			if dv.Op == core.OpInsert {
+				if !in.HasPlus(dv.Atom) {
+					in.AddPlus(dv.Atom)
+					changed = true
+				}
+			} else {
+				if !in.HasMinus(dv.Atom) {
+					in.AddMinus(dv.Atom)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return in, nil
+		}
+	}
+}
+
+// PostHocStats reports what post-hoc elimination removed.
+type PostHocStats struct {
+	// ConflictAtoms is the number of atoms whose +/- pair was
+	// eliminated.
+	ConflictAtoms int
+	// Steps is the number of fixpoint iterations.
+	Steps int
+}
+
+// PostHoc computes the §4.1 strawman semantics: inflationary fixpoint
+// ignoring conflicts, then elimination of every +a/-a pair, then
+// incorporation. On P2 it returns the (wrong) {p, q, r, s}; on P3 the
+// (wrong) {p}.
+func PostHoc(ctx context.Context, u *core.Universe, p *core.Program, d *core.Database, updates []core.Update) (*core.Database, PostHocStats, error) {
+	pu := withUpdates(u, p, updates)
+	if err := pu.Validate(u); err != nil {
+		return nil, PostHocStats{}, err
+	}
+	in, err := fixpoint(ctx, u, pu, d)
+	if err != nil {
+		return nil, PostHocStats{}, err
+	}
+	var stats PostHocStats
+	conflicted := make(map[core.AID]bool)
+	for _, id := range in.PlusAtoms() {
+		if in.HasMinus(id) {
+			conflicted[id] = true
+		}
+	}
+	stats.ConflictAtoms = len(conflicted)
+	// incorp with the conflicting pairs eliminated: such atoms keep
+	// their original status.
+	out := core.NewDatabase()
+	for _, id := range in.BaseAtoms() {
+		if in.HasMinus(id) && !conflicted[id] {
+			continue
+		}
+		out.Add(id)
+	}
+	for _, id := range in.PlusAtoms() {
+		if !conflicted[id] {
+			out.Add(id)
+		}
+	}
+	return out, stats, nil
+}
+
+// Inflationary computes the plain inflationary fixpoint and
+// incorporates all marks (an atom carrying both marks ends up
+// deleted, following the incorp definition literally). For
+// conflict-free programs this equals PARK(P, D, U).
+func Inflationary(ctx context.Context, u *core.Universe, p *core.Program, d *core.Database, updates []core.Update) (*core.Database, error) {
+	pu := withUpdates(u, p, updates)
+	if err := pu.Validate(u); err != nil {
+		return nil, err
+	}
+	in, err := fixpoint(ctx, u, pu, d)
+	if err != nil {
+		return nil, err
+	}
+	return in.Incorp(), nil
+}
+
+// Sequential is the rule-at-a-time production-system semantics: at
+// every step one applicable rule instance whose action would change
+// the database is chosen and applied immediately (real insertion or
+// deletion, visible to all subsequent matching).
+//
+// Event literals are not supported (they presuppose the marked
+// interpretation of the PARK semantics); programs containing them are
+// rejected. Transaction updates are applied to the database before
+// firing starts.
+type Sequential struct {
+	// Seed selects the firing order: every step picks uniformly among
+	// the applicable instances. Seed 0 means "first applicable
+	// instance in deterministic order" (rule index, then grounding
+	// key).
+	Seed int64
+	// MaxFirings bounds the run; 0 means 100000. Exceeding it returns
+	// ErrNonTermination.
+	MaxFirings int
+}
+
+// Run executes the sequential semantics and returns the final
+// database and the number of firings.
+func (s *Sequential) Run(ctx context.Context, u *core.Universe, p *core.Program, d *core.Database, updates []core.Update) (*core.Database, int, error) {
+	for _, r := range p.Rules {
+		for _, lit := range r.Body {
+			if lit.Kind == core.LitEvIns || lit.Kind == core.LitEvDel {
+				return nil, 0, fmt.Errorf("baseline: sequential semantics does not support event literals (rule %s)", r.String(u))
+			}
+		}
+	}
+	if err := p.Validate(u); err != nil {
+		return nil, 0, err
+	}
+	db := d.Clone()
+	for _, up := range updates {
+		if up.Op == core.OpInsert {
+			db.Add(up.Atom)
+		} else {
+			db.Remove(up.Atom)
+		}
+	}
+	limit := s.MaxFirings
+	if limit == 0 {
+		limit = 100000
+	}
+	var rng *rand.Rand
+	if s.Seed != 0 {
+		rng = rand.New(rand.NewSource(s.Seed))
+	}
+	firings := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, firings, err
+		}
+		// Evaluate rule bodies against the current database: a fresh
+		// unmarked interpretation gives exactly classical validity.
+		in := core.NewInterp(u, db)
+		derivs := core.GammaDerivations(in, p, nil)
+		applicable := derivs[:0]
+		for _, dv := range derivs {
+			changes := (dv.Op == core.OpInsert && !db.Contains(dv.Atom)) ||
+				(dv.Op == core.OpDelete && db.Contains(dv.Atom))
+			if changes {
+				applicable = append(applicable, dv)
+			}
+		}
+		if len(applicable) == 0 {
+			return db, firings, nil
+		}
+		sort.Slice(applicable, func(i, j int) bool {
+			if applicable[i].Grounding.Rule != applicable[j].Grounding.Rule {
+				return applicable[i].Grounding.Rule < applicable[j].Grounding.Rule
+			}
+			return applicable[i].Grounding.Key() < applicable[j].Grounding.Key()
+		})
+		pick := applicable[0]
+		if rng != nil {
+			pick = applicable[rng.Intn(len(applicable))]
+		}
+		if pick.Op == core.OpInsert {
+			db.Add(pick.Atom)
+		} else {
+			db.Remove(pick.Atom)
+		}
+		firings++
+		if firings > limit {
+			return nil, firings, ErrNonTermination
+		}
+	}
+}
+
+// DistinctResults runs the sequential semantics with n different
+// seeds and returns the set of distinct result databases (rendered as
+// sorted atom strings) — the measurement behind experiment B8. Runs
+// that do not terminate are counted separately.
+func DistinctResults(ctx context.Context, u *core.Universe, p *core.Program, d *core.Database, updates []core.Update, n int, maxFirings int) (results map[string]int, nonTerminating int, err error) {
+	results = make(map[string]int)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		s := &Sequential{Seed: seed, MaxFirings: maxFirings}
+		out, _, rerr := s.Run(ctx, u, p, d, updates)
+		if errors.Is(rerr, ErrNonTermination) {
+			nonTerminating++
+			continue
+		}
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		results[renderDB(u, out)]++
+	}
+	return results, nonTerminating, nil
+}
+
+func renderDB(u *core.Universe, d *core.Database) string {
+	ids := append([]core.AID(nil), d.Atoms()...)
+	u.SortAtoms(ids)
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += ", "
+		}
+		s += u.AtomString(id)
+	}
+	return s
+}

@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func setup(t *testing.T, progSrc, dbSrc string) (*core.Universe, *core.Program, *core.Database) {
+	t.Helper()
+	u := core.NewUniverse()
+	p, err := parser.ParseProgram(u, "", progSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := parser.ParseDatabase(u, "", dbSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, p, d
+}
+
+func render(u *core.Universe, d *core.Database) string { return renderDB(u, d) }
+
+// §4.1 P2: the post-hoc strawman keeps the spurious s.
+func TestPostHocP2GivesWrongResult(t *testing.T) {
+	u, p, d := setup(t, `
+		p -> +q.
+		p -> -a.
+		q -> +a.
+		!a -> +r.
+		a -> +s.
+	`, `p.`)
+	out, stats, err := PostHoc(context.Background(), u, p, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, out); got != "p, q, r, s" {
+		t.Fatalf("post-hoc P2 = {%s}, want the paper's wrong {p, q, r, s}", got)
+	}
+	if stats.ConflictAtoms != 1 {
+		t.Fatalf("conflict atoms = %d", stats.ConflictAtoms)
+	}
+}
+
+// §4.1 P3: the post-hoc strawman loses a (false conflict).
+func TestPostHocP3GivesWrongResult(t *testing.T) {
+	u, p, d := setup(t, `
+		p -> +q.
+		p -> -q.
+		q -> +a.
+		q -> -a.
+		p -> +a.
+	`, `p.`)
+	out, stats, err := PostHoc(context.Background(), u, p, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, out); got != "p" {
+		t.Fatalf("post-hoc P3 = {%s}, want the paper's wrong {p}", got)
+	}
+	if stats.ConflictAtoms != 2 {
+		t.Fatalf("conflict atoms = %d", stats.ConflictAtoms)
+	}
+}
+
+// On conflict-free programs, Inflationary, PostHoc and PARK agree.
+func TestConflictFreeAgreement(t *testing.T) {
+	progSrc := `
+		edge(X, Y) -> +tc(X, Y).
+		tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+		tc(X, X) -> +cyclic.
+	`
+	dbSrc := `edge(a, b). edge(b, c). edge(c, a).`
+
+	u1, p1, d1 := setup(t, progSrc, dbSrc)
+	infl, err := Inflationary(context.Background(), u1, p1, d1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, p2, d2 := setup(t, progSrc, dbSrc)
+	post, _, err := PostHoc(context.Background(), u2, p2, d2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u3, p3, d3 := setup(t, progSrc, dbSrc)
+	eng, err := core.NewEngine(u3, p3, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	park, err := eng.Run(context.Background(), d3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := render(u1, infl), render(u2, post), render(u3, park.Output)
+	if a != b || b != c {
+		t.Fatalf("divergence:\ninflationary: {%s}\npost-hoc:     {%s}\npark:         {%s}", a, b, c)
+	}
+	if !strings.Contains(a, "cyclic") {
+		t.Fatalf("recursion broken: {%s}", a)
+	}
+}
+
+func TestInflationaryWithUpdates(t *testing.T) {
+	u, p, d := setup(t, `q(X) -> +r(X).`, `p(a).`)
+	ups, err := parser.ParseUpdates(u, "", `+q(b). -p(a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Inflationary(context.Background(), u, p, d, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, out); got != "q(b), r(b)" {
+		t.Fatalf("result = {%s}", got)
+	}
+}
+
+func TestSequentialDeterministicOrder(t *testing.T) {
+	// Two rules race to set a flag; deterministic order fires rule 1
+	// first, and its insertion disables rule 2 (stable outcome).
+	u, p, d := setup(t, `
+		p, !b -> +a.
+		p, !a -> +b.
+	`, `p.`)
+	s := &Sequential{}
+	out, firings, err := s.Run(context.Background(), u, p, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, out); got != "a, p" {
+		t.Fatalf("result = {%s}", got)
+	}
+	if firings != 1 {
+		t.Fatalf("firings = %d", firings)
+	}
+}
+
+// The defining defect: sequential results depend on the firing order.
+func TestSequentialIsAmbiguous(t *testing.T) {
+	u, p, d := setup(t, `
+		p, !b -> +a.
+		p, !a -> +b.
+	`, `p.`)
+	results, nonTerm, err := DistinctResults(context.Background(), u, p, d, nil, 40, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonTerm != 0 {
+		t.Fatalf("unexpected non-termination: %d", nonTerm)
+	}
+	if len(results) < 2 {
+		t.Fatalf("expected order-dependent results, got %v", results)
+	}
+}
+
+// The second defect: sequential firing need not terminate.
+func TestSequentialNonTermination(t *testing.T) {
+	u, p, d := setup(t, `
+		p, !a -> +a.
+		a -> -a.
+	`, `p.`)
+	s := &Sequential{MaxFirings: 500}
+	_, _, err := s.Run(context.Background(), u, p, d, nil)
+	if !errors.Is(err, ErrNonTermination) {
+		t.Fatalf("err = %v, want ErrNonTermination", err)
+	}
+	// PARK terminates on the same program (inertia suppresses the
+	// flip-flop pair).
+	u2, p2, d2 := setup(t, `
+		p, !a -> +a.
+		a -> -a.
+	`, `p.`)
+	eng, err := core.NewEngine(u2, p2, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), d2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u2, res.Output); got != "p" {
+		t.Fatalf("PARK on flip-flop = {%s}", got)
+	}
+}
+
+func TestSequentialRejectsEventLiterals(t *testing.T) {
+	u, p, d := setup(t, `+q(X) -> +r(X).`, ``)
+	s := &Sequential{}
+	if _, _, err := s.Run(context.Background(), u, p, d, nil); err == nil {
+		t.Fatal("event literal program accepted")
+	}
+}
+
+func TestSequentialAppliesUpdatesFirst(t *testing.T) {
+	u, p, d := setup(t, `q(X) -> +r(X).`, `p(a).`)
+	ups, err := parser.ParseUpdates(u, "", `+q(b). -p(a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Sequential{}
+	out, _, err := s.Run(context.Background(), u, p, d, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(u, out); got != "q(b), r(b)" {
+		t.Fatalf("result = {%s}", got)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	u, p, d := setup(t, `p -> +q.`, `p.`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := PostHoc(ctx, u, p, d, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PostHoc err = %v", err)
+	}
+	s := &Sequential{}
+	if _, _, err := s.Run(ctx, u, p, d, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sequential err = %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AID identifies an interned ground atom within a Universe.
+type AID int32
+
+// Atom is a (possibly non-ground) atom: a predicate applied to terms.
+type Atom struct {
+	Pred Sym
+	Args []Term
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Universe interns the symbols and ground atoms of one evaluation.
+// The extended Herbrand base H*(P, D) of the paper is the set
+// {a, +a, -a | a interned here}; marks are kept by Interp, not by the
+// universe. A Universe is not safe for concurrent mutation.
+type Universe struct {
+	Syms *SymbolTable
+
+	atoms []groundAtom   // AID -> atom
+	index map[string]AID // encoded key -> AID
+
+	arities map[Sym]int // pinned predicate arities
+}
+
+type groundAtom struct {
+	pred Sym
+	args []Sym
+}
+
+// NewUniverse returns an empty universe with a fresh symbol table.
+func NewUniverse() *Universe {
+	return &Universe{
+		Syms:    NewSymbolTable(),
+		index:   make(map[string]AID),
+		arities: make(map[Sym]int),
+	}
+}
+
+// PinArity records (or checks) the arity of a predicate. It returns
+// an error if the predicate was previously used with a different
+// arity.
+func (u *Universe) PinArity(pred Sym, arity int) error {
+	if got, ok := u.arities[pred]; ok {
+		if got != arity {
+			return fmt.Errorf("predicate %s used with arity %d and %d", u.Syms.Name(pred), got, arity)
+		}
+		return nil
+	}
+	u.arities[pred] = arity
+	return nil
+}
+
+// Arity returns the pinned arity of a predicate and whether the
+// predicate is known.
+func (u *Universe) Arity(pred Sym) (int, bool) {
+	a, ok := u.arities[pred]
+	return a, ok
+}
+
+func atomKey(pred Sym, args []Sym) string {
+	var buf [binary.MaxVarintLen32]byte
+	b := make([]byte, 0, (len(args)+1)*3)
+	n := binary.PutUvarint(buf[:], uint64(pred))
+	b = append(b, buf[:n]...)
+	for _, a := range args {
+		n = binary.PutUvarint(buf[:], uint64(a))
+		b = append(b, buf[:n]...)
+	}
+	return string(b)
+}
+
+// InternAtom returns the AID for the ground atom pred(args...),
+// interning it if new. It returns an error on arity mismatch.
+func (u *Universe) InternAtom(pred Sym, args []Sym) (AID, error) {
+	if err := u.PinArity(pred, len(args)); err != nil {
+		return -1, err
+	}
+	key := atomKey(pred, args)
+	if id, ok := u.index[key]; ok {
+		return id, nil
+	}
+	id := AID(len(u.atoms))
+	cp := make([]Sym, len(args))
+	copy(cp, args)
+	u.atoms = append(u.atoms, groundAtom{pred: pred, args: cp})
+	u.index[key] = id
+	return id, nil
+}
+
+// LookupAtom returns the AID of a ground atom if it has been interned.
+func (u *Universe) LookupAtom(pred Sym, args []Sym) (AID, bool) {
+	id, ok := u.index[atomKey(pred, args)]
+	return id, ok
+}
+
+// NumAtoms returns the number of interned ground atoms.
+func (u *Universe) NumAtoms() int { return len(u.atoms) }
+
+// AtomPred returns the predicate of an interned ground atom.
+func (u *Universe) AtomPred(id AID) Sym { return u.atoms[id].pred }
+
+// AtomArgs returns the argument symbols of an interned ground atom.
+// The slice must not be modified.
+func (u *Universe) AtomArgs(id AID) []Sym { return u.atoms[id].args }
+
+// AtomString renders an interned ground atom as text, e.g. "q(a, b)".
+func (u *Universe) AtomString(id AID) string {
+	if id < 0 || int(id) >= len(u.atoms) {
+		return fmt.Sprintf("atom#%d", id)
+	}
+	ga := u.atoms[id]
+	if len(ga.args) == 0 {
+		return u.Syms.Name(ga.pred)
+	}
+	var sb strings.Builder
+	sb.WriteString(u.Syms.Name(ga.pred))
+	sb.WriteByte('(')
+	for i, a := range ga.args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(u.Syms.Name(a))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// CompareConsts orders two constant symbols: when both names parse as
+// (possibly signed) integers they compare numerically, otherwise
+// lexicographically by name. Used by the built-in order comparisons.
+func (u *Universe) CompareConsts(a, b Sym) int {
+	an, bn := u.Syms.Name(a), u.Syms.Name(b)
+	ai, aok := parseInt(an)
+	bi, bok := parseInt(bn)
+	if aok && bok {
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(an, bn)
+}
+
+// parseInt is a minimal integer parser (no allocation, no stdlib
+// strconv error values) accepting an optional leading minus sign.
+func parseInt(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		if len(s) == 1 {
+			return 0, false
+		}
+		neg = true
+		i = 1
+	}
+	var n int64
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+		if n < 0 {
+			return 0, false // overflow
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// SortAtoms sorts AIDs by their textual rendering; used to produce
+// deterministic, human-stable output.
+func (u *Universe) SortAtoms(ids []AID) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := u.atoms[ids[i]], u.atoms[ids[j]]
+		an, bn := u.Syms.Name(a.pred), u.Syms.Name(b.pred)
+		if an != bn {
+			return an < bn
+		}
+		for k := 0; k < len(a.args) && k < len(b.args); k++ {
+			x, y := u.Syms.Name(a.args[k]), u.Syms.Name(b.args[k])
+			if x != y {
+				return x < y
+			}
+		}
+		return len(a.args) < len(b.args)
+	})
+}

@@ -1,0 +1,106 @@
+package core
+
+// Database is a database instance: a set of positive ground atoms
+// (§2), interned in some Universe.
+type Database struct {
+	ids  []AID
+	seen map[AID]struct{}
+}
+
+// NewDatabase returns an empty database instance.
+func NewDatabase() *Database {
+	return &Database{seen: make(map[AID]struct{})}
+}
+
+// Add inserts a ground atom; duplicates are ignored. It reports
+// whether the atom was new.
+func (d *Database) Add(id AID) bool {
+	if _, ok := d.seen[id]; ok {
+		return false
+	}
+	d.seen[id] = struct{}{}
+	d.ids = append(d.ids, id)
+	return true
+}
+
+// Remove deletes a ground atom, reporting whether it was present.
+// Removal preserves the insertion order of the remaining atoms.
+func (d *Database) Remove(id AID) bool {
+	if _, ok := d.seen[id]; !ok {
+		return false
+	}
+	delete(d.seen, id)
+	for i, x := range d.ids {
+		if x == id {
+			d.ids = append(d.ids[:i], d.ids[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Contains reports membership.
+func (d *Database) Contains(id AID) bool {
+	_, ok := d.seen[id]
+	return ok
+}
+
+// Len returns the number of atoms.
+func (d *Database) Len() int { return len(d.ids) }
+
+// Atoms returns the atoms in insertion order. The returned slice
+// must not be modified.
+func (d *Database) Atoms() []AID { return d.ids }
+
+// Clone returns an independent copy.
+func (d *Database) Clone() *Database {
+	c := NewDatabase()
+	for _, id := range d.ids {
+		c.Add(id)
+	}
+	return c
+}
+
+// Update is one transaction update: the insertion (+) or deletion (-)
+// of a ground atom (§4.3).
+type Update struct {
+	Op   HeadOp
+	Atom AID
+}
+
+// Diff computes the update set transforming database before into
+// database after: insertions for atoms only in after, deletions for
+// atoms only in before, in the databases' insertion orders.
+func Diff(before, after *Database) []Update {
+	var ups []Update
+	for _, id := range after.Atoms() {
+		if !before.Contains(id) {
+			ups = append(ups, Update{Op: OpInsert, Atom: id})
+		}
+	}
+	for _, id := range before.Atoms() {
+		if !after.Contains(id) {
+			ups = append(ups, Update{Op: OpDelete, Atom: id})
+		}
+	}
+	return ups
+}
+
+// UpdateRules returns the body-less rules "-> ±a" that model the
+// transaction updates U, i.e. the rules added to P to form P_U.
+func UpdateRules(u *Universe, updates []Update) []Rule {
+	rules := make([]Rule, 0, len(updates))
+	for _, up := range updates {
+		args := u.AtomArgs(up.Atom)
+		terms := make([]Term, len(args))
+		for i, s := range args {
+			terms[i] = ConstTerm(s)
+		}
+		rules = append(rules, Rule{
+			Name: "update:" + up.Op.String() + u.AtomString(up.Atom),
+			Head: Atom{Pred: u.AtomPred(up.Atom), Args: terms},
+			Op:   up.Op,
+		})
+	}
+	return rules
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Options configures an Engine. The zero value is the recommended
+// configuration: semi-naive Γ evaluation with indexed matching and the
+// provenance-extended conflict definition (see DESIGN.md).
+type Options struct {
+	// Naive disables the semi-naive (delta-driven) evaluation of Γ and
+	// re-evaluates every rule against the full interpretation at every
+	// step. Exposed for the B5 ablation.
+	Naive bool
+	// NoIndex disables hash-indexed literal matching in favor of
+	// linear scans. Exposed for the B6 ablation.
+	NoIndex bool
+	// ResolveOne resolves only the first conflict (lowest atom id) at
+	// every inconsistency instead of all of them — the paper's §4.2
+	// closing remark suggests blocking "only a (non-empty) part" of
+	// the conflicts to avoid unnecessarily blocked instances. More
+	// restarts, smaller blocked sets; exposed for the B9 ablation.
+	ResolveOne bool
+	// StrictConflicts restricts conflict triples to the paper's
+	// literal definition (both sides must have currently valid
+	// bodies). Under this definition the Δ operator can fail to make
+	// progress on programs whose derivations go stale (DESIGN.md §2);
+	// in that case Run returns ErrNoProgress instead of looping.
+	StrictConflicts bool
+	// Parallel evaluates full Γ steps (the first step of every phase,
+	// or every step under Naive) with this many worker goroutines.
+	// Values below 2 mean sequential evaluation. Results are
+	// bit-identical to sequential runs; incremental semi-naive steps
+	// are always sequential (their per-step work is tiny).
+	Parallel int
+	// Explain attaches an Explainer to the Result, retaining the final
+	// phase's derivation provenance for "why is this atom here?"
+	// queries. Costs memory proportional to the derivation count.
+	Explain bool
+	// Tracer observes the run; nil means no tracing.
+	Tracer Tracer
+	// MaxPhases aborts the run with an error after this many phases;
+	// 0 means the theoretical bound (one plus the number of groundings
+	// ever blocked) applies implicitly and no explicit cap is set.
+	MaxPhases int
+}
+
+// ErrNoProgress is returned when StrictConflicts is set and an
+// inconsistent step yields no resolvable conflict triple, so the
+// literal Δ operator of the paper would cycle forever.
+var ErrNoProgress = errors.New("park: inconsistency without resolvable conflict (stale derivation); rerun without StrictConflicts")
+
+// Stats summarizes one PARK evaluation.
+type Stats struct {
+	// Phases is the number of inflationary phases (1 + restarts).
+	Phases int
+	// Steps is the total number of applied Γ steps across phases.
+	Steps int
+	// Conflicts is the number of conflict triples resolved.
+	Conflicts int
+	// StaleConflicts counts conflicts whose stale side had to be
+	// recovered from provenance (always 0 with StrictConflicts).
+	StaleConflicts int
+	// BlockedInstances is the final size of the blocked set B.
+	BlockedInstances int
+	// Derivations counts every rule-instance enumeration that produced
+	// a head, including re-derivations of known facts.
+	Derivations int64
+	// NewFacts counts marked atoms added to interpretations, summed
+	// over phases.
+	NewFacts int64
+}
+
+// Result is the outcome of a PARK evaluation.
+type Result struct {
+	// Output is PARK(P, D, U): the result database instance.
+	Output *Database
+	// Stats summarizes the run.
+	Stats Stats
+	// Blocked is the final blocked set B in blocking order.
+	Blocked []Grounding
+	// Conflicts lists the conflicts in resolution order together with
+	// their decisions.
+	Conflicts []ResolvedConflict
+	// RuleFirings counts, per rule of P_U (indexed like
+	// SelectInput.Program), how many distinct groundings fired across
+	// all phases — re-derivations within a phase are not counted, but
+	// phases restart the count (so a rule firing in 3 phases counts 3
+	// groundings even if identical). Useful for profiling rule sets.
+	RuleFirings []int64
+	// Explainer is non-nil when Options.Explain was set; it builds
+	// derivation trees over this run's final state.
+	Explainer *Explainer
+}
+
+// ResolvedConflict pairs a conflict with its SELECT decision.
+type ResolvedConflict struct {
+	Conflict Conflict
+	Decision Decision
+}
+
+// Engine evaluates the PARK semantics for one program over databases
+// sharing one universe. An Engine is not safe for concurrent use, but
+// may be reused for sequential runs.
+type Engine struct {
+	u        *Universe
+	prog     *Program
+	strategy Strategy
+	opts     Options
+
+	// per-run state
+	run *runState
+}
+
+// NewEngine validates the program and returns an engine using the
+// given conflict resolution strategy (nil defaults to inertia).
+func NewEngine(u *Universe, p *Program, strategy Strategy, opts Options) (*Engine, error) {
+	if strategy == nil {
+		strategy = InertiaStrategy{}
+	}
+	if err := p.Validate(u); err != nil {
+		return nil, err
+	}
+	return &Engine{u: u, prog: p, strategy: strategy, opts: opts}, nil
+}
+
+// Universe returns the engine's universe.
+func (e *Engine) Universe() *Universe { return e.u }
+
+// Program returns the engine's program (without update rules).
+func (e *Engine) Program() *Program { return e.prog }
+
+type provKey struct {
+	op   HeadOp
+	atom AID
+}
+
+// candidate is one derivation produced by a Γ step before it is
+// applied.
+type candidate struct {
+	op   HeadOp
+	atom AID
+}
+
+type runState struct {
+	progU   *Program // P_U
+	d       *Database
+	in      *Interp
+	blocked *BlockedSet
+	// prov records, per marked atom, every grounding that derived it
+	// during the current phase (pruned on restart).
+	prov map[provKey]map[string]Grounding
+
+	// per-step scratch
+	stepSeen  map[string]struct{} // grounding keys enumerated this step
+	stepFacts []candidate
+	stepHave  map[provKey]struct{}
+
+	// deltas from the previously applied step (semi-naive)
+	deltaPlus  []AID
+	deltaMinus []AID
+
+	stats     Stats
+	conflicts []ResolvedConflict
+	firings   []int64
+	tracer    Tracer
+}
+
+// Run computes PARK(P, D, U): it forms P_U from the transaction
+// updates, iterates the Δ operator from the bi-structure <∅, D> to its
+// fixpoint ω, and incorporates the surviving marks. D is not modified.
+func (e *Engine) Run(ctx context.Context, d *Database, updates []Update) (*Result, error) {
+	if d == nil {
+		d = NewDatabase()
+	}
+	progU := &Program{Rules: append(append([]Rule(nil), e.prog.Rules...), UpdateRules(e.u, updates)...)}
+	// Update rules are ground by construction but still validated so a
+	// malformed Update surfaces here rather than mid-run.
+	if err := progU.Validate(e.u); err != nil {
+		return nil, fmt.Errorf("park: invalid transaction update: %w", err)
+	}
+	tracer := e.opts.Tracer
+	if tracer == nil {
+		tracer = NopTracer{}
+	}
+	rs := &runState{
+		firings:  make([]int64, len(progU.Rules)),
+		progU:    progU,
+		d:        d,
+		in:       NewInterp(e.u, d),
+		blocked:  NewBlockedSet(),
+		prov:     make(map[provKey]map[string]Grounding),
+		stepSeen: make(map[string]struct{}),
+		stepHave: make(map[provKey]struct{}),
+		tracer:   tracer,
+	}
+	rs.in.UseIndex = !e.opts.NoIndex
+	if ta, ok := tracer.(interpAttacher); ok {
+		ta.SetInterp(rs.in)
+	}
+	e.run = rs
+	defer func() { e.run = nil }()
+
+	for {
+		rs.stats.Phases++
+		if e.opts.MaxPhases > 0 && rs.stats.Phases > e.opts.MaxPhases {
+			return nil, fmt.Errorf("park: phase limit %d exceeded", e.opts.MaxPhases)
+		}
+		fixpoint, err := e.runPhase(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if fixpoint {
+			break
+		}
+	}
+	rs.stats.BlockedInstances = rs.blocked.Len()
+	res := &Result{
+		Output:      rs.in.Incorp(),
+		Stats:       rs.stats,
+		Blocked:     append([]Grounding(nil), rs.blocked.All()...),
+		Conflicts:   rs.conflicts,
+		RuleFirings: rs.firings,
+	}
+	if e.opts.Explain {
+		res.Explainer = &Explainer{u: e.u, prog: progU, in: rs.in, prov: rs.prov}
+	}
+	return res, nil
+}
+
+// runPhase runs one inflationary phase from the kernel D. It returns
+// true when the phase reached the ω fixpoint, false when it was
+// interrupted by conflict resolution (B grew; caller restarts).
+func (e *Engine) runPhase(ctx context.Context) (bool, error) {
+	rs := e.run
+	rs.in.ResetPhase()
+	clear(rs.prov)
+	rs.deltaPlus, rs.deltaMinus = nil, nil
+	rs.tracer.PhaseStart(rs.stats.Phases)
+
+	m := newMatcher(rs.in)
+	step := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		step++
+		full := step == 1 || e.opts.Naive
+		inconsistent := e.gammaStep(m, full)
+		if len(rs.stepFacts) == 0 && len(inconsistent) == 0 {
+			rs.tracer.PhaseEnd(rs.stats.Phases, step-1, true)
+			return true, nil
+		}
+		if len(inconsistent) != 0 {
+			rs.tracer.Inconsistency(rs.stats.Phases, step, inconsistent)
+			progressed, err := e.resolveConflicts(inconsistent)
+			if err != nil {
+				return false, err
+			}
+			if !progressed {
+				return false, ErrNoProgress
+			}
+			rs.tracer.PhaseEnd(rs.stats.Phases, step-1, false)
+			return false, nil
+		}
+		e.applyStep(step)
+	}
+}
+
+// applyStep commits the step's candidate facts to the interpretation
+// and records them as the next semi-naive delta.
+func (e *Engine) applyStep(step int) {
+	rs := e.run
+	rs.deltaPlus = rs.deltaPlus[:0]
+	rs.deltaMinus = rs.deltaMinus[:0]
+	added := make([]MarkedAtom, 0, len(rs.stepFacts))
+	for _, c := range rs.stepFacts {
+		if c.op == OpInsert {
+			rs.in.AddPlus(c.atom)
+			rs.deltaPlus = append(rs.deltaPlus, c.atom)
+		} else {
+			rs.in.AddMinus(c.atom)
+			rs.deltaMinus = append(rs.deltaMinus, c.atom)
+		}
+		added = append(added, MarkedAtom{Op: c.op, Atom: c.atom})
+	}
+	rs.stats.Steps++
+	rs.stats.NewFacts += int64(len(added))
+	rs.tracer.StepApplied(rs.stats.Phases, step, added)
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Grounding is a rule grounding (r, θ) (§4.2): the rule index within
+// the program and the substitution, encoded as one symbol per rule
+// variable in variable order.
+type Grounding struct {
+	Rule int32
+	Args []Sym
+}
+
+// Key returns a compact unique encoding of the grounding, used for
+// set membership in the blocked set B and in provenance maps.
+func (g Grounding) Key() string {
+	b := make([]byte, 4+4*len(g.Args))
+	binary.LittleEndian.PutUint32(b, uint32(g.Rule))
+	for i, a := range g.Args {
+		binary.LittleEndian.PutUint32(b[4+4*i:], uint32(a))
+	}
+	return string(b)
+}
+
+// String renders the grounding like the paper: (r1, [x <- a, y <- b]).
+func (g Grounding) String(u *Universe, p *Program) string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	sb.WriteString(p.RuleLabel(int(g.Rule)))
+	if len(g.Args) > 0 {
+		sb.WriteString(", [")
+		r := &p.Rules[g.Rule]
+		for i, a := range g.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s <- %s", r.varName(i), u.Syms.Name(a))
+		}
+		sb.WriteByte(']')
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// BlockedSet is the set B of blocked rule instances of a bi-structure
+// <B, I>. It only ever grows during one PARK evaluation.
+type BlockedSet struct {
+	keys map[string]struct{}
+	list []Grounding // insertion order, for traces and introspection
+}
+
+// NewBlockedSet returns an empty blocked set.
+func NewBlockedSet() *BlockedSet {
+	return &BlockedSet{keys: make(map[string]struct{})}
+}
+
+// Add inserts a grounding and reports whether it was new.
+func (b *BlockedSet) Add(g Grounding) bool {
+	k := g.Key()
+	if _, ok := b.keys[k]; ok {
+		return false
+	}
+	b.keys[k] = struct{}{}
+	b.list = append(b.list, g)
+	return true
+}
+
+// HasKey reports membership by pre-computed key.
+func (b *BlockedSet) HasKey(k string) bool {
+	_, ok := b.keys[k]
+	return ok
+}
+
+// Has reports membership.
+func (b *BlockedSet) Has(g Grounding) bool { return b.HasKey(g.Key()) }
+
+// Len returns the number of blocked instances.
+func (b *BlockedSet) Len() int { return len(b.list) }
+
+// All returns the blocked groundings in insertion order; the slice
+// must not be modified.
+func (b *BlockedSet) All() []Grounding { return b.list }

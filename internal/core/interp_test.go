@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tiny helpers for interp tests
+func testUniverse(t *testing.T) (*Universe, func(pred string, args ...string) AID) {
+	t.Helper()
+	u := NewUniverse()
+	intern := func(pred string, args ...string) AID {
+		syms := make([]Sym, len(args))
+		for i, a := range args {
+			syms[i] = u.Syms.Intern(a)
+		}
+		id, err := u.InternAtom(u.Syms.Intern(pred), syms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	return u, intern
+}
+
+func TestInterpValidity(t *testing.T) {
+	u, atom := testUniverse(t)
+	a := atom("a")
+	b := atom("b")
+	c := atom("c")
+	d := NewDatabase()
+	d.Add(a)
+	in := NewInterp(u, d)
+
+	// a is base: positive valid, negation invalid.
+	if !in.PosValid(a) || in.NegValid(a) {
+		t.Fatal("base atom validity wrong")
+	}
+	// b absent: positive invalid, negation valid by absence.
+	if in.PosValid(b) || !in.NegValid(b) {
+		t.Fatal("absent atom validity wrong")
+	}
+	in.AddPlus(b)
+	if !in.PosValid(b) || in.NegValid(b) || !in.HasPlus(b) {
+		t.Fatal("+marked atom validity wrong")
+	}
+	// -a: the paper's definition makes BOTH a and !a valid when a is
+	// base and -a is marked.
+	in.AddMinus(a)
+	if !in.PosValid(a) {
+		t.Fatal("base atom with -mark must stay positively valid")
+	}
+	if !in.NegValid(a) {
+		t.Fatal("-marked atom must make negation valid")
+	}
+	// c marked minus while absent: negation valid, positive invalid.
+	in.AddMinus(c)
+	if in.PosValid(c) || !in.NegValid(c) || !in.HasMinus(c) {
+		t.Fatal("-marked absent atom validity wrong")
+	}
+}
+
+func TestInterpResetPhase(t *testing.T) {
+	u, atom := testUniverse(t)
+	a := atom("a")
+	b := atom("b")
+	d := NewDatabase()
+	d.Add(a)
+	in := NewInterp(u, d)
+	in.AddPlus(b)
+	in.AddMinus(a)
+	in.ResetPhase()
+	if in.HasPlus(b) || in.HasMinus(a) {
+		t.Fatal("marks survived reset")
+	}
+	if !in.HasBase(a) || !in.PosValid(a) {
+		t.Fatal("base lost on reset")
+	}
+	if len(in.PlusAtoms()) != 0 || len(in.MinusAtoms()) != 0 {
+		t.Fatal("mark lists survived reset")
+	}
+	st := in.Store().Stats()
+	if st.PlusRows != 0 || st.MinusRows != 0 || st.BaseRows != 1 {
+		t.Fatalf("store stats after reset: %+v", st)
+	}
+}
+
+func TestIncorp(t *testing.T) {
+	u, atom := testUniverse(t)
+	a := atom("a")
+	b := atom("b")
+	c := atom("c")
+	d := NewDatabase()
+	d.Add(a)
+	d.Add(b)
+	in := NewInterp(u, d)
+	in.AddMinus(b) // delete base atom
+	in.AddPlus(c)  // insert new atom
+	in.AddPlus(a)  // re-insert existing atom: no-op
+	out := in.Incorp()
+	if !out.Contains(a) || out.Contains(b) || !out.Contains(c) {
+		t.Fatalf("incorp wrong: a=%v b=%v c=%v", out.Contains(a), out.Contains(b), out.Contains(c))
+	}
+	if out.Len() != 2 {
+		t.Fatalf("incorp len = %d", out.Len())
+	}
+}
+
+// Property (incorp identity): for consistent random mark assignments,
+// incorp(I) = (I⁻ − del) ∪ ins.
+func TestIncorpQuick(t *testing.T) {
+	u, atom := testUniverse(t)
+	ids := make([]AID, 12)
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i, n := range names {
+		ids[i] = atom(n)
+	}
+	f := func(baseMask, plusMask, minusMask uint16) bool {
+		d := NewDatabase()
+		for i, id := range ids {
+			if baseMask&(1<<i) != 0 {
+				d.Add(id)
+			}
+		}
+		in := NewInterp(u, d)
+		for i, id := range ids {
+			p := plusMask&(1<<i) != 0
+			m := minusMask&(1<<i) != 0
+			if p && m {
+				continue // keep consistent
+			}
+			if p {
+				in.AddPlus(id)
+			}
+			if m {
+				in.AddMinus(id)
+			}
+		}
+		out := in.Incorp()
+		for i, id := range ids {
+			inBase := baseMask&(1<<i) != 0
+			p := plusMask&(1<<i) != 0
+			m := minusMask&(1<<i) != 0
+			if p && m {
+				p, m = false, false
+			}
+			want := (inBase || p) && !m
+			if out.Contains(id) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	u, atom := testUniverse(t)
+	d := NewDatabase()
+	in := NewInterp(u, d)
+	zb := atom("z")
+	ab := atom("a")
+	in.AddPlus(zb)
+	in.AddPlus(ab)
+	in.AddMinus(zb) // would be inconsistent in a run; Snapshot itself doesn't care
+	plus, minus := in.Snapshot()
+	if len(plus) != 2 || plus[0] != ab || plus[1] != zb {
+		t.Fatalf("plus = %v", plus)
+	}
+	if len(minus) != 1 || minus[0] != zb {
+		t.Fatalf("minus = %v", minus)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	var b bitset
+	if b.get(100) {
+		t.Fatal("empty bitset get(100) = true")
+	}
+	b.set(0)
+	b.set(63)
+	b.set(64)
+	b.set(1000)
+	for _, i := range []int{0, 63, 64, 1000} {
+		if !b.get(i) {
+			t.Fatalf("get(%d) = false", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 999, 1001} {
+		if b.get(i) {
+			t.Fatalf("get(%d) = true", i)
+		}
+	}
+	b.clearAll()
+	if b.get(0) || b.get(1000) {
+		t.Fatal("clearAll did not clear")
+	}
+}

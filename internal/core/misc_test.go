@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLitKindStrings(t *testing.T) {
+	want := map[LitKind]string{
+		LitPos: "pos", LitNeg: "neg", LitEvIns: "event+", LitEvDel: "event-",
+		LitEq: "eq", LitNeq: "neq", LitLt: "lt", LitLe: "le", LitGt: "gt", LitGe: "ge",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if LitKind(99).String() == "" {
+		t.Fatal("unknown kind must render something")
+	}
+	if !strings.Contains(LitKind(99).String(), "99") {
+		t.Fatalf("unknown kind rendering: %q", LitKind(99).String())
+	}
+}
+
+func TestHeadOpAndDecisionStrings(t *testing.T) {
+	if OpInsert.String() != "+" || OpDelete.String() != "-" {
+		t.Fatal("HeadOp strings wrong")
+	}
+	if DecideInsert.String() != "insert" || DecideDelete.String() != "delete" {
+		t.Fatal("Decision strings wrong")
+	}
+}
+
+func TestAtomIsGround(t *testing.T) {
+	g := Atom{Pred: 0, Args: []Term{ConstTerm(1), ConstTerm(2)}}
+	if !g.IsGround() {
+		t.Fatal("ground atom reported non-ground")
+	}
+	v := Atom{Pred: 0, Args: []Term{ConstTerm(1), VarTerm(0)}}
+	if v.IsGround() {
+		t.Fatal("non-ground atom reported ground")
+	}
+}
+
+func TestUniverseArity(t *testing.T) {
+	u := NewUniverse()
+	p := u.Syms.Intern("p")
+	if _, ok := u.Arity(p); ok {
+		t.Fatal("unknown predicate has arity")
+	}
+	if err := u.PinArity(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := u.Arity(p); !ok || a != 2 {
+		t.Fatalf("Arity = %d, %v", a, ok)
+	}
+}
+
+func TestRuleValidateStructural(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		want string
+	}{
+		{"negative numvars", Rule{NumVars: -1}, "negative NumVars"},
+		{"varnames mismatch", Rule{NumVars: 2, VarNames: []string{"X"}}, "variable names"},
+		{"builtin arity", Rule{
+			NumVars: 1, VarNames: []string{"X"},
+			Body: []Literal{
+				{Kind: LitPos, Atom: Atom{Pred: 0, Args: []Term{VarTerm(0)}}},
+				{Kind: LitEq, Atom: Atom{Pred: NoSym, Args: []Term{VarTerm(0)}}},
+			},
+			Head: Atom{Pred: 1},
+		}, "exactly 2 arguments"},
+		{"var out of range body", Rule{
+			NumVars: 1, VarNames: []string{"X"},
+			Body: []Literal{{Kind: LitPos, Atom: Atom{Pred: 0, Args: []Term{VarTerm(5)}}}},
+			Head: Atom{Pred: 1},
+		}, "out of range"},
+		{"var out of range head", Rule{
+			NumVars: 1, VarNames: []string{"X"},
+			Body: []Literal{{Kind: LitPos, Atom: Atom{Pred: 0, Args: []Term{VarTerm(0)}}}},
+			Head: Atom{Pred: 1, Args: []Term{VarTerm(7)}},
+		}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.rule.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConflictAndGroundingStrings(t *testing.T) {
+	u := NewUniverse()
+	p := u.Syms.Intern("p")
+	a := u.Syms.Intern("a")
+	aid, err := u.InternAtom(p, []Sym{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &Program{Rules: []Rule{{
+		Name: "r1", NumVars: 1, VarNames: []string{"X"},
+		Body: []Literal{{Kind: LitPos, Atom: Atom{Pred: p, Args: []Term{VarTerm(0)}}}},
+		Head: Atom{Pred: p, Args: []Term{VarTerm(0)}},
+	}}}
+	g := Grounding{Rule: 0, Args: []Sym{a}}
+	if got := g.String(u, prog); got != "(r1, [X <- a])" {
+		t.Fatalf("grounding string = %q", got)
+	}
+	c := Conflict{Atom: aid, Ins: []Grounding{g}, Del: []Grounding{g}}
+	s := c.String(u, prog)
+	if !strings.Contains(s, "p(a)") || !strings.Contains(s, "(r1, [X <- a])") {
+		t.Fatalf("conflict string = %q", s)
+	}
+	// Anonymous rules render by index.
+	if got := prog.RuleLabel(5); got != "rule#5" {
+		t.Fatalf("RuleLabel = %q", got)
+	}
+}
+
+func TestErrStrategy(t *testing.T) {
+	inner := errors.New("boom")
+	e := &ErrStrategy{Strategy: "s", Err: inner}
+	if !strings.Contains(e.Error(), "s") || !strings.Contains(e.Error(), "boom") {
+		t.Fatalf("Error = %q", e.Error())
+	}
+	if !errors.Is(e, inner) {
+		t.Fatal("Unwrap broken")
+	}
+}
+
+func TestAtomStringOutOfRange(t *testing.T) {
+	u := NewUniverse()
+	if got := u.AtomString(AID(42)); !strings.Contains(got, "42") {
+		t.Fatalf("out-of-range AtomString = %q", got)
+	}
+}
+
+func TestQueryVarNameFallback(t *testing.T) {
+	q := &Query{NumVars: 2, VarNames: []string{"X"}}
+	if q.varName(0) != "X" || q.varName(1) != "V1" {
+		t.Fatalf("varName fallback = %q, %q", q.varName(0), q.varName(1))
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import "sync"
+
+// enumRulesParallel evaluates a full Γ step with Options.Parallel
+// worker goroutines. Work is sharded below the rule level: for each
+// rule the matcher's first enumerable body literal is identified and
+// its matching rows become preset bindings, which are chunked across
+// workers. Each chunk enumerates the remaining body under its presets
+// and returns groundings; chunks are folded into the step in order,
+// so the observable outcome is bit-identical to sequential
+// evaluation (the sequential matcher enumerates exactly the same
+// first literal in the same row order).
+//
+// Workers are pure readers: indexes are frozen up front (incremental,
+// so repeated freezing costs only newly appended rows), no atom is
+// interned and no engine state is touched off the main goroutine.
+func (e *Engine) enumRulesParallel() {
+	rs := e.run
+	if rs.in.UseIndex {
+		rs.in.Store().BuildAllIndexes()
+	}
+
+	type task struct {
+		rule    int
+		presets [][]Sym // nil element = match the whole rule unsharded
+	}
+	var tasks []task
+	seed := newMatcher(rs.in)
+	for ri := range rs.progU.Rules {
+		r := &rs.progU.Rules[ri]
+		li := shardLiteral(seed, r)
+		if li < 0 {
+			tasks = append(tasks, task{rule: ri, presets: [][]Sym{nil}})
+			continue
+		}
+		presets := seed.presetsForLiteral(r, r.Body[li])
+		if len(presets) == 0 {
+			continue // the shard literal has no matching rows: rule cannot fire
+		}
+		// Chunk the presets so each worker gets substantial work but
+		// the pool stays balanced.
+		chunk := len(presets)/(e.opts.Parallel*4) + 1
+		for lo := 0; lo < len(presets); lo += chunk {
+			hi := lo + chunk
+			if hi > len(presets) {
+				hi = len(presets)
+			}
+			tasks = append(tasks, task{rule: ri, presets: presets[lo:hi]})
+		}
+	}
+
+	results := make([][]Grounding, len(tasks))
+	workers := e.opts.Parallel
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := newMatcher(rs.in)
+			for {
+				mu.Lock()
+				ti := next
+				next++
+				mu.Unlock()
+				if ti >= len(tasks) {
+					return
+				}
+				t := tasks[ti]
+				var gs []Grounding
+				for _, preset := range t.presets {
+					m.Match(&rs.progU.Rules[t.rule], preset, func(binding []Sym) bool {
+						gs = append(gs, Grounding{Rule: int32(t.rule), Args: append([]Sym(nil), binding...)})
+						return true
+					})
+				}
+				results[ti] = gs
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, gs := range results {
+		for _, g := range gs {
+			e.processGrounding(g)
+		}
+	}
+}
+
+// shardLiteral returns the body index of the literal the sequential
+// matcher would enumerate first on an empty binding — mirroring
+// matcher.pick, with fully bound (all-constant) literals consumed as
+// filters — or -1 when the rule has no enumerable literal with
+// variables (ground rules, body-less rules).
+func shardLiteral(m *matcher, r *Rule) int {
+	best, bestBound, bestSize := -1, -1, 0
+	for li := range r.Body {
+		lit := r.Body[li]
+		if !lit.Kind.IsBinding() {
+			continue
+		}
+		vars, consts := 0, 0
+		for _, t := range lit.Atom.Args {
+			if t.IsVar() {
+				vars++
+			} else {
+				consts++
+			}
+		}
+		if vars == 0 {
+			continue // pure filter; evaluated inside Match either way
+		}
+		// Mirror matcher.pick on the empty binding exactly: the bound
+		// count of a literal is its constant count, ties go to the
+		// smaller relation, then to body order.
+		size := m.literalSize(lit)
+		if consts > bestBound || (consts == bestBound && size < bestSize) {
+			best, bestBound, bestSize = li, consts, size
+		}
+	}
+	return best
+}
+
+// presetsForLiteral enumerates the rows currently matching the
+// literal and returns the distinct preset bindings they induce, in
+// row order.
+func (m *matcher) presetsForLiteral(r *Rule, lit Literal) [][]Sym {
+	var presets [][]Sym
+	seen := make(map[string]struct{})
+	var args []Sym
+	var key []byte
+	for _, rel := range m.literalRelations(lit) {
+		n := rel.Len()
+		for row := 0; row < n; row++ {
+			tuple := rel.Row(row)
+			args = args[:0]
+			for _, v := range tuple {
+				args = append(args, Sym(v))
+			}
+			preset, ok := unifyAtomArgs(r, lit.Atom, args)
+			if !ok {
+				continue
+			}
+			key = key[:0]
+			for _, s := range preset {
+				key = append(key, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+			}
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+			presets = append(presets, preset)
+		}
+	}
+	return presets
+}

@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+// runScenarioOpts evaluates a workload scenario with options.
+func runScenarioOpts(t *testing.T, sc workload.Scenario, opts core.Options) (*core.Universe, *core.Result) {
+	t.Helper()
+	u := core.NewUniverse()
+	prog, err := parser.ParseProgram(u, "", sc.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := parser.ParseDatabase(u, "", sc.Database)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []core.Update
+	if sc.Updates != "" {
+		if ups, err = parser.ParseUpdates(u, "", sc.Updates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := core.NewEngine(u, prog, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), db, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, res
+}
+
+// Parallel evaluation must be bit-identical to sequential across
+// representative workloads and configurations (run with -race to
+// verify reader purity).
+func TestParallelEquivalence(t *testing.T) {
+	scenarios := []workload.Scenario{
+		workload.TransitiveClosure(16, 25, 3),
+		workload.ConflictLadder(6),
+		workload.WideConflicts(8),
+		workload.TriggerCascade(8, 4),
+		workload.RandomProgram(12, 4, 4, 11),
+		workload.RandomProgram(12, 4, 4, 12),
+		workload.HRPayroll(30, 20, 5),
+	}
+	for _, sc := range scenarios {
+		for _, par := range []core.Options{
+			{Parallel: 4},
+			{Parallel: 4, Naive: true},
+			{Parallel: 4, NoIndex: true},
+			{Parallel: 64}, // more workers than rules
+		} {
+			uSeq, seq := runScenarioOpts(t, sc, core.Options{Naive: par.Naive, NoIndex: par.NoIndex})
+			uPar, parRes := runScenarioOpts(t, sc, par)
+			a := dbString(uSeq, seq.Output)
+			b := dbString(uPar, parRes.Output)
+			if a != b {
+				t.Fatalf("%s (%+v): sequential {%s} != parallel {%s}", sc.Name, par, a, b)
+			}
+			if seq.Stats.Conflicts != parRes.Stats.Conflicts ||
+				seq.Stats.Phases != parRes.Stats.Phases ||
+				seq.Stats.Derivations != parRes.Stats.Derivations {
+				t.Fatalf("%s (%+v): stats diverge: %+v vs %+v", sc.Name, par, seq.Stats, parRes.Stats)
+			}
+			if len(seq.Blocked) != len(parRes.Blocked) {
+				t.Fatalf("%s: blocked sets differ", sc.Name)
+			}
+			for i := range seq.Blocked {
+				if seq.Blocked[i].Key() != parRes.Blocked[i].Key() {
+					t.Fatalf("%s: blocked order differs at %d", sc.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPaperExamples(t *testing.T) {
+	// The §5 example under parallel evaluation: same result, same
+	// conflict sequence.
+	u, res := runPark(t, sec5Program, `p.`, "", core.InertiaStrategy{}, core.Options{Parallel: 8})
+	checkResult(t, u, res, "a, b, p")
+	if res.Stats.Conflicts != 2 {
+		t.Fatalf("conflicts = %d", res.Stats.Conflicts)
+	}
+}
+
+// Property (Δ is growing, Theorem 4.1(1)): within every phase, each
+// applied step only adds marks — no event ever removes one — and the
+// phase sequence is strictly increasing until its end.
+func TestDeltaGrowingProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sc := workload.RandomProgram(10, 4, 4, seed)
+		u := core.NewUniverse()
+		prog, err := parser.ParseProgram(u, "", sc.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := parser.ParseDatabase(u, "", sc.Database)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &core.CollectingTracer{}
+		eng, err := core.NewEngine(u, prog, nil, core.Options{Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(context.Background(), db, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Within each phase: every step adds at least one new mark and
+		// never repeats a mark added earlier in the phase.
+		type mark struct {
+			op   core.HeadOp
+			atom core.AID
+		}
+		var phaseMarks map[mark]bool
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case "phase":
+				phaseMarks = make(map[mark]bool)
+			case "step":
+				if len(e.Added) == 0 {
+					t.Fatalf("seed %d: empty applied step", seed)
+				}
+				for _, ma := range e.Added {
+					m := mark{ma.Op, ma.Atom}
+					if phaseMarks[m] {
+						t.Fatalf("seed %d: mark %v re-added within a phase", seed, m)
+					}
+					phaseMarks[m] = true
+				}
+			}
+		}
+	}
+}

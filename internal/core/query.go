@@ -1,0 +1,81 @@
+package core
+
+import "fmt"
+
+// Query is a conjunctive query over a database instance: a list of
+// body literals (positive, negated or built-in — event literals make
+// no sense against a plain database and are rejected). Queries share
+// the rule layer's matcher and safety discipline.
+type Query struct {
+	NumVars  int
+	VarNames []string
+	Body     []Literal
+}
+
+// Validate enforces the query analogue of the §2 safety conditions:
+// every variable of a negated or built-in literal must occur in some
+// positive literal, and event literals are rejected.
+func (q *Query) Validate() error {
+	bound := make([]bool, q.NumVars)
+	for i, lit := range q.Body {
+		switch lit.Kind {
+		case LitEvIns, LitEvDel:
+			return fmt.Errorf("query literal %d: event literals are not allowed in queries", i)
+		}
+		for _, t := range lit.Atom.Args {
+			if t.IsVar() {
+				if t.Var() >= q.NumVars {
+					return fmt.Errorf("query literal %d: variable index out of range", i)
+				}
+				if lit.Kind == LitPos {
+					bound[t.Var()] = true
+				}
+			}
+		}
+	}
+	for i, lit := range q.Body {
+		if lit.Kind == LitPos {
+			continue
+		}
+		for _, t := range lit.Atom.Args {
+			if t.IsVar() && !bound[t.Var()] {
+				return fmt.Errorf("query literal %d: unsafe: variable %s does not occur in a positive literal",
+					i, q.varName(t.Var()))
+			}
+		}
+	}
+	return nil
+}
+
+func (q *Query) varName(i int) string {
+	if i < len(q.VarNames) && q.VarNames[i] != "" {
+		return q.VarNames[i]
+	}
+	return fmt.Sprintf("V%d", i)
+}
+
+// asRule adapts the query to the matcher's rule shape. The head is
+// never used by Match.
+func (q *Query) asRule() *Rule {
+	return &Rule{
+		Name:     "query",
+		NumVars:  q.NumVars,
+		VarNames: q.VarNames,
+		Body:     q.Body,
+	}
+}
+
+// EvalQuery enumerates every satisfying binding of the query against
+// the database, calling yield with one symbol per query variable. The
+// binding slice is reused; yield must copy it to retain it. Returning
+// false stops the enumeration. Evaluation runs against the plain
+// database (no marks), i.e. classical validity.
+func EvalQuery(u *Universe, d *Database, q *Query, yield func(binding []Sym) bool) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	in := NewInterp(u, d)
+	m := newMatcher(in)
+	m.Match(q.asRule(), nil, yield)
+	return nil
+}

@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func queryBindings(t *testing.T, dbSrc, qSrc string) [][]core.Sym {
+	t.Helper()
+	u := core.NewUniverse()
+	d, err := parser.ParseDatabase(u, "", dbSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(u, "", qSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]core.Sym
+	if err := core.EvalQuery(u, d, q, func(b []core.Sym) bool {
+		out = append(out, append([]core.Sym(nil), b...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEvalQueryJoin(t *testing.T) {
+	rows := queryBindings(t, `
+		emp(tom). emp(ann).
+		dept(tom, sales). dept(ann, dev).
+	`, `emp(X), dept(X, D)`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestEvalQueryNegation(t *testing.T) {
+	rows := queryBindings(t, `
+		emp(tom). emp(ann). active(ann).
+	`, `emp(X), !active(X)`)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+}
+
+func TestEvalQueryBuiltin(t *testing.T) {
+	rows := queryBindings(t, `p(a). p(b).`, `p(X), p(Y), X != Y`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestEvalQueryGround(t *testing.T) {
+	if rows := queryBindings(t, `p(a).`, `p(a)`); len(rows) != 1 {
+		t.Fatalf("ground true query rows = %d", len(rows))
+	}
+	if rows := queryBindings(t, `p(a).`, `p(b)`); len(rows) != 0 {
+		t.Fatalf("ground false query rows = %d", len(rows))
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	u := core.NewUniverse()
+	d, _ := parser.ParseDatabase(u, "", `p(a).`)
+	// Event literal rejected.
+	if _, err := parser.ParseQuery(u, "", `+p(X)`); err == nil || !strings.Contains(err.Error(), "event") {
+		t.Fatalf("event query err = %v", err)
+	}
+	// Unsafe negation rejected.
+	if _, err := parser.ParseQuery(u, "", `!q(X)`); err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Fatalf("unsafe query err = %v", err)
+	}
+	// Arity mismatch rejected.
+	if _, err := parser.ParseQuery(u, "", `p(X, Y)`); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("arity query err = %v", err)
+	}
+	_ = d
+}
+
+func TestEvalQueryEarlyStop(t *testing.T) {
+	u := core.NewUniverse()
+	d, _ := parser.ParseDatabase(u, "", `p(a). p(b). p(c).`)
+	q, err := parser.ParseQuery(u, "", `p(X)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := core.EvalQuery(u, d, q, func([]core.Sym) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("yield called %d times after stop", calls)
+	}
+}
+
+func TestOrderComparisons(t *testing.T) {
+	rows := queryBindings(t, `sal(tom, 100). sal(ann, 250). sal(bob, 250).`,
+		`sal(X, S), S > 100`)
+	if len(rows) != 2 {
+		t.Fatalf("S > 100 rows = %d, want 2", len(rows))
+	}
+	rows = queryBindings(t, `sal(tom, 100). sal(ann, 250).`, `sal(X, S), S <= 100`)
+	if len(rows) != 1 {
+		t.Fatalf("S <= 100 rows = %d, want 1", len(rows))
+	}
+	// Numeric, not lexicographic: 9 < 10.
+	rows = queryBindings(t, `n(9). n(10).`, `n(X), X < 10`)
+	if len(rows) != 1 {
+		t.Fatalf("numeric compare rows = %d, want 1", len(rows))
+	}
+	// Non-numeric constants compare lexicographically.
+	rows = queryBindings(t, `w(apple). w(pear).`, `w(X), X >= pear`)
+	if len(rows) != 1 {
+		t.Fatalf("lexicographic rows = %d, want 1", len(rows))
+	}
+	// Mixed numeric/non-numeric falls back to name comparison.
+	rows = queryBindings(t, `m(5). m(apple).`, `m(X), X < zzz`)
+	if len(rows) != 2 {
+		t.Fatalf("mixed rows = %d, want 2", len(rows))
+	}
+}
+
+func TestCompareConsts(t *testing.T) {
+	u := core.NewUniverse()
+	n9 := u.Syms.Intern("9")
+	n10 := u.Syms.Intern("10")
+	neg := u.Syms.Intern("-3")
+	apple := u.Syms.Intern("apple")
+	if u.CompareConsts(n9, n10) >= 0 {
+		t.Fatal("9 >= 10 numerically")
+	}
+	if u.CompareConsts(neg, n9) >= 0 {
+		t.Fatal("-3 >= 9")
+	}
+	if u.CompareConsts(n9, n9) != 0 {
+		t.Fatal("9 != 9")
+	}
+	if u.CompareConsts(apple, n9) <= 0 {
+		t.Fatal("apple <= 9 (mixed must be lexicographic: 'apple' > '9')")
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LitKind distinguishes the body literal forms of an active rule.
+type LitKind uint8
+
+const (
+	// LitPos is a positive atom p(t...).
+	LitPos LitKind = iota
+	// LitNeg is a negated atom !p(t...) (negation as failure).
+	LitNeg
+	// LitEvIns is an insertion event literal +p(t...) (§4.3).
+	LitEvIns
+	// LitEvDel is a deletion event literal -p(t...) (§4.3).
+	LitEvDel
+	// LitEq is the built-in equality t1 == t2 (extension; not in the
+	// paper, documented in DESIGN.md).
+	LitEq
+	// LitNeq is the built-in disequality t1 != t2 (extension).
+	LitNeq
+	// LitLt, LitLe, LitGt, LitGe are the built-in order comparisons
+	// (extension). Integer constants compare numerically, all other
+	// constants lexicographically by name.
+	LitLt
+	LitLe
+	LitGt
+	LitGe
+)
+
+func (k LitKind) String() string {
+	switch k {
+	case LitPos:
+		return "pos"
+	case LitNeg:
+		return "neg"
+	case LitEvIns:
+		return "event+"
+	case LitEvDel:
+		return "event-"
+	case LitEq:
+		return "eq"
+	case LitNeq:
+		return "neq"
+	case LitLt:
+		return "lt"
+	case LitLe:
+		return "le"
+	case LitGt:
+		return "gt"
+	case LitGe:
+		return "ge"
+	}
+	return fmt.Sprintf("LitKind(%d)", uint8(k))
+}
+
+// IsBinding reports whether a literal of this kind can bind variables
+// by enumeration (and therefore counts as "positive" for the safety
+// conditions of §2).
+func (k LitKind) IsBinding() bool {
+	return k == LitPos || k == LitEvIns || k == LitEvDel
+}
+
+// Builtin reports whether the kind is a built-in comparison.
+func (k LitKind) Builtin() bool {
+	switch k {
+	case LitEq, LitNeq, LitLt, LitLe, LitGt, LitGe:
+		return true
+	}
+	return false
+}
+
+// comparisonOp returns the operator text of a built-in comparison.
+func (k LitKind) comparisonOp() string {
+	switch k {
+	case LitEq:
+		return "=="
+	case LitNeq:
+		return "!="
+	case LitLt:
+		return "<"
+	case LitLe:
+		return "<="
+	case LitGt:
+		return ">"
+	case LitGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Literal is one body literal. For built-in comparisons Atom.Pred is
+// NoSym and Atom.Args holds exactly two terms.
+type Literal struct {
+	Kind LitKind
+	Atom Atom
+}
+
+// HeadOp is the action of a rule head: insert (+) or delete (-).
+type HeadOp uint8
+
+const (
+	// OpInsert requests insertion of the head atom.
+	OpInsert HeadOp = iota
+	// OpDelete requests deletion of the head atom.
+	OpDelete
+)
+
+func (op HeadOp) String() string {
+	if op == OpInsert {
+		return "+"
+	}
+	return "-"
+}
+
+// Rule is an active rule  l1, ..., ln -> ±l0.  Variables are numbered
+// densely 0..NumVars-1 and their names (for rendering) are recorded in
+// VarNames. A rule with an empty body models a transaction update
+// (§4.3: the rules "-> ±a" of P_U).
+type Rule struct {
+	// Name optionally labels the rule ("r1"); used in traces and by
+	// name-aware conflict resolution strategies.
+	Name string
+	// Priority orders rules for the rule-priority strategy (§5);
+	// higher wins. Zero if unset.
+	Priority int
+	NumVars  int
+	VarNames []string
+	Body     []Literal
+	Head     Atom
+	Op       HeadOp
+}
+
+// Validate checks the structural well-formedness and the two safety
+// conditions of §2:
+//  1. every head variable occurs in the body, and
+//  2. every variable of a negated (or built-in) literal occurs in some
+//     binding (positive or event) literal.
+func (r *Rule) Validate() error {
+	if r.NumVars < 0 {
+		return fmt.Errorf("rule %s: negative NumVars", r.label())
+	}
+	if r.VarNames != nil && len(r.VarNames) != r.NumVars {
+		return fmt.Errorf("rule %s: %d variable names for %d variables", r.label(), len(r.VarNames), r.NumVars)
+	}
+	bound := make([]bool, r.NumVars)
+	checkTerm := func(t Term, where string) error {
+		if t.IsVar() {
+			if v := t.Var(); v >= r.NumVars {
+				return fmt.Errorf("rule %s: variable index %d out of range in %s", r.label(), v, where)
+			}
+		}
+		return nil
+	}
+	for i, lit := range r.Body {
+		if lit.Kind.Builtin() {
+			if len(lit.Atom.Args) != 2 {
+				return fmt.Errorf("rule %s: built-in literal %d must have exactly 2 arguments", r.label(), i)
+			}
+		}
+		for _, t := range lit.Atom.Args {
+			if err := checkTerm(t, fmt.Sprintf("body literal %d", i)); err != nil {
+				return err
+			}
+			if lit.Kind.IsBinding() && t.IsVar() {
+				bound[t.Var()] = true
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if err := checkTerm(t, "head"); err != nil {
+			return err
+		}
+		if t.IsVar() && !bound[t.Var()] {
+			return fmt.Errorf("rule %s: unsafe: head variable %s does not occur in a positive body literal", r.label(), r.varName(t.Var()))
+		}
+	}
+	for i, lit := range r.Body {
+		if lit.Kind.IsBinding() {
+			continue
+		}
+		for _, t := range lit.Atom.Args {
+			if t.IsVar() && !bound[t.Var()] {
+				return fmt.Errorf("rule %s: unsafe: variable %s of %s literal %d does not occur in a positive body literal",
+					r.label(), r.varName(t.Var()), lit.Kind, i)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Rule) label() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "<anonymous>"
+}
+
+func (r *Rule) varName(i int) string {
+	if i < len(r.VarNames) && r.VarNames[i] != "" {
+		return r.VarNames[i]
+	}
+	return fmt.Sprintf("V%d", i)
+}
+
+func (r *Rule) termString(u *Universe, t Term) string {
+	if t.IsVar() {
+		return r.varName(t.Var())
+	}
+	return u.Syms.Name(t.Const())
+}
+
+func (r *Rule) atomString(u *Universe, a Atom) string {
+	if len(a.Args) == 0 {
+		return u.Syms.Name(a.Pred)
+	}
+	var sb strings.Builder
+	sb.WriteString(u.Syms.Name(a.Pred))
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(r.termString(u, t))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// String renders the rule in the library's rule language.
+func (r *Rule) String(u *Universe) string {
+	var sb strings.Builder
+	for i, lit := range r.Body {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch lit.Kind {
+		case LitNeg:
+			sb.WriteByte('!')
+			sb.WriteString(r.atomString(u, lit.Atom))
+		case LitEvIns:
+			sb.WriteByte('+')
+			sb.WriteString(r.atomString(u, lit.Atom))
+		case LitEvDel:
+			sb.WriteByte('-')
+			sb.WriteString(r.atomString(u, lit.Atom))
+		case LitEq, LitNeq, LitLt, LitLe, LitGt, LitGe:
+			fmt.Fprintf(&sb, "%s %s %s", r.termString(u, lit.Atom.Args[0]), lit.Kind.comparisonOp(), r.termString(u, lit.Atom.Args[1]))
+		default:
+			sb.WriteString(r.atomString(u, lit.Atom))
+		}
+	}
+	if len(r.Body) > 0 {
+		sb.WriteByte(' ')
+	}
+	sb.WriteString("-> ")
+	sb.WriteString(r.Op.String())
+	sb.WriteString(r.atomString(u, r.Head))
+	return sb.String()
+}
+
+// Program is a set of active rules.
+type Program struct {
+	Rules []Rule
+}
+
+// Validate checks every rule and pins all predicate arities in the
+// universe, reporting the first problem found.
+func (p *Program) Validate(u *Universe) error {
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		for _, lit := range r.Body {
+			if lit.Kind.Builtin() {
+				continue
+			}
+			if err := u.PinArity(lit.Atom.Pred, len(lit.Atom.Args)); err != nil {
+				return fmt.Errorf("rule %s: %w", r.label(), err)
+			}
+		}
+		if err := u.PinArity(r.Head.Pred, len(r.Head.Args)); err != nil {
+			return fmt.Errorf("rule %s: %w", r.label(), err)
+		}
+	}
+	return nil
+}
+
+// RuleLabel returns a printable label for rule index i: its name if
+// set, else "rule#<i>".
+func (p *Program) RuleLabel(i int) string {
+	if i >= 0 && i < len(p.Rules) && p.Rules[i].Name != "" {
+		return p.Rules[i].Name
+	}
+	return fmt.Sprintf("rule#%d", i)
+}

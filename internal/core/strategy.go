@@ -1,0 +1,113 @@
+package core
+
+import "fmt"
+
+// Decision is the outcome of conflict resolution for one conflict:
+// which of the two requested actions on the atom is performed.
+type Decision uint8
+
+const (
+	// DecideInsert keeps the insertion and blocks the deleting rule
+	// instances.
+	DecideInsert Decision = iota
+	// DecideDelete keeps the deletion and blocks the inserting rule
+	// instances.
+	DecideDelete
+)
+
+func (d Decision) String() string {
+	if d == DecideInsert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Conflict is a conflict triple (a, ins, del) (§4.2): a ground atom
+// together with the maximal sets of rule groundings with valid bodies
+// requiring its insertion and deletion.
+type Conflict struct {
+	Atom AID
+	Ins  []Grounding
+	Del  []Grounding
+}
+
+// String renders a conflict like the paper's triples.
+func (c Conflict) String(u *Universe, p *Program) string {
+	s := "(" + u.AtomString(c.Atom) + ", {"
+	for i, g := range c.Ins {
+		if i > 0 {
+			s += " "
+		}
+		s += g.String(u, p)
+	}
+	s += "}, {"
+	for i, g := range c.Del {
+		if i > 0 {
+			s += " "
+		}
+		s += g.String(u, p)
+	}
+	return s + "})"
+}
+
+// SelectInput bundles the context information handed to a conflict
+// resolution policy: SELECT(D, P, I, c) in the paper's notation.
+type SelectInput struct {
+	Universe *Universe
+	Program  *Program // P_U: the user program plus update rules
+	Database *Database
+	Interp   *Interp
+	Conflict Conflict
+}
+
+// Strategy is a conflict resolution policy. Implementations must be
+// deterministic given their own state (a seeded random strategy is
+// deterministic in this sense) so that PARK remains a function.
+type Strategy interface {
+	// Name identifies the strategy in traces and CLI flags.
+	Name() string
+	// Select resolves one conflict. An error aborts the evaluation.
+	Select(in *SelectInput) (Decision, error)
+}
+
+// StrategyFunc adapts a function to the Strategy interface.
+type StrategyFunc struct {
+	StrategyName string
+	Fn           func(in *SelectInput) (Decision, error)
+}
+
+// Name implements Strategy.
+func (s StrategyFunc) Name() string { return s.StrategyName }
+
+// Select implements Strategy.
+func (s StrategyFunc) Select(in *SelectInput) (Decision, error) { return s.Fn(in) }
+
+// InertiaStrategy implements the principle of inertia (§4.1): the
+// conflicting actions are suppressed so the atom keeps its status from
+// the original database instance — insert wins iff the atom was
+// present in D.
+type InertiaStrategy struct{}
+
+// Name implements Strategy.
+func (InertiaStrategy) Name() string { return "inertia" }
+
+// Select implements Strategy.
+func (InertiaStrategy) Select(in *SelectInput) (Decision, error) {
+	if in.Database.Contains(in.Conflict.Atom) {
+		return DecideInsert, nil
+	}
+	return DecideDelete, nil
+}
+
+// ErrStrategy is returned (wrapped) when a strategy fails.
+type ErrStrategy struct {
+	Strategy string
+	Err      error
+}
+
+func (e *ErrStrategy) Error() string {
+	return fmt.Sprintf("conflict resolution strategy %q failed: %v", e.Strategy, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *ErrStrategy) Unwrap() error { return e.Err }

@@ -1,0 +1,107 @@
+// Package core implements the PARK semantics for active rules as
+// defined by Gottlob, Moerkotte and Subrahmanian (EDBT 1996).
+//
+// The package provides the full pipeline of the paper: the rule and
+// atom model (§2), i-interpretations with literal validity and the
+// incorporate operator (§4.2), the immediate consequence operator
+// Γ_{P,B}, conflict detection and blocked rule instances, the
+// bi-structure transition operator Δ and its fixpoint ω, the ECA
+// extension with transaction updates (§4.3), and the pluggable
+// conflict resolution interface SELECT (§3, §5).
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Sym is an interned constant or predicate symbol. Symbols are
+// assigned densely from 0 by a SymbolTable.
+type Sym int32
+
+// NoSym is the sentinel for "no symbol"; it doubles as the unbound
+// marker in substitutions and storage patterns.
+const NoSym Sym = -1
+
+// SymbolTable interns the constant and predicate symbols of one
+// evaluation universe. The zero value is not usable; use NewSymbolTable.
+type SymbolTable struct {
+	names []string
+	ids   map[string]Sym
+}
+
+// NewSymbolTable returns an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: make(map[string]Sym)}
+}
+
+// Intern returns the symbol for name, assigning a fresh one if the
+// name has not been seen before.
+func (t *SymbolTable) Intern(name string) Sym {
+	if s, ok := t.ids[name]; ok {
+		return s
+	}
+	s := Sym(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = s
+	return s
+}
+
+// Lookup returns the symbol for name and whether it is known.
+func (t *SymbolTable) Lookup(name string) (Sym, bool) {
+	s, ok := t.ids[name]
+	return s, ok
+}
+
+// Name returns the string form of a symbol. Unknown symbols render as
+// "#<n>" so diagnostics never panic.
+func (t *SymbolTable) Name(s Sym) string {
+	if s < 0 || int(s) >= len(t.names) {
+		return "#" + strconv.Itoa(int(s))
+	}
+	return t.names[s]
+}
+
+// Len returns the number of interned symbols.
+func (t *SymbolTable) Len() int { return len(t.names) }
+
+// Term is a constant or a variable occurring in a rule. A term is
+// encoded in a single int32: values >= 0 are constant symbols, values
+// < 0 are variables (variable i is encoded as -(i+1)). Variables are
+// local to their rule and numbered densely from 0.
+type Term struct{ v int32 }
+
+// ConstTerm returns the term for a constant symbol.
+func ConstTerm(s Sym) Term {
+	if s < 0 {
+		panic(fmt.Sprintf("core: invalid constant symbol %d", s))
+	}
+	return Term{int32(s)}
+}
+
+// VarTerm returns the term for rule variable index i.
+func VarTerm(i int) Term {
+	if i < 0 {
+		panic(fmt.Sprintf("core: invalid variable index %d", i))
+	}
+	return Term{int32(-(i + 1))}
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.v < 0 }
+
+// Var returns the variable index; it panics on constants.
+func (t Term) Var() int {
+	if t.v >= 0 {
+		panic("core: Var on constant term")
+	}
+	return int(-t.v - 1)
+}
+
+// Const returns the constant symbol; it panics on variables.
+func (t Term) Const() Sym {
+	if t.v < 0 {
+		panic("core: Const on variable term")
+	}
+	return Sym(t.v)
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MarkedAtom is an atom with its mark, e.g. +q(a) or -s(b).
+type MarkedAtom struct {
+	Op   HeadOp
+	Atom AID
+}
+
+// Tracer observes the progress of one PARK evaluation. All methods
+// are called synchronously from the engine; implementations must not
+// retain the slices they are passed.
+type Tracer interface {
+	// PhaseStart is called when an inflationary phase begins (phase
+	// counts from 1); every phase starts from the unmarked kernel D.
+	PhaseStart(phase int)
+	// StepApplied is called after a consistent Γ step extended the
+	// interpretation with the given marked atoms (step counts from 1
+	// within the phase).
+	StepApplied(phase, step int, added []MarkedAtom)
+	// Inconsistency is called when the next Γ step would be
+	// inconsistent, with the atoms that would carry both marks.
+	Inconsistency(phase, step int, atoms []AID)
+	// ConflictResolved is called for each conflict triple with the
+	// SELECT decision and the groundings that were newly blocked.
+	ConflictResolved(phase int, c Conflict, dec Decision, blocked []Grounding)
+	// PhaseEnd is called when a phase ends; fixpoint is true when the
+	// phase reached ω (no new facts), false when it was interrupted by
+	// an inconsistency.
+	PhaseEnd(phase, steps int, fixpoint bool)
+}
+
+// NopTracer ignores all events.
+type NopTracer struct{}
+
+// PhaseStart implements Tracer.
+func (NopTracer) PhaseStart(int) {}
+
+// StepApplied implements Tracer.
+func (NopTracer) StepApplied(int, int, []MarkedAtom) {}
+
+// Inconsistency implements Tracer.
+func (NopTracer) Inconsistency(int, int, []AID) {}
+
+// ConflictResolved implements Tracer.
+func (NopTracer) ConflictResolved(int, Conflict, Decision, []Grounding) {}
+
+// PhaseEnd implements Tracer.
+func (NopTracer) PhaseEnd(int, int, bool) {}
+
+// TextTracer writes a human-readable trace in the style of the
+// paper's worked examples: after every step it prints the full
+// i-interpretation {p, +q, -a, ...}.
+type TextTracer struct {
+	W       io.Writer
+	U       *Universe
+	P       *Program
+	In      *Interp // set by the engine before the run starts
+	Verbose bool    // also print conflict triples in full
+}
+
+// PhaseStart implements Tracer.
+func (t *TextTracer) PhaseStart(phase int) {
+	fmt.Fprintf(t.W, "phase %d: restart from I- = %s\n", phase, t.interpString())
+}
+
+// StepApplied implements Tracer.
+func (t *TextTracer) StepApplied(phase, step int, added []MarkedAtom) {
+	fmt.Fprintf(t.W, "  step %d: %s\n", step, t.interpString())
+}
+
+// Inconsistency implements Tracer.
+func (t *TextTracer) Inconsistency(phase, step int, atoms []AID) {
+	names := make([]string, len(atoms))
+	for i, a := range atoms {
+		names[i] = t.U.AtomString(a)
+	}
+	fmt.Fprintf(t.W, "  step %d would be inconsistent on {%s}\n", step, strings.Join(names, ", "))
+}
+
+// ConflictResolved implements Tracer.
+func (t *TextTracer) ConflictResolved(phase int, c Conflict, dec Decision, blocked []Grounding) {
+	if t.Verbose {
+		fmt.Fprintf(t.W, "  conflict %s -> %s\n", c.String(t.U, t.P), dec)
+	} else {
+		fmt.Fprintf(t.W, "  conflict on %s -> %s\n", t.U.AtomString(c.Atom), dec)
+	}
+	for _, g := range blocked {
+		fmt.Fprintf(t.W, "    block %s\n", g.String(t.U, t.P))
+	}
+}
+
+// PhaseEnd implements Tracer.
+func (t *TextTracer) PhaseEnd(phase, steps int, fixpoint bool) {
+	if fixpoint {
+		fmt.Fprintf(t.W, "phase %d: fixpoint after %d step(s): %s\n", phase, steps, t.interpString())
+	}
+}
+
+func (t *TextTracer) interpString() string {
+	if t.In == nil {
+		return "{}"
+	}
+	var parts []string
+	base := append([]AID(nil), t.In.BaseAtoms()...)
+	t.U.SortAtoms(base)
+	for _, id := range base {
+		parts = append(parts, t.U.AtomString(id))
+	}
+	plus, minus := t.In.Snapshot()
+	for _, id := range plus {
+		parts = append(parts, "+"+t.U.AtomString(id))
+	}
+	for _, id := range minus {
+		parts = append(parts, "-"+t.U.AtomString(id))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SetInterp lets the engine attach the live interpretation.
+func (t *TextTracer) SetInterp(in *Interp) { t.In = in }
+
+// interpAttacher is implemented by tracers that want access to the
+// live interpretation (e.g. TextTracer).
+type interpAttacher interface{ SetInterp(*Interp) }
+
+// CollectingTracer records every event for later inspection; used by
+// tests and by strategies that need history.
+type CollectingTracer struct {
+	Phases     int
+	StepsTotal int
+	Events     []TraceEvent
+}
+
+// TraceEvent is one recorded engine event.
+type TraceEvent struct {
+	Kind     string // "phase", "step", "inconsistent", "conflict", "phase-end"
+	Phase    int
+	Step     int
+	Added    []MarkedAtom
+	Atoms    []AID
+	Conflict Conflict
+	Decision Decision
+	Blocked  []Grounding
+	Fixpoint bool
+}
+
+// PhaseStart implements Tracer.
+func (c *CollectingTracer) PhaseStart(phase int) {
+	c.Phases = phase
+	c.Events = append(c.Events, TraceEvent{Kind: "phase", Phase: phase})
+}
+
+// StepApplied implements Tracer.
+func (c *CollectingTracer) StepApplied(phase, step int, added []MarkedAtom) {
+	c.StepsTotal++
+	c.Events = append(c.Events, TraceEvent{Kind: "step", Phase: phase, Step: step, Added: append([]MarkedAtom(nil), added...)})
+}
+
+// Inconsistency implements Tracer.
+func (c *CollectingTracer) Inconsistency(phase, step int, atoms []AID) {
+	c.Events = append(c.Events, TraceEvent{Kind: "inconsistent", Phase: phase, Step: step, Atoms: append([]AID(nil), atoms...)})
+}
+
+// ConflictResolved implements Tracer.
+func (c *CollectingTracer) ConflictResolved(phase int, cf Conflict, dec Decision, blocked []Grounding) {
+	cp := Conflict{
+		Atom: cf.Atom,
+		Ins:  append([]Grounding(nil), cf.Ins...),
+		Del:  append([]Grounding(nil), cf.Del...),
+	}
+	c.Events = append(c.Events, TraceEvent{Kind: "conflict", Phase: phase, Conflict: cp, Decision: dec, Blocked: append([]Grounding(nil), blocked...)})
+}
+
+// PhaseEnd implements Tracer.
+func (c *CollectingTracer) PhaseEnd(phase, steps int, fixpoint bool) {
+	c.Events = append(c.Events, TraceEvent{Kind: "phase-end", Phase: phase, Step: steps, Fixpoint: fixpoint})
+}
+
+// Conflicts returns the recorded conflict events.
+func (c *CollectingTracer) Conflicts() []TraceEvent {
+	var out []TraceEvent
+	for _, e := range c.Events {
+		if e.Kind == "conflict" {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// The §5 inertia example's full trace, in the paper's step-by-step
+// style. This golden test pins both the trace format and the exact
+// intermediate i-interpretations (1)–(7) the paper prints.
+const sec5GoldenTrace = `phase 1: restart from I- = {p}
+  step 1: {p, +a, +q}
+  step 2 would be inconsistent on {q}
+  conflict on q -> delete
+    block (r2)
+phase 2: restart from I- = {p}
+  step 1: {p, +a}
+  step 2: {p, +a, +b, -q}
+  step 3 would be inconsistent on {q}
+  conflict on q -> delete
+    block (r5)
+phase 3: restart from I- = {p}
+  step 1: {p, +a}
+  step 2: {p, +a, +b, -q}
+phase 3: fixpoint after 2 step(s): {p, +a, +b, -q}
+`
+
+func TestTextTracerGoldenSec5(t *testing.T) {
+	u := core.NewUniverse()
+	prog, err := parser.ParseProgram(u, "", sec5Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := parser.ParseDatabase(u, "", `p.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tr := &core.TextTracer{W: &sb, U: u, P: prog}
+	eng, err := core.NewEngine(u, prog, nil, core.Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), db, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != sec5GoldenTrace {
+		t.Fatalf("trace changed.\n--- got ---\n%s--- want ---\n%s", got, sec5GoldenTrace)
+	}
+}
+
+// The paper prints the intermediate interpretations of the §4.2 graph
+// example's first phase; check the I1 line verbatim.
+func TestTextTracerGraphI1(t *testing.T) {
+	u := core.NewUniverse()
+	prog, err := parser.ParseProgram(u, "", `
+		rule r1: p(X), p(Y) -> +q(X, Y).
+		rule r2: q(X, X) -> -q(X, X).
+		rule r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := parser.ParseDatabase(u, "", `p(a). p(b). p(c).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tr := &core.TextTracer{W: &sb, U: u, P: prog}
+	strat := core.StrategyFunc{StrategyName: "g", Fn: func(in *core.SelectInput) (core.Decision, error) {
+		args := in.Universe.AtomArgs(in.Conflict.Atom)
+		x, y := in.Universe.Syms.Name(args[0]), in.Universe.Syms.Name(args[1])
+		if x == y || (x == "a" && y == "c") || (x == "c" && y == "a") {
+			return core.DecideDelete, nil
+		}
+		return core.DecideInsert, nil
+	}}
+	eng, err := core.NewEngine(u, prog, strat, core.Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), db, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantI1 := "step 1: {p(a), p(b), p(c), +q(a, a), +q(a, b), +q(a, c), +q(b, a), +q(b, b), +q(b, c), +q(c, a), +q(c, b), +q(c, c)}"
+	if !strings.Contains(sb.String(), wantI1) {
+		t.Fatalf("I1 line missing from trace:\n%s", sb.String())
+	}
+	wantI2 := "step 1: {p(a), p(b), p(c), +q(a, b), +q(b, a), +q(b, c), +q(c, b)}"
+	if !strings.Contains(sb.String(), wantI2) {
+		t.Fatalf("I2 line missing from trace:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,113 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzParseUnit checks that the parser never panics and that
+// accepted rules round-trip through their printed form. The seed
+// corpus covers every syntactic construct; `go test` runs the seeds,
+// `go test -fuzz=FuzzParseUnit` explores further.
+func FuzzParseUnit(f *testing.F) {
+	seeds := []string{
+		``,
+		`p(a).`,
+		`p(a). q(a, b). flag.`,
+		`rule r1 priority 4: q(X) -> -a(X).`,
+		`emp(X, S), !active(X) -> -payroll(X, S).`,
+		`p(X), p(Y), X != Y -> +q(X, Y).`,
+		`sal(X, S), S >= 200 -> +rich(X).`,
+		`+r(X) -> -s(X).`,
+		`-r(X), s(X) -> +t(X).`,
+		`-> +q(b).`,
+		`+q(b). -p(a).`,
+		`not q(X), p(X) -> -p(X).`,
+		`not(b). rule(a). priority(c).`,
+		`name(1, "quoted \"string\"").`,
+		`% comment
+		p. // other comment`,
+		`p(_, X) -> +q(X).`,
+		`p(`,
+		`p(X) -> `,
+		`p(X) -> q(X).`,
+		`"unterminated`,
+		`p(1a).`,
+		`rule : -> .`,
+		`p(a) @`,
+		`ä(ü).`,
+		strings.Repeat("p(a). ", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u := core.NewUniverse()
+		unit, err := ParseUnit(u, "fuzz", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted rules must round-trip: print -> parse -> print is a
+		// fixpoint.
+		for i := range unit.Program.Rules {
+			printed := unit.Program.Rules[i].String(u) + "."
+			u2 := core.NewUniverse()
+			prog2, err := ParseProgram(u2, "fuzz2", printed)
+			if err != nil {
+				t.Fatalf("printed rule %q does not re-parse: %v", printed, err)
+			}
+			printed2 := prog2.Rules[0].String(u2) + "."
+			if printed != printed2 {
+				t.Fatalf("round trip: %q != %q", printed, printed2)
+			}
+		}
+		// Accepted facts must be ground and re-parseable.
+		for _, id := range unit.Database.Atoms() {
+			text := u.AtomString(id) + "."
+			u2 := core.NewUniverse()
+			if _, err := ParseDatabase(u2, "fuzz2", text); err != nil {
+				t.Fatalf("printed fact %q does not re-parse: %v", text, err)
+			}
+		}
+	})
+}
+
+// FuzzParseTriggers: the trigger-DDL parser must never panic, and
+// accepted programs must be valid (safety-checked) rule programs.
+func FuzzParseTriggers(f *testing.F) {
+	seeds := []string{
+		`CREATE TRIGGER t AFTER INSERT ON p(X) DO INSERT q(X);`,
+		`CREATE TRIGGER t PRIORITY 3 AFTER DELETE ON p(X, Y) WHEN q(Y), NOT r(X) DO DELETE p(X, Y), INSERT s(X);`,
+		`CREATE RULE r WHEN p(X), X >= 10 DO INSERT big(X);`,
+		`CREATE`,
+		`CREATE TRIGGER`,
+		`CREATE RULE r WHEN p(X) DO`,
+		`CREATE INDEX i;`,
+		`create trigger lower;`,
+		strings.Repeat(`CREATE RULE r WHEN p(X) DO INSERT q(X);`, 20),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u := core.NewUniverse()
+		prog, err := ParseTriggers(u, "fuzz", src)
+		if err != nil {
+			return
+		}
+		// Accepted programs re-validate and every rule renders and
+		// re-parses in the rule language.
+		if err := prog.Validate(u); err != nil {
+			t.Fatalf("accepted program fails validation: %v", err)
+		}
+		for i := range prog.Rules {
+			printed := prog.Rules[i].String(u) + "."
+			u2 := core.NewUniverse()
+			if _, err := ParseProgram(u2, "", printed); err != nil {
+				t.Fatalf("trigger-compiled rule %q does not re-parse: %v", printed, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,327 @@
+// Package parser implements the textual rule language of the library:
+// programs of active rules, database instances (ground facts) and
+// transaction update sets. The concrete syntax follows the paper's
+// notation as closely as ASCII allows:
+//
+//	% facts (database file)
+//	p(a). p(b). emp(tom, 100).
+//
+//	% rules (program file)
+//	rule r1 priority 4: q(X) -> -a(X).
+//	emp(X, S), !active(X) -> -payroll(X, S).
+//	+r(X) -> -s(X).          % event literal in the body (ECA)
+//	-> +q(b).                % body-less rule
+//
+//	% updates (update file)
+//	+q(b). -p(a).
+//
+// Identifiers starting with a lower-case letter, integers and quoted
+// strings are constants; identifiers starting with an upper-case
+// letter or '_' are variables; '!' (or the keyword 'not') is negation
+// as failure; '==' and '!=' are built-in comparisons.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// SyntaxError reports a lexical or grammatical error with its source
+// position (1-based line and column).
+type SyntaxError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type tokKind uint8
+
+const (
+	tokEOF    tokKind = iota
+	tokIdent          // lower-case identifier (constant or predicate)
+	tokVar            // upper-case identifier or _
+	tokInt            // integer literal
+	tokString         // quoted string literal (text includes quotes)
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokColon
+	tokSemi  // ;
+	tokArrow // ->
+	tokPlus
+	tokMinus
+	tokBang   // !
+	tokEq     // ==
+	tokNeq    // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokKwRule // keyword "rule"
+	tokKwPriority
+	tokKwNot
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokColon:
+		return "':'"
+	case tokSemi:
+		return "';'"
+	case tokArrow:
+		return "'->'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokBang:
+		return "'!'"
+	case tokEq:
+		return "'=='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokKwRule:
+		return "'rule'"
+	case tokKwPriority:
+		return "'priority'"
+	case tokKwNot:
+		return "'not'"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	file string
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return &SyntaxError{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case r == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case r == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case r == '.':
+		l.advance()
+		return token{tokDot, ".", line, col}, nil
+	case r == ':':
+		l.advance()
+		return token{tokColon, ":", line, col}, nil
+	case r == ';':
+		l.advance()
+		return token{tokSemi, ";", line, col}, nil
+	case r == '+':
+		l.advance()
+		return token{tokPlus, "+", line, col}, nil
+	case r == '-':
+		l.advance()
+		if l.peek() == '>' {
+			l.advance()
+			return token{tokArrow, "->", line, col}, nil
+		}
+		return token{tokMinus, "-", line, col}, nil
+	case r == '!':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokNeq, "!=", line, col}, nil
+		}
+		return token{tokBang, "!", line, col}, nil
+	case r == '=':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokEq, "==", line, col}, nil
+		}
+		return token{}, l.errf(line, col, "unexpected '='; did you mean '=='?")
+	case r == '<':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokLe, "<=", line, col}, nil
+		}
+		return token{tokLt, "<", line, col}, nil
+	case r == '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokGe, ">=", line, col}, nil
+		}
+		return token{tokGt, ">", line, col}, nil
+	case r == '"':
+		// The token text is the raw source form including quotes and
+		// escape sequences, so printed constants re-parse to the same
+		// symbol (string constants compare by source form).
+		var sb strings.Builder
+		sb.WriteRune(l.advance())
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(line, col, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '\n' {
+				return token{}, l.errf(line, col, "unterminated string literal")
+			}
+			sb.WriteRune(c)
+			if c == '\\' {
+				if l.pos >= len(l.src) {
+					return token{}, l.errf(line, col, "unterminated string literal")
+				}
+				sb.WriteRune(l.advance())
+				continue
+			}
+			if c == '"' {
+				return token{tokString, sb.String(), line, col}, nil
+			}
+		}
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		if l.pos < len(l.src) && isIdentStart(l.peek()) {
+			return token{}, l.errf(line, col, "malformed number")
+		}
+		return token{tokInt, sb.String(), line, col}, nil
+	case isIdentStart(r):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		text := sb.String()
+		switch text {
+		case "rule":
+			return token{tokKwRule, text, line, col}, nil
+		case "priority":
+			return token{tokKwPriority, text, line, col}, nil
+		case "not":
+			return token{tokKwNot, text, line, col}, nil
+		}
+		first := []rune(text)[0]
+		if unicode.IsUpper(first) || first == '_' {
+			return token{tokVar, text, line, col}, nil
+		}
+		return token{tokIdent, text, line, col}, nil
+	}
+	return token{}, l.errf(line, col, "unexpected character %q", string(r))
+}

@@ -1,0 +1,521 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Unit is the result of parsing a source file: any mix of rules,
+// ground facts and ground updates, in source order.
+type Unit struct {
+	Program  *core.Program
+	Database *core.Database
+	Updates  []core.Update
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+	u   *core.Universe
+}
+
+func newParser(u *core.Universe, file, src string) (*parser, error) {
+	p := &parser{lex: newLexer(file, src), u: u}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{File: p.lex.file, Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// identLike reports whether the current token can serve as a
+// lower-case identifier (predicate or constant); the keywords are
+// contextual and usable as ordinary identifiers.
+func (p *parser) identLike() bool {
+	switch p.tok.kind {
+	case tokIdent, tokKwRule, tokKwPriority, tokKwNot:
+		return true
+	}
+	return false
+}
+
+// ruleBuilder accumulates the variables of one rule.
+type ruleBuilder struct {
+	names []string
+	index map[string]int
+}
+
+func (rb *ruleBuilder) varIndex(name string) int {
+	if name == "_" {
+		// Each anonymous variable occurrence is a fresh variable.
+		rb.names = append(rb.names, "_")
+		return len(rb.names) - 1
+	}
+	if rb.index == nil {
+		rb.index = make(map[string]int)
+	}
+	if i, ok := rb.index[name]; ok {
+		return i
+	}
+	i := len(rb.names)
+	rb.names = append(rb.names, name)
+	rb.index[name] = i
+	return i
+}
+
+// parseTerm parses a constant, integer, string or variable.
+func (p *parser) parseTerm(rb *ruleBuilder) (core.Term, error) {
+	switch {
+	case p.identLike(), p.tok.kind == tokInt, p.tok.kind == tokString:
+		s := p.u.Syms.Intern(p.tok.text)
+		if err := p.advance(); err != nil {
+			return core.Term{}, err
+		}
+		return core.ConstTerm(s), nil
+	case p.tok.kind == tokVar:
+		if rb == nil {
+			return core.Term{}, p.errf("variable %s not allowed here (facts and updates must be ground)", p.tok.text)
+		}
+		i := rb.varIndex(p.tok.text)
+		if err := p.advance(); err != nil {
+			return core.Term{}, err
+		}
+		return core.VarTerm(i), nil
+	}
+	return core.Term{}, p.errf("expected term, found %s %q", p.tok.kind, p.tok.text)
+}
+
+// parseAtom parses pred or pred(t1, ..., tn).
+func (p *parser) parseAtom(rb *ruleBuilder) (core.Atom, error) {
+	if !p.identLike() {
+		return core.Atom{}, p.errf("expected predicate name, found %s %q", p.tok.kind, p.tok.text)
+	}
+	pred := p.u.Syms.Intern(p.tok.text)
+	if err := p.advance(); err != nil {
+		return core.Atom{}, err
+	}
+	a := core.Atom{Pred: pred}
+	if p.tok.kind != tokLParen {
+		return a, nil
+	}
+	if err := p.advance(); err != nil {
+		return core.Atom{}, err
+	}
+	for {
+		t, err := p.parseTerm(rb)
+		if err != nil {
+			return core.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return core.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return core.Atom{}, err
+	}
+	return a, nil
+}
+
+// parseLiteral parses one body literal: an atom, a negated atom, an
+// event literal, or a built-in comparison between two terms.
+func (p *parser) parseLiteral(rb *ruleBuilder) (core.Literal, error) {
+	switch p.tok.kind {
+	case tokKwNot:
+		// "not p(X)" is negation; "not(b)" is an atom whose predicate
+		// is the identifier "not". Disambiguate by the next token.
+		save := *p.lex
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return core.Literal{}, err
+		}
+		if p.tok.kind == tokLParen {
+			*p.lex = save
+			p.tok = saveTok
+			break // fall through to the atom case below
+		}
+		a, err := p.parseAtom(rb)
+		if err != nil {
+			return core.Literal{}, err
+		}
+		return core.Literal{Kind: core.LitNeg, Atom: a}, nil
+	case tokBang:
+		if err := p.advance(); err != nil {
+			return core.Literal{}, err
+		}
+		a, err := p.parseAtom(rb)
+		if err != nil {
+			return core.Literal{}, err
+		}
+		return core.Literal{Kind: core.LitNeg, Atom: a}, nil
+	case tokPlus:
+		if err := p.advance(); err != nil {
+			return core.Literal{}, err
+		}
+		a, err := p.parseAtom(rb)
+		if err != nil {
+			return core.Literal{}, err
+		}
+		return core.Literal{Kind: core.LitEvIns, Atom: a}, nil
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return core.Literal{}, err
+		}
+		a, err := p.parseAtom(rb)
+		if err != nil {
+			return core.Literal{}, err
+		}
+		return core.Literal{Kind: core.LitEvDel, Atom: a}, nil
+	case tokVar, tokInt, tokString:
+		// Must be a comparison: term OP term (integers and strings
+		// cannot head an atom, so "100 <= X" is unambiguous).
+		left, err := p.parseTerm(rb)
+		if err != nil {
+			return core.Literal{}, err
+		}
+		return p.parseComparison(rb, left)
+	}
+	// Atom, possibly followed by a comparison operator when it is a
+	// bare constant (e.g. "a != X" is legal but unusual).
+	a, err := p.parseAtom(rb)
+	if err != nil {
+		return core.Literal{}, err
+	}
+	if isComparisonTok(p.tok.kind) && len(a.Args) == 0 {
+		return p.parseComparison(rb, core.ConstTerm(a.Pred))
+	}
+	return core.Literal{Kind: core.LitPos, Atom: a}, nil
+}
+
+func isComparisonTok(k tokKind) bool {
+	switch k {
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseComparison(rb *ruleBuilder, left core.Term) (core.Literal, error) {
+	var kind core.LitKind
+	switch p.tok.kind {
+	case tokEq:
+		kind = core.LitEq
+	case tokNeq:
+		kind = core.LitNeq
+	case tokLt:
+		kind = core.LitLt
+	case tokLe:
+		kind = core.LitLe
+	case tokGt:
+		kind = core.LitGt
+	case tokGe:
+		kind = core.LitGe
+	default:
+		return core.Literal{}, p.errf("expected a comparison operator, found %s %q", p.tok.kind, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return core.Literal{}, err
+	}
+	right, err := p.parseTerm(rb)
+	if err != nil {
+		return core.Literal{}, err
+	}
+	return core.Literal{Kind: kind, Atom: core.Atom{Pred: core.NoSym, Args: []core.Term{left, right}}}, nil
+}
+
+// groundAtom interns a parsed atom that must be ground.
+func (p *parser) groundAtom(a core.Atom, what string) (core.AID, error) {
+	args := make([]core.Sym, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			return -1, p.errf("%s must be ground", what)
+		}
+		args[i] = t.Const()
+	}
+	id, err := p.u.InternAtom(a.Pred, args)
+	if err != nil {
+		return -1, p.errf("%s: %v", what, err)
+	}
+	return id, nil
+}
+
+// parseRuleTail parses "body -> ±head ." after any "rule name:" prefix,
+// with the body possibly empty (token stream starting at '->').
+func (p *parser) parseRuleTail(name string, priority int, firstLit *core.Literal, rb *ruleBuilder) (core.Rule, error) {
+	var body []core.Literal
+	if firstLit != nil {
+		body = append(body, *firstLit)
+		for p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return core.Rule{}, err
+			}
+			lit, err := p.parseLiteral(rb)
+			if err != nil {
+				return core.Rule{}, err
+			}
+			body = append(body, lit)
+		}
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return core.Rule{}, err
+	}
+	var op core.HeadOp
+	switch p.tok.kind {
+	case tokPlus:
+		op = core.OpInsert
+	case tokMinus:
+		op = core.OpDelete
+	default:
+		return core.Rule{}, p.errf("rule head must start with '+' or '-'")
+	}
+	if err := p.advance(); err != nil {
+		return core.Rule{}, err
+	}
+	head, err := p.parseAtom(rb)
+	if err != nil {
+		return core.Rule{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return core.Rule{}, err
+	}
+	return core.Rule{
+		Name:     name,
+		Priority: priority,
+		NumVars:  len(rb.names),
+		VarNames: rb.names,
+		Body:     body,
+		Head:     head,
+		Op:       op,
+	}, nil
+}
+
+// parseStatement parses one statement into the unit. It returns false
+// at end of input.
+func (p *parser) parseStatement(unit *Unit) (bool, error) {
+	switch p.tok.kind {
+	case tokEOF:
+		return false, nil
+
+	case tokKwRule:
+		// Contextual: "rule name [priority N]:" — but "rule" may also
+		// start an unnamed rule whose first body atom is the predicate
+		// "rule". Peek: a rule declaration has an identifier next.
+		save := *p.lex
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return false, err
+		}
+		if p.identLike() {
+			name := p.tok.text
+			if err := p.advance(); err != nil {
+				return false, err
+			}
+			priority := 0
+			if p.tok.kind == tokKwPriority {
+				if err := p.advance(); err != nil {
+					return false, err
+				}
+				t, err := p.expect(tokInt)
+				if err != nil {
+					return false, err
+				}
+				priority, err = strconv.Atoi(t.text)
+				if err != nil {
+					return false, p.errf("bad priority %q", t.text)
+				}
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return false, err
+			}
+			rb := &ruleBuilder{}
+			var first *core.Literal
+			if p.tok.kind != tokArrow {
+				lit, err := p.parseLiteral(rb)
+				if err != nil {
+					return false, err
+				}
+				first = &lit
+			}
+			r, err := p.parseRuleTail(name, priority, first, rb)
+			if err != nil {
+				return false, err
+			}
+			unit.Program.Rules = append(unit.Program.Rules, r)
+			return true, nil
+		}
+		// Not a declaration: restore and fall through to the generic
+		// statement forms ("rule" as a predicate).
+		*p.lex = save
+		p.tok = saveTok
+	}
+
+	switch p.tok.kind {
+	case tokArrow:
+		// Body-less rule.
+		rb := &ruleBuilder{}
+		r, err := p.parseRuleTail("", 0, nil, rb)
+		if err != nil {
+			return false, err
+		}
+		unit.Program.Rules = append(unit.Program.Rules, r)
+		return true, nil
+
+	case tokPlus, tokMinus:
+		// Either a ground update "+a(b)." or a rule starting with an
+		// event literal "+r(X), ... -> ...".
+		op := core.OpInsert
+		if p.tok.kind == tokMinus {
+			op = core.OpDelete
+		}
+		rb := &ruleBuilder{}
+		lit, err := p.parseLiteral(rb)
+		if err != nil {
+			return false, err
+		}
+		if p.tok.kind == tokDot {
+			if err := p.advance(); err != nil {
+				return false, err
+			}
+			id, err := p.groundAtom(lit.Atom, "update")
+			if err != nil {
+				return false, err
+			}
+			unit.Updates = append(unit.Updates, core.Update{Op: op, Atom: id})
+			return true, nil
+		}
+		r, err := p.parseRuleTail("", 0, &lit, rb)
+		if err != nil {
+			return false, err
+		}
+		unit.Program.Rules = append(unit.Program.Rules, r)
+		return true, nil
+
+	default:
+		// Either a ground fact "p(a)." or an unnamed rule whose body
+		// starts with this literal.
+		rb := &ruleBuilder{}
+		lit, err := p.parseLiteral(rb)
+		if err != nil {
+			return false, err
+		}
+		if p.tok.kind == tokDot && lit.Kind == core.LitPos {
+			if err := p.advance(); err != nil {
+				return false, err
+			}
+			id, err := p.groundAtom(lit.Atom, "fact")
+			if err != nil {
+				return false, err
+			}
+			unit.Database.Add(id)
+			return true, nil
+		}
+		r, err := p.parseRuleTail("", 0, &lit, rb)
+		if err != nil {
+			return false, err
+		}
+		unit.Program.Rules = append(unit.Program.Rules, r)
+		return true, nil
+	}
+}
+
+// ParseUnit parses a mixed source file of rules, facts and updates.
+// All parsed rules are validated (safety conditions of §2) and all
+// predicate arities are pinned in the universe.
+func ParseUnit(u *core.Universe, file, src string) (*Unit, error) {
+	p, err := newParser(u, file, src)
+	if err != nil {
+		return nil, err
+	}
+	unit := &Unit{Program: &core.Program{}, Database: core.NewDatabase()}
+	for {
+		more, err := p.parseStatement(unit)
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	if err := unit.Program.Validate(u); err != nil {
+		return nil, err
+	}
+	return unit, nil
+}
+
+// ParseProgram parses a source containing only rules.
+func ParseProgram(u *core.Universe, file, src string) (*core.Program, error) {
+	unit, err := ParseUnit(u, file, src)
+	if err != nil {
+		return nil, err
+	}
+	if unit.Database.Len() > 0 {
+		return nil, fmt.Errorf("%s: program source contains facts", fileLabel(file))
+	}
+	if len(unit.Updates) > 0 {
+		return nil, fmt.Errorf("%s: program source contains updates", fileLabel(file))
+	}
+	return unit.Program, nil
+}
+
+// ParseDatabase parses a source containing only ground facts.
+func ParseDatabase(u *core.Universe, file, src string) (*core.Database, error) {
+	unit, err := ParseUnit(u, file, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(unit.Program.Rules) > 0 {
+		return nil, fmt.Errorf("%s: database source contains rules", fileLabel(file))
+	}
+	if len(unit.Updates) > 0 {
+		return nil, fmt.Errorf("%s: database source contains updates", fileLabel(file))
+	}
+	return unit.Database, nil
+}
+
+// ParseUpdates parses a source containing only ground updates.
+func ParseUpdates(u *core.Universe, file, src string) ([]core.Update, error) {
+	unit, err := ParseUnit(u, file, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(unit.Program.Rules) > 0 || unit.Database.Len() > 0 {
+		return nil, fmt.Errorf("%s: update source contains rules or facts", fileLabel(file))
+	}
+	return unit.Updates, nil
+}
+
+func fileLabel(file string) string {
+	if file == "" {
+		return "<input>"
+	}
+	return file
+}

@@ -1,0 +1,240 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseDatabase(t *testing.T) {
+	u := core.NewUniverse()
+	d, err := ParseDatabase(u, "db", `
+		% a comment
+		p(a). p(b).
+		emp(tom, 100).  // another comment
+		flag.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("parsed %d facts, want 4", d.Len())
+	}
+	p, _ := u.Syms.Lookup("p")
+	a, _ := u.Syms.Lookup("a")
+	if id, ok := u.LookupAtom(p, []core.Sym{a}); !ok || !d.Contains(id) {
+		t.Fatal("p(a) missing")
+	}
+}
+
+func TestParseProgramBasic(t *testing.T) {
+	u := core.NewUniverse()
+	prog, err := ParseProgram(u, "prog", `
+		rule r1 priority 4: q2(X) -> -a(X).
+		emp(X, S), !active(X) -> -payroll(X, S).
+		p(X), p(Y), X != Y -> +q(X, Y).
+		+r(X) -> -s(X).
+		-> +w(b).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(prog.Rules))
+	}
+	r1 := prog.Rules[0]
+	if r1.Name != "r1" || r1.Priority != 4 || r1.Op != core.OpDelete {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	if len(r1.Body) != 1 || r1.Body[0].Kind != core.LitPos {
+		t.Fatalf("r1 body = %+v", r1.Body)
+	}
+	r2 := prog.Rules[1]
+	if r2.Body[1].Kind != core.LitNeg {
+		t.Fatalf("r2 negation not parsed: %+v", r2.Body[1])
+	}
+	if r2.NumVars != 2 {
+		t.Fatalf("r2 has %d vars", r2.NumVars)
+	}
+	r3 := prog.Rules[2]
+	if r3.Body[2].Kind != core.LitNeq {
+		t.Fatalf("r3 builtin = %+v", r3.Body[2])
+	}
+	r4 := prog.Rules[3]
+	if r4.Body[0].Kind != core.LitEvIns || r4.Op != core.OpDelete {
+		t.Fatalf("r4 = %+v", r4)
+	}
+	r5 := prog.Rules[4]
+	if len(r5.Body) != 0 || r5.Op != core.OpInsert {
+		t.Fatalf("r5 = %+v", r5)
+	}
+}
+
+func TestParseUpdates(t *testing.T) {
+	u := core.NewUniverse()
+	ups, err := ParseUpdates(u, "", `+q(b). -p(a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 2 {
+		t.Fatalf("parsed %d updates", len(ups))
+	}
+	if ups[0].Op != core.OpInsert || ups[1].Op != core.OpDelete {
+		t.Fatalf("ops = %v %v", ups[0].Op, ups[1].Op)
+	}
+}
+
+func TestParseUnitMixed(t *testing.T) {
+	u := core.NewUniverse()
+	unit, err := ParseUnit(u, "", `
+		p(a).
+		p(X) -> +q(X).
+		+q(b).
+		not q(X), p(X) -> -p(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit.Database.Len() != 1 || len(unit.Program.Rules) != 2 || len(unit.Updates) != 1 {
+		t.Fatalf("unit = %d facts, %d rules, %d updates", unit.Database.Len(), len(unit.Program.Rules), len(unit.Updates))
+	}
+	if unit.Program.Rules[1].Body[0].Kind != core.LitNeg {
+		t.Fatal("'not' keyword negation not parsed")
+	}
+}
+
+func TestParseAnonymousVariable(t *testing.T) {
+	u := core.NewUniverse()
+	prog, err := ParseProgram(u, "", `emp(X, _), emp(X, _) -> +seen(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two anonymous occurrences must be distinct variables.
+	if prog.Rules[0].NumVars != 3 {
+		t.Fatalf("NumVars = %d, want 3", prog.Rules[0].NumVars)
+	}
+}
+
+func TestParseKeywordsAsIdentifiers(t *testing.T) {
+	u := core.NewUniverse()
+	unit, err := ParseUnit(u, "", `
+		rule(a).
+		not(b).
+		priority(c).
+		rule(X) -> +not(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit.Database.Len() != 3 || len(unit.Program.Rules) != 1 {
+		t.Fatalf("unit = %d facts %d rules", unit.Database.Len(), len(unit.Program.Rules))
+	}
+}
+
+func TestParseStringsAndInts(t *testing.T) {
+	u := core.NewUniverse()
+	d, err := ParseDatabase(u, "", `name(1, "Tom \"T\" Jones"). name(2, "x").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if _, ok := u.Syms.Lookup(`"x"`); !ok {
+		t.Fatal("string constant not interned with quotes")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"unterminated string", `p("abc`, "unterminated string"},
+		{"bad char", `p(a) @ q`, "unexpected character"},
+		{"single equals", `p(X), X = a -> +q(X).`, "did you mean"},
+		{"missing dot", `p(X) -> +q(X)`, "expected '.'"},
+		{"missing head sign", `p(X) -> q(X).`, "must start with '+' or '-'"},
+		{"var in fact", `p(X).`, "must be ground"},
+		{"unsafe head var", `p(X) -> +q(Y).`, "unsafe"},
+		{"unsafe neg var", `p(X), !q(Y) -> +r(X).`, "unsafe"},
+		{"unsafe builtin var", `p(X), X != Y -> +r(X).`, "unsafe"},
+		{"arity conflict", `p(a). p(a, b).`, "arity"},
+		{"malformed number", `p(1a).`, "malformed number"},
+		{"update with var", `+p(X).`, "must be ground"},
+		{"anonymous in head", `p(X) -> +q(_).`, "unsafe"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := core.NewUniverse()
+			_, err := ParseUnit(u, "test.park", tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	u := core.NewUniverse()
+	_, err := ParseUnit(u, "f.park", "p(a).\n  q(@).\n")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 || se.Col != 5 || se.File != "f.park" {
+		t.Fatalf("position = %s:%d:%d", se.File, se.Line, se.Col)
+	}
+	if !strings.Contains(se.Error(), "f.park:2:5") {
+		t.Fatalf("rendered error %q", se.Error())
+	}
+}
+
+func TestParseRestrictedEntryPoints(t *testing.T) {
+	u := core.NewUniverse()
+	if _, err := ParseProgram(u, "", `p(a).`); err == nil {
+		t.Fatal("ParseProgram accepted a fact")
+	}
+	if _, err := ParseDatabase(u, "", `p(X) -> +q(X).`); err == nil {
+		t.Fatal("ParseDatabase accepted a rule")
+	}
+	if _, err := ParseUpdates(u, "", `p(a).`); err == nil {
+		t.Fatal("ParseUpdates accepted a fact")
+	}
+}
+
+// Round trip: printing a parsed rule and re-parsing it yields the
+// same printed form.
+func TestRuleRoundTrip(t *testing.T) {
+	srcs := []string{
+		`q(X) -> -a(X).`,
+		`emp(X, S), !active(X) -> -payroll(X, S).`,
+		`p(X), p(Y), X != Y -> +q(X, Y).`,
+		`+r(X) -> -s(X).`,
+		`-r(X), s(X) -> +t(X).`,
+		`-> +q(b).`,
+		`p -> +q.`,
+	}
+	for _, src := range srcs {
+		u := core.NewUniverse()
+		prog, err := ParseProgram(u, "", src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		printed := prog.Rules[0].String(u) + "."
+		u2 := core.NewUniverse()
+		prog2, err := ParseProgram(u2, "", printed)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", printed, err)
+		}
+		printed2 := prog2.Rules[0].String(u2) + "."
+		if printed != printed2 {
+			t.Fatalf("round trip: %q != %q", printed, printed2)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package parser
+
+import "repro/internal/core"
+
+// ParseQuery parses a conjunctive query: a comma-separated list of
+// literals, optionally terminated by '.', e.g.
+//
+//	payroll(X, S), !active(X)
+//
+// Variables are shared across the whole query; '_' is anonymous.
+func ParseQuery(u *core.Universe, file, src string) (*core.Query, error) {
+	p, err := newParser(u, file, src)
+	if err != nil {
+		return nil, err
+	}
+	rb := &ruleBuilder{}
+	var body []core.Literal
+	for {
+		lit, err := p.parseLiteral(rb)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, lit)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s %q after query", p.tok.kind, p.tok.text)
+	}
+	q := &core.Query{
+		NumVars:  len(rb.names),
+		VarNames: rb.names,
+		Body:     body,
+	}
+	// Pin arities for non-builtin literals so malformed queries fail
+	// here rather than silently returning no rows.
+	for _, lit := range body {
+		if lit.Kind.Builtin() {
+			continue
+		}
+		if err := u.PinArity(lit.Atom.Pred, len(lit.Atom.Args)); err != nil {
+			return nil, err
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

@@ -1,0 +1,82 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseQueryForms(t *testing.T) {
+	u := core.NewUniverse()
+	q, err := ParseQuery(u, "q", `emp(X), !active(X), sal(X, S), S >= 100, S <= 900, S != 500, S == S, X < zz, X > aa.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 9 {
+		t.Fatalf("literals = %d", len(q.Body))
+	}
+	kinds := []core.LitKind{
+		core.LitPos, core.LitNeg, core.LitPos,
+		core.LitGe, core.LitLe, core.LitNeq, core.LitEq, core.LitLt, core.LitGt,
+	}
+	for i, k := range kinds {
+		if q.Body[i].Kind != k {
+			t.Fatalf("literal %d kind = %v, want %v", i, q.Body[i].Kind, k)
+		}
+	}
+	if q.NumVars != 2 {
+		t.Fatalf("vars = %d", q.NumVars)
+	}
+}
+
+func TestParseQueryTrailingGarbage(t *testing.T) {
+	u := core.NewUniverse()
+	if _, err := ParseQuery(u, "", `p(X) q(X)`); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := ParseQuery(u, "", `p(X), `); err == nil {
+		t.Fatal("dangling comma accepted")
+	}
+}
+
+func TestSyntaxErrorWithoutFile(t *testing.T) {
+	e := &SyntaxError{Line: 3, Col: 7, Msg: "boom"}
+	if got := e.Error(); got != "3:7: boom" {
+		t.Fatalf("Error = %q", got)
+	}
+}
+
+func TestFileLabel(t *testing.T) {
+	if fileLabel("") != "<input>" || fileLabel("x.park") != "x.park" {
+		t.Fatal("fileLabel wrong")
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	// Every token kind renders something meaningful (used in errors).
+	for k := tokEOF; k <= tokKwNot; k++ {
+		if k.String() == "" || k.String() == "token" && k != tokKwNot+1 {
+			if k.String() == "token" {
+				t.Fatalf("kind %d has no rendering", k)
+			}
+		}
+	}
+	if tokArrow.String() != "'->'" || tokSemi.String() != "';'" {
+		t.Fatal("specific token strings wrong")
+	}
+}
+
+func TestParseProgramComparisonConstLeft(t *testing.T) {
+	u := core.NewUniverse()
+	prog, err := ParseProgram(u, "", `p(X), 100 <= X -> +big(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rules[0].Body[1].Kind != core.LitLe {
+		t.Fatalf("const-left comparison kind = %v", prog.Rules[0].Body[1].Kind)
+	}
+	if !strings.Contains(prog.Rules[0].String(u), "100 <= X") {
+		t.Fatalf("rendering = %q", prog.Rules[0].String(u))
+	}
+}

@@ -1,0 +1,216 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// ParseTriggers parses a trigger-DDL source — the SQL-flavored
+// frontend in the style of the systems the paper cites (Ariel,
+// Postgres rules, Starburst) — and translates it to active rules.
+//
+//	CREATE TRIGGER audit PRIORITY 5
+//	  AFTER DELETE ON active(X)
+//	  WHEN dept(X, D)
+//	  DO INSERT audit(X, D), DELETE payroll(X, _ignored);
+//
+//	CREATE RULE cleanup
+//	  WHEN emp(X), NOT active(X), payroll(X, S)
+//	  DO DELETE payroll(X, S);
+//
+// AFTER INSERT/DELETE ON p(...) becomes the event literal +p/-p; WHEN
+// adds condition literals (NOT negates; comparisons are allowed); each
+// DO action becomes one rule sharing the trigger's body (a trigger
+// with n actions compiles to n rules named name, name#2, ...).
+// Keywords are upper-case and therefore cannot be used as variable
+// names inside trigger files.
+func ParseTriggers(u *core.Universe, file, src string) (*core.Program, error) {
+	p, err := newParser(u, file, src)
+	if err != nil {
+		return nil, err
+	}
+	prog := &core.Program{}
+	for p.tok.kind != tokEOF {
+		rules, err := p.parseTriggerStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, rules...)
+	}
+	if err := prog.Validate(u); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// kwIs reports whether the current token is the given upper-case
+// keyword (lexed as a variable token).
+func (p *parser) kwIs(word string) bool {
+	return p.tok.kind == tokVar && p.tok.text == word
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kwIs(word) {
+		return p.errf("expected %s, found %s %q", word, p.tok.kind, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseTriggerStmt() ([]core.Rule, error) {
+	if err := p.expectKw("CREATE"); err != nil {
+		return nil, err
+	}
+	isTrigger := p.kwIs("TRIGGER")
+	if !isTrigger && !p.kwIs("RULE") {
+		return nil, p.errf("expected TRIGGER or RULE, found %s %q", p.tok.kind, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if !p.identLike() {
+		return nil, p.errf("expected trigger name, found %s %q", p.tok.kind, p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	priority := 0
+	if p.kwIs("PRIORITY") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		priority, err = strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad priority %q", t.text)
+		}
+	}
+
+	rb := &ruleBuilder{}
+	var body []core.Literal
+
+	if isTrigger {
+		if err := p.expectKw("AFTER"); err != nil {
+			return nil, err
+		}
+		var evKind core.LitKind
+		switch {
+		case p.kwIs("INSERT"):
+			evKind = core.LitEvIns
+		case p.kwIs("DELETE"):
+			evKind = core.LitEvDel
+		default:
+			return nil, p.errf("expected INSERT or DELETE, found %s %q", p.tok.kind, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		atom, err := p.parseAtom(rb)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, core.Literal{Kind: evKind, Atom: atom})
+	}
+
+	if p.kwIs("WHEN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			lit, err := p.parseTriggerLiteral(rb)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, lit)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+
+	if err := p.expectKw("DO"); err != nil {
+		return nil, err
+	}
+	type action struct {
+		op   core.HeadOp
+		atom core.Atom
+	}
+	var actions []action
+	for {
+		var op core.HeadOp
+		switch {
+		case p.kwIs("INSERT"):
+			op = core.OpInsert
+		case p.kwIs("DELETE"):
+			op = core.OpDelete
+		default:
+			return nil, p.errf("expected INSERT or DELETE, found %s %q", p.tok.kind, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		atom, err := p.parseAtom(rb)
+		if err != nil {
+			return nil, err
+		}
+		actions = append(actions, action{op: op, atom: atom})
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+
+	rules := make([]core.Rule, 0, len(actions))
+	for i, act := range actions {
+		rname := name
+		if i > 0 {
+			rname = fmt.Sprintf("%s#%d", name, i+1)
+		}
+		rules = append(rules, core.Rule{
+			Name:     rname,
+			Priority: priority,
+			NumVars:  len(rb.names),
+			VarNames: rb.names,
+			Body:     body,
+			Head:     act.atom,
+			Op:       act.op,
+		})
+	}
+	return rules, nil
+}
+
+// parseTriggerLiteral parses one WHEN literal: an atom, NOT atom, or
+// a comparison. The upper-case keywords that structure the statement
+// (DO) terminate the literal list, so plain variables at literal
+// start can only begin comparisons, as in the rule language.
+func (p *parser) parseTriggerLiteral(rb *ruleBuilder) (core.Literal, error) {
+	if p.kwIs("NOT") {
+		if err := p.advance(); err != nil {
+			return core.Literal{}, err
+		}
+		a, err := p.parseAtom(rb)
+		if err != nil {
+			return core.Literal{}, err
+		}
+		return core.Literal{Kind: core.LitNeg, Atom: a}, nil
+	}
+	return p.parseLiteral(rb)
+}

@@ -1,0 +1,162 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Model-based test: random sequences of transactions, checkpoints and
+// reopens must keep the store equal to a trivial in-memory model of
+// applied updates.
+func TestStoreAgainstModel(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { s.Close() }()
+
+			model := map[string]bool{}
+			atoms := []string{"p(a)", "p(b)", "q(a, b)", "q(b, a)", "flag", "r(c)"}
+			ctx := context.Background()
+
+			for step := 0; step < 60; step++ {
+				switch rng.Intn(10) {
+				case 0: // checkpoint
+					if err := s.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				case 1: // reopen (simulated restart)
+					if err := s.Close(); err != nil {
+						t.Fatal(err)
+					}
+					s, err = Open(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+				default: // transaction with 1-3 random updates
+					n := 1 + rng.Intn(3)
+					var ups []core.Update
+					applied := map[string]bool{}
+					for k := 0; k < n; k++ {
+						atom := atoms[rng.Intn(len(atoms))]
+						ins := rng.Intn(2) == 0
+						op := "-"
+						if ins {
+							op = "+"
+						}
+						ups = append(ups, mustUpdates(t, s.Universe(), op+atom+".")...)
+						// Model semantics for conflicting updates in
+						// one transaction: inertia keeps the pre-state;
+						// same-direction duplicates are idempotent.
+						if prev, dup := applied[atom]; dup {
+							if prev != ins {
+								// conflict: revert to pre-transaction
+								// status; mark so later updates in this
+								// txn still apply... PARK resolves all
+								// update conflicts against D, so the
+								// pair cancels entirely.
+								applied[atom] = ins
+								continue
+							}
+							continue
+						}
+						applied[atom] = ins
+					}
+					// Re-derive the transaction's effect the way PARK
+					// does: an atom with both +u and -u keeps its
+					// database status (inertia); otherwise the update
+					// applies.
+					plus := map[string]bool{}
+					minus := map[string]bool{}
+					for _, up := range ups {
+						text := s.Universe().AtomString(up.Atom)
+						if up.Op == core.OpInsert {
+							plus[text] = true
+						} else {
+							minus[text] = true
+						}
+					}
+					if err := s.ApplyUpdates(ctx, ups); err != nil {
+						t.Fatal(err)
+					}
+					for atom := range plus {
+						if !minus[atom] {
+							model[atom] = true
+						}
+					}
+					for atom := range minus {
+						if !plus[atom] {
+							delete(model, atom)
+						}
+					}
+				}
+				// Compare store and model.
+				got := map[string]bool{}
+				u := s.Universe()
+				for _, id := range s.Snapshot().Atoms() {
+					got[u.AtomString(id)] = true
+				}
+				for atom := range model {
+					if !got[atom] {
+						t.Fatalf("step %d: model has %s, store does not", step, atom)
+					}
+				}
+				for atom := range got {
+					if !model[atom] {
+						t.Fatalf("step %d: store has %s, model does not", step, atom)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Consistency: a transaction through the store equals a direct engine
+// run over the store's snapshot.
+func TestApplyMatchesDirectEngine(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := s.Universe()
+		ctx := context.Background()
+		if err := s.ApplyUpdates(ctx, mustUpdates(t, u, `+p0(k0). +p1(k1). +p2(k0).`)); err != nil {
+			t.Fatal(err)
+		}
+		progSrc := fmt.Sprintf("rule r0: p0(X) -> +p%d(X).\nrule r1: p1(X) -> -p%d(X).\n", seed%3, (seed+1)%3)
+		prog := mustProgram(t, u, progSrc)
+		ups := mustUpdates(t, u, `+p0(k1).`)
+
+		before := s.Snapshot()
+		eng, err := core.NewEngine(u, prog, nil, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := eng.Run(ctx, before, ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaStore, err := s.Apply(ctx, prog, ups, nil, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderDB(u, direct.Output) != renderDB(u, viaStore.Output) {
+			t.Fatalf("seed %d: direct {%s} != store {%s}", seed,
+				renderDB(u, direct.Output), renderDB(u, viaStore.Output))
+		}
+		if renderDB(u, s.Snapshot()) != renderDB(u, direct.Output) {
+			t.Fatalf("seed %d: installed state diverges", seed)
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,62 @@
+package persist
+
+import "sync"
+
+// subscriber is one registered transaction listener.
+type subscriber struct {
+	ch chan TxnRecord
+}
+
+// subscribers is guarded by the store mutex via the subMu embedded
+// here (separate from s.mu so notifications never contend with long
+// transactions' engine work — Apply holds s.mu while notifying, but
+// registration does not need it).
+type subscribers struct {
+	mu   sync.Mutex
+	subs map[int]*subscriber
+	next int
+}
+
+// Subscribe registers a listener for committed transactions. Every
+// transaction that changes the database is sent to the returned
+// channel after it is durably committed. The channel has the given
+// buffer; if a subscriber falls behind, notifications for it are
+// DROPPED (the store never blocks on slow listeners) — consumers that
+// need a complete log should read History instead. cancel
+// unregisters and closes the channel.
+func (s *Store) Subscribe(buffer int) (events <-chan TxnRecord, cancel func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s.subsMu.mu.Lock()
+	defer s.subsMu.mu.Unlock()
+	if s.subsMu.subs == nil {
+		s.subsMu.subs = make(map[int]*subscriber)
+	}
+	id := s.subsMu.next
+	s.subsMu.next++
+	sub := &subscriber{ch: make(chan TxnRecord, buffer)}
+	s.subsMu.subs[id] = sub
+	var once sync.Once
+	return sub.ch, func() {
+		once.Do(func() {
+			s.subsMu.mu.Lock()
+			delete(s.subsMu.subs, id)
+			s.subsMu.mu.Unlock()
+			close(sub.ch)
+		})
+	}
+}
+
+// notify fans a committed transaction out to the subscribers,
+// dropping for any whose buffer is full.
+func (s *Store) notify(txn TxnRecord) {
+	s.subsMu.mu.Lock()
+	defer s.subsMu.mu.Unlock()
+	for _, sub := range s.subsMu.subs {
+		select {
+		case sub.ch <- txn:
+		default: // slow subscriber: drop
+		}
+	}
+}

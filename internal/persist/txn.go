@@ -1,0 +1,248 @@
+package persist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// Apply runs one transaction: PARK(P, current state, updates) under
+// the given strategy and options, durably logs the fact-level delta,
+// and installs the result as the new current state. On error the
+// store is unchanged. It returns the engine result (whose Output is
+// the new state).
+func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("persist: store is closed")
+	}
+	eng, err := core.NewEngine(s.u, prog, strategy, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(ctx, s.db, updates)
+	if err != nil {
+		return nil, err
+	}
+	// Fact-level delta old -> new.
+	var added, removed []core.AID
+	for _, up := range core.Diff(s.db, res.Output) {
+		if up.Op == core.OpInsert {
+			added = append(added, up.Atom)
+		} else {
+			removed = append(removed, up.Atom)
+		}
+	}
+	// Durability: delta records followed by a commit marker, then one
+	// fsync. Recovery discards deltas with no trailing marker, so a
+	// crash anywhere in this sequence preserves atomicity. No-change
+	// transactions are not logged (and get no history entry).
+	if len(added)+len(removed) > 0 {
+		txn := TxnRecord{Seq: len(s.history) + 1}
+		for _, id := range added {
+			text := s.u.AtomString(id)
+			txn.Added = append(txn.Added, text)
+			if err := s.appendRecord('+', text); err != nil {
+				return nil, fmt.Errorf("persist: wal append: %w", err)
+			}
+		}
+		for _, id := range removed {
+			text := s.u.AtomString(id)
+			txn.Removed = append(txn.Removed, text)
+			if err := s.appendRecord('-', text); err != nil {
+				return nil, fmt.Errorf("persist: wal append: %w", err)
+			}
+		}
+		if err := s.appendRecord('C', ""); err != nil {
+			return nil, fmt.Errorf("persist: wal append: %w", err)
+		}
+		if err := s.wal.Sync(); err != nil {
+			return nil, fmt.Errorf("persist: wal sync: %w", err)
+		}
+		s.history = append(s.history, txn)
+		s.notify(txn)
+	}
+	s.db = res.Output.Clone()
+	return res, nil
+}
+
+// History returns the committed transactions since the last
+// checkpoint, oldest first. Transactions that changed nothing are not
+// recorded.
+func (s *Store) History() []TxnRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TxnRecord, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// StateAt reconstructs the database as of transaction seq (0 = the
+// state at the last checkpoint / Open snapshot). It errors if seq is
+// out of range.
+func (s *Store) StateAt(seq int) (*core.Database, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < 0 || seq > len(s.history) {
+		return nil, fmt.Errorf("persist: transaction %d out of range [0, %d]", seq, len(s.history))
+	}
+	db := s.snapDB.Clone()
+	for _, txn := range s.history[:seq] {
+		for _, text := range txn.Added {
+			id, err := s.internAtomText(text)
+			if err != nil {
+				return nil, err
+			}
+			db.Add(id)
+		}
+		for _, text := range txn.Removed {
+			id, err := s.internAtomText(text)
+			if err != nil {
+				return nil, err
+			}
+			db.Remove(id)
+		}
+	}
+	return db, nil
+}
+
+// ApplyUpdates is Apply with an empty program: it durably applies raw
+// updates (conflicting pairs within the update set are resolved by
+// the strategy, defaulting to inertia).
+func (s *Store) ApplyUpdates(ctx context.Context, updates []core.Update) error {
+	_, err := s.Apply(ctx, &core.Program{}, updates, nil, core.Options{})
+	return err
+}
+
+// Query evaluates a conjunctive query against the current state.
+func (s *Store) Query(q *core.Query, yield func(binding []core.Sym) bool) error {
+	s.mu.Lock()
+	db := s.db.Clone()
+	s.mu.Unlock()
+	return core.EvalQuery(s.u, db, q, yield)
+}
+
+// Checkpoint writes the current state as a new snapshot (atomically,
+// via temp file + rename) and truncates the write-ahead log.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	ids := append([]core.AID(nil), s.db.Atoms()...)
+	s.u.SortAtoms(ids)
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(tmp, "%s.\n", s.u.AtomString(id)); err != nil {
+			tmp.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	s.walRecords = 0
+	s.snapDB = s.db.Clone()
+	s.history = nil
+	return nil
+}
+
+// Close syncs and closes the store. Further operations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	return s.wal.Close()
+}
+
+// Backup streams a consistent snapshot of the current state (sorted
+// ground facts in rule-language syntax) to w. The result is a valid
+// snapshot/database file.
+func (s *Store) Backup(w io.Writer) error {
+	s.mu.Lock()
+	db := s.db.Clone()
+	s.mu.Unlock()
+	ids := append([]core.AID(nil), db.Atoms()...)
+	s.u.SortAtoms(ids)
+	bw := bufio.NewWriter(w)
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(bw, "%s.\n", s.u.AtomString(id)); err != nil {
+			return fmt.Errorf("persist: backup: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore initializes a NEW store directory from a backup stream. It
+// refuses to overwrite an existing snapshot or WAL.
+func Restore(dir string, r io.Reader) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	snapPath := filepath.Join(dir, snapshotName)
+	walPath := filepath.Join(dir, walName)
+	for _, path := range []string{snapPath, walPath} {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("persist: restore target %s already exists", path)
+		}
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("persist: restore: %w", err)
+	}
+	// Validate before writing: the backup must parse as a database.
+	if _, err := parser.ParseDatabase(core.NewUniverse(), "backup", string(data)); err != nil {
+		return fmt.Errorf("persist: invalid backup: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "restore-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return os.Rename(tmpName, snapPath)
+}

@@ -1,0 +1,68 @@
+package resolve
+
+import "repro/internal/core"
+
+// Pre-built critics for the Voting scheme, matching the intuitions
+// the paper sketches in §5: recency ("later information may be
+// preferred"), source reliability ("one of these sources is more
+// reliable than the other" — approximated by rule priority), and
+// database conservatism (the inertia intuition as one voice among
+// several rather than the whole policy).
+
+// RecencyCritic prefers the new information over the status quo: it
+// always votes to perform the insertion.
+func RecencyCritic() Critic {
+	return CriticFunc{CriticName: "recency", Fn: func(*core.SelectInput) (core.Decision, error) {
+		return core.DecideInsert, nil
+	}}
+}
+
+// ConservativeCritic votes to keep the original database status —
+// the principle of inertia as a single vote.
+func ConservativeCritic() Critic {
+	return CriticFunc{CriticName: "conservative", Fn: func(in *core.SelectInput) (core.Decision, error) {
+		if in.Database.Contains(in.Conflict.Atom) {
+			return core.DecideInsert, nil
+		}
+		return core.DecideDelete, nil
+	}}
+}
+
+// ReliabilityCritic trusts the conflict side backed by the
+// highest-priority rule (the "more reliable source"); ties go to the
+// insertion.
+func ReliabilityCritic() Critic {
+	return CriticFunc{CriticName: "reliability", Fn: func(in *core.SelectInput) (core.Decision, error) {
+		best := func(gs []core.Grounding) int {
+			m := int(^uint(0)>>1) * -1
+			for _, g := range gs {
+				if p := in.Program.Rules[g.Rule].Priority; p > m {
+					m = p
+				}
+			}
+			return m
+		}
+		if best(in.Conflict.Ins) >= best(in.Conflict.Del) {
+			return core.DecideInsert, nil
+		}
+		return core.DecideDelete, nil
+	}}
+}
+
+// MajorityCritic votes with the larger conflict side: the atom more
+// rules "want" wins; ties go to deletion (the safer action for
+// constraint-style rules).
+func MajorityCritic() Critic {
+	return CriticFunc{CriticName: "majority", Fn: func(in *core.SelectInput) (core.Decision, error) {
+		if len(in.Conflict.Ins) > len(in.Conflict.Del) {
+			return core.DecideInsert, nil
+		}
+		return core.DecideDelete, nil
+	}}
+}
+
+// StandardPanel is a ready-made three-critic panel (recency,
+// reliability, conservative) for the Voting strategy.
+func StandardPanel() []Critic {
+	return []Critic{RecencyCritic(), ReliabilityCritic(), ConservativeCritic()}
+}

@@ -1,0 +1,358 @@
+// Package resolve provides the conflict resolution strategies
+// discussed in §4.1 and §5 of the paper, all implementing the
+// core.Strategy (SELECT) interface:
+//
+//   - Inertia — the principle of inertia (re-exported from core)
+//   - Priority — rule priorities (Ariel, Postgres, Starburst style)
+//   - Specificity — the AI principle "more specific rules win"
+//   - Interactive — ask the user on every conflict
+//   - Voting — a panel of critics, majority wins
+//   - Random — seeded random choice
+//   - Fallback — chain of partial strategies
+//   - ProtectUpdates — transaction updates cannot be overridden
+//
+// Strategies that can abstain (Specificity, Voting on a tie) return
+// ErrUndecided and are meant to be composed with Fallback.
+package resolve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ErrUndecided is returned by partial strategies when they cannot
+// order the two sides of a conflict; compose them with Fallback.
+var ErrUndecided = errors.New("resolve: strategy cannot decide this conflict")
+
+// Inertia returns the principle-of-inertia strategy (§4.1): the atom
+// keeps the status it had in the original database instance.
+func Inertia() core.Strategy { return core.InertiaStrategy{} }
+
+// Priority implements rule-priority conflict resolution (§5): the
+// side whose rules reach the highest priority wins. TieBreak resolves
+// equal maxima (nil means insert wins ties, matching the convention
+// that the paper's examples never exercise).
+type Priority struct {
+	// TieBreak optionally resolves equal-priority conflicts.
+	TieBreak core.Strategy
+}
+
+// Name implements core.Strategy.
+func (p Priority) Name() string { return "priority" }
+
+// Select implements core.Strategy.
+func (p Priority) Select(in *core.SelectInput) (core.Decision, error) {
+	maxPrio := func(gs []core.Grounding) int {
+		m := math.MinInt
+		for _, g := range gs {
+			if pr := in.Program.Rules[g.Rule].Priority; pr > m {
+				m = pr
+			}
+		}
+		return m
+	}
+	ins, del := maxPrio(in.Conflict.Ins), maxPrio(in.Conflict.Del)
+	switch {
+	case ins > del:
+		return core.DecideInsert, nil
+	case del > ins:
+		return core.DecideDelete, nil
+	case p.TieBreak != nil:
+		return p.TieBreak.Select(in)
+	default:
+		return core.DecideInsert, nil
+	}
+}
+
+// Specificity implements the specificity principle sketched in §5:
+// "more specific rules should be given priority over more general
+// rules" (penguins over birds). A rule r is at least as specific as
+// r' when the body of r' θ-subsumes the body of r, i.e. some variable
+// substitution maps every body literal of r' onto a body literal of
+// r. The side whose rules are strictly more specific wins; if the two
+// sides are incomparable the strategy abstains with ErrUndecided —
+// the paper itself notes specificity "is not a complete conflict
+// resolution strategy" and must be combined with others (use
+// Fallback).
+type Specificity struct{}
+
+// Name implements core.Strategy.
+func (Specificity) Name() string { return "specificity" }
+
+// Select implements core.Strategy.
+func (Specificity) Select(in *core.SelectInput) (core.Decision, error) {
+	// A side is "strictly more specific" if every rule on the other
+	// side subsumes some rule on this side, and not vice versa.
+	insMore := sideMoreSpecific(in.Program, in.Conflict.Ins, in.Conflict.Del)
+	delMore := sideMoreSpecific(in.Program, in.Conflict.Del, in.Conflict.Ins)
+	switch {
+	case insMore && !delMore:
+		return core.DecideInsert, nil
+	case delMore && !insMore:
+		return core.DecideDelete, nil
+	default:
+		return 0, ErrUndecided
+	}
+}
+
+// sideMoreSpecific reports whether every rule of side a is subsumed
+// by (i.e. at least as specific as) some rule of side b, with at
+// least one strict subsumption.
+func sideMoreSpecific(p *core.Program, a, b []core.Grounding) bool {
+	strict := false
+	for _, ga := range a {
+		ra := &p.Rules[ga.Rule]
+		ok := false
+		for _, gb := range b {
+			rb := &p.Rules[gb.Rule]
+			if Subsumes(rb, ra) {
+				ok = true
+				if !Subsumes(ra, rb) {
+					strict = true
+				}
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return strict
+}
+
+// Subsumes reports whether the body of general θ-subsumes the body of
+// specific: there is a substitution of general's variables (to
+// specific's terms) under which every body literal of general occurs
+// in specific's body. Intuitively, general applies whenever specific
+// does, so specific is the more specific rule.
+func Subsumes(general, specific *core.Rule) bool {
+	theta := make([]core.Term, general.NumVars)
+	bound := make([]bool, general.NumVars)
+	var match func(i int) bool
+	unifyTerm := func(tg, ts core.Term, trail *[]int) bool {
+		if !tg.IsVar() {
+			return !ts.IsVar() && tg.Const() == ts.Const()
+		}
+		v := tg.Var()
+		if bound[v] {
+			return theta[v] == ts
+		}
+		theta[v] = ts
+		bound[v] = true
+		*trail = append(*trail, v)
+		return true
+	}
+	match = func(i int) bool {
+		if i == len(general.Body) {
+			return true
+		}
+		lg := general.Body[i]
+		for _, ls := range specific.Body {
+			if ls.Kind != lg.Kind || ls.Atom.Pred != lg.Atom.Pred || len(ls.Atom.Args) != len(lg.Atom.Args) {
+				continue
+			}
+			var trail []int
+			ok := true
+			for k := range lg.Atom.Args {
+				if !unifyTerm(lg.Atom.Args[k], ls.Atom.Args[k], &trail) {
+					ok = false
+					break
+				}
+			}
+			if ok && match(i+1) {
+				return true
+			}
+			for _, v := range trail {
+				bound[v] = false
+			}
+		}
+		return false
+	}
+	return match(0)
+}
+
+// Interactive queries the user for every conflict (§5): it prints the
+// conflict on W and reads "i"/"insert" or "d"/"delete" from R. EOF or
+// an unrecognized answer after 3 attempts is an error.
+type Interactive struct {
+	R io.Reader
+	W io.Writer
+
+	br *bufio.Reader
+}
+
+// Name implements core.Strategy.
+func (i *Interactive) Name() string { return "interactive" }
+
+// Select implements core.Strategy.
+func (i *Interactive) Select(in *core.SelectInput) (core.Decision, error) {
+	if i.br == nil {
+		i.br = bufio.NewReader(i.R)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		fmt.Fprintf(i.W, "conflict %s\n", in.Conflict.String(in.Universe, in.Program))
+		fmt.Fprintf(i.W, "insert or delete %s? [i/d] ", in.Universe.AtomString(in.Conflict.Atom))
+		line, err := i.br.ReadString('\n')
+		if err != nil && line == "" {
+			return 0, fmt.Errorf("reading answer: %w", err)
+		}
+		switch strings.ToLower(strings.TrimSpace(line)) {
+		case "i", "insert", "+":
+			return core.DecideInsert, nil
+		case "d", "delete", "-":
+			return core.DecideDelete, nil
+		}
+		fmt.Fprintln(i.W, "please answer 'i' or 'd'")
+	}
+	return 0, errors.New("resolve: no valid interactive answer after 3 attempts")
+}
+
+// Critic is one voter of the Voting scheme (§5): a program that
+// inspects a conflict and votes insert or delete.
+type Critic interface {
+	Name() string
+	Vote(in *core.SelectInput) (core.Decision, error)
+}
+
+// CriticFunc adapts a function to the Critic interface.
+type CriticFunc struct {
+	CriticName string
+	Fn         func(in *core.SelectInput) (core.Decision, error)
+}
+
+// Name implements Critic.
+func (c CriticFunc) Name() string { return c.CriticName }
+
+// Vote implements Critic.
+func (c CriticFunc) Vote(in *core.SelectInput) (core.Decision, error) { return c.Fn(in) }
+
+// Voting implements the voting scheme of §5: every critic votes and
+// the majority opinion is adopted. Ties abstain with ErrUndecided
+// (compose with Fallback). A critic error aborts the evaluation.
+type Voting struct {
+	Critics []Critic
+}
+
+// Name implements core.Strategy.
+func (v Voting) Name() string { return "voting" }
+
+// Select implements core.Strategy.
+func (v Voting) Select(in *core.SelectInput) (core.Decision, error) {
+	if len(v.Critics) == 0 {
+		return 0, errors.New("resolve: voting strategy has no critics")
+	}
+	ins, del := 0, 0
+	for _, c := range v.Critics {
+		d, err := c.Vote(in)
+		if err != nil {
+			return 0, fmt.Errorf("critic %q: %w", c.Name(), err)
+		}
+		if d == core.DecideInsert {
+			ins++
+		} else {
+			del++
+		}
+	}
+	switch {
+	case ins > del:
+		return core.DecideInsert, nil
+	case del > ins:
+		return core.DecideDelete, nil
+	default:
+		return 0, ErrUndecided
+	}
+}
+
+// Random implements the random scheme of §5 with a seeded source, so
+// a run remains reproducible for a fixed seed.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a random strategy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements core.Strategy.
+func (r *Random) Name() string { return "random" }
+
+// Select implements core.Strategy.
+func (r *Random) Select(in *core.SelectInput) (core.Decision, error) {
+	if r.rng.Intn(2) == 0 {
+		return core.DecideInsert, nil
+	}
+	return core.DecideDelete, nil
+}
+
+// Fallback composes partial strategies: each is tried in order and
+// the first decision wins; ErrUndecided moves on to the next. All
+// strategies abstaining is an error.
+type Fallback struct {
+	Strategies []core.Strategy
+}
+
+// Name implements core.Strategy.
+func (f Fallback) Name() string {
+	names := make([]string, len(f.Strategies))
+	for i, s := range f.Strategies {
+		names[i] = s.Name()
+	}
+	return "fallback(" + strings.Join(names, ",") + ")"
+}
+
+// Select implements core.Strategy.
+func (f Fallback) Select(in *core.SelectInput) (core.Decision, error) {
+	for _, s := range f.Strategies {
+		d, err := s.Select(in)
+		if err == nil {
+			return d, nil
+		}
+		if !errors.Is(err, ErrUndecided) {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("resolve: %s: %w", f.Name(), ErrUndecided)
+}
+
+// ProtectUpdates wraps a strategy so that transaction updates can
+// never be overridden by rules (§4.3 discusses coding exactly this
+// into the conflict resolution policy): if one side of the conflict
+// contains an update rule (empty body, auto-generated by P_U) that
+// side wins; otherwise the inner strategy decides. Conflicting
+// updates on both sides fall through to the inner strategy as well.
+type ProtectUpdates struct {
+	Inner core.Strategy
+}
+
+// Name implements core.Strategy.
+func (p ProtectUpdates) Name() string { return "protect-updates(" + p.Inner.Name() + ")" }
+
+// Select implements core.Strategy.
+func (p ProtectUpdates) Select(in *core.SelectInput) (core.Decision, error) {
+	hasUpdate := func(gs []core.Grounding) bool {
+		for _, g := range gs {
+			r := &in.Program.Rules[g.Rule]
+			if len(r.Body) == 0 && strings.HasPrefix(r.Name, "update:") {
+				return true
+			}
+		}
+		return false
+	}
+	ins, del := hasUpdate(in.Conflict.Ins), hasUpdate(in.Conflict.Del)
+	switch {
+	case ins && !del:
+		return core.DecideInsert, nil
+	case del && !ins:
+		return core.DecideDelete, nil
+	default:
+		return p.Inner.Select(in)
+	}
+}

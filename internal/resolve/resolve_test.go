@@ -1,0 +1,339 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func run(t *testing.T, progSrc, dbSrc, updSrc string, strat core.Strategy) (*core.Universe, *core.Result) {
+	t.Helper()
+	u := core.NewUniverse()
+	prog, err := parser.ParseProgram(u, "", progSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := parser.ParseDatabase(u, "", dbSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []core.Update
+	if updSrc != "" {
+		if ups, err = parser.ParseUpdates(u, "", updSrc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := core.NewEngine(u, prog, strat, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), db, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, res
+}
+
+func resultString(u *core.Universe, d *core.Database) string {
+	ids := append([]core.AID(nil), d.Atoms()...)
+	u.SortAtoms(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = u.AtomString(id)
+	}
+	return strings.Join(parts, ", ")
+}
+
+const sec5Program = `
+	rule r1 priority 1: p -> +a.
+	rule r2 priority 2: p -> +q.
+	rule r3 priority 3: a -> +b.
+	rule r4 priority 4: a -> -q.
+	rule r5 priority 5: b -> +q.
+`
+
+func TestInertia(t *testing.T) {
+	u, res := run(t, sec5Program, `p.`, "", Inertia())
+	if got := resultString(u, res.Output); got != "a, b, p" {
+		t.Fatalf("result = {%s}", got)
+	}
+}
+
+func TestPriority(t *testing.T) {
+	u, res := run(t, sec5Program, `p.`, "", Priority{})
+	if got := resultString(u, res.Output); got != "a, b, p, q" {
+		t.Fatalf("result = {%s}", got)
+	}
+}
+
+func TestPriorityTieBreak(t *testing.T) {
+	prog := `
+		rule r1 priority 7: p -> +a.
+		rule r2 priority 7: p -> -a.
+	`
+	// Default tie: insert wins.
+	u, res := run(t, prog, `p.`, "", Priority{})
+	if got := resultString(u, res.Output); got != "a, p" {
+		t.Fatalf("default tie result = {%s}", got)
+	}
+	// Custom tie-break: inertia (a not in D, so delete).
+	u2, res2 := run(t, prog, `p.`, "", Priority{TieBreak: Inertia()})
+	if got := resultString(u2, res2.Output); got != "p" {
+		t.Fatalf("inertia tie result = {%s}", got)
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	u := core.NewUniverse()
+	prog, err := parser.ParseProgram(u, "", `
+		bird(X) -> +flies(X).
+		penguin(X), bird(X) -> -flies(X).
+		bird(tweety) -> +flies(tweety).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	general, specific, constant := &prog.Rules[0], &prog.Rules[1], &prog.Rules[2]
+	if !Subsumes(general, specific) {
+		t.Fatal("bird rule must subsume penguin rule")
+	}
+	if Subsumes(specific, general) {
+		t.Fatal("penguin rule must not subsume bird rule")
+	}
+	if !Subsumes(general, constant) {
+		t.Fatal("bird(X) must subsume bird(tweety)")
+	}
+	if Subsumes(constant, general) {
+		t.Fatal("bird(tweety) must not subsume bird(X)")
+	}
+	if !Subsumes(general, general) {
+		t.Fatal("subsumption must be reflexive")
+	}
+}
+
+func TestSpecificityPenguin(t *testing.T) {
+	// The paper's §5 example: penguins do not fly even though birds
+	// do — the more specific rule wins.
+	prog := `
+		rule birds: bird(X) -> +flies(X).
+		rule penguins: penguin(X), bird(X) -> -flies(X).
+	`
+	db := `bird(tweety). bird(pingu). penguin(pingu).`
+	strat := Fallback{Strategies: []core.Strategy{Specificity{}, Inertia()}}
+	u, res := run(t, prog, db, "", strat)
+	want := "bird(pingu), bird(tweety), flies(tweety), penguin(pingu)"
+	if got := resultString(u, res.Output); got != want {
+		t.Fatalf("result = {%s}, want {%s}", got, want)
+	}
+}
+
+func TestSpecificityUndecided(t *testing.T) {
+	// Incomparable rules: specificity alone must abstain, and the
+	// whole run must fail without a fallback.
+	prog := `
+		rule r1: p -> +a.
+		rule r2: q -> -a.
+	`
+	u := core.NewUniverse()
+	p, err := parser.ParseProgram(u, "", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := parser.ParseDatabase(u, "", `p. q.`)
+	eng, err := core.NewEngine(u, p, Specificity{}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(context.Background(), db, nil)
+	if !errors.Is(err, ErrUndecided) {
+		t.Fatalf("err = %v, want ErrUndecided", err)
+	}
+}
+
+func TestInteractive(t *testing.T) {
+	prog := `p -> +a. p -> -a. p -> +b. p -> -b.`
+	var out strings.Builder
+	strat := &Interactive{R: strings.NewReader("i\nd\n"), W: &out}
+	u, res := run(t, prog, `p.`, "", strat)
+	// First conflict (a): insert; second (b): delete.
+	if got := resultString(u, res.Output); got != "a, p" {
+		t.Fatalf("result = {%s}", got)
+	}
+	if !strings.Contains(out.String(), "insert or delete a?") {
+		t.Fatalf("prompt missing:\n%s", out.String())
+	}
+}
+
+func TestInteractiveRetryAndEOF(t *testing.T) {
+	prog := `p -> +a. p -> -a.`
+	var out strings.Builder
+	// Garbage then a valid answer.
+	strat := &Interactive{R: strings.NewReader("what\nok\ninsert\n"), W: &out}
+	u, res := run(t, prog, `p.`, "", strat)
+	if got := resultString(u, res.Output); got != "a, p" {
+		t.Fatalf("result = {%s}", got)
+	}
+	if !strings.Contains(out.String(), "please answer") {
+		t.Fatal("retry prompt missing")
+	}
+
+	// EOF before any answer must error out.
+	u2 := core.NewUniverse()
+	p2, _ := parser.ParseProgram(u2, "", prog)
+	db2, _ := parser.ParseDatabase(u2, "", `p.`)
+	eng, _ := core.NewEngine(u2, p2, &Interactive{R: strings.NewReader(""), W: &out}, core.Options{})
+	if _, err := eng.Run(context.Background(), db2, nil); err == nil {
+		t.Fatal("EOF did not produce an error")
+	}
+}
+
+func TestVoting(t *testing.T) {
+	insert := CriticFunc{CriticName: "optimist", Fn: func(*core.SelectInput) (core.Decision, error) {
+		return core.DecideInsert, nil
+	}}
+	del := CriticFunc{CriticName: "pessimist", Fn: func(*core.SelectInput) (core.Decision, error) {
+		return core.DecideDelete, nil
+	}}
+	strat := Voting{Critics: []Critic{insert, insert, del}}
+	u, res := run(t, `p -> +a. p -> -a.`, `p.`, "", strat)
+	if got := resultString(u, res.Output); got != "a, p" {
+		t.Fatalf("2:1 insert vote gave {%s}", got)
+	}
+
+	// Tie abstains; Fallback picks inertia.
+	tie := Fallback{Strategies: []core.Strategy{
+		Voting{Critics: []Critic{insert, del}},
+		Inertia(),
+	}}
+	u2, res2 := run(t, `p -> +a. p -> -a.`, `p.`, "", tie)
+	if got := resultString(u2, res2.Output); got != "p" {
+		t.Fatalf("tie + inertia gave {%s}", got)
+	}
+}
+
+func TestVotingErrors(t *testing.T) {
+	u := core.NewUniverse()
+	p, _ := parser.ParseProgram(u, "", `p -> +a. p -> -a.`)
+	db, _ := parser.ParseDatabase(u, "", `p.`)
+
+	eng, _ := core.NewEngine(u, p, Voting{}, core.Options{})
+	if _, err := eng.Run(context.Background(), db, nil); err == nil || !strings.Contains(err.Error(), "no critics") {
+		t.Fatalf("err = %v, want no-critics error", err)
+	}
+
+	boom := errors.New("boom")
+	bad := CriticFunc{CriticName: "bad", Fn: func(*core.SelectInput) (core.Decision, error) { return 0, boom }}
+	eng2, _ := core.NewEngine(u, p, Voting{Critics: []Critic{bad}}, core.Options{})
+	if _, err := eng2.Run(context.Background(), db, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped critic error", err)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	prog := `p -> +a. p -> -a. p -> +b. p -> -b. p -> +c. p -> -c.`
+	results := func(seed int64) string {
+		u, res := run(t, prog, `p.`, "", NewRandom(seed))
+		return resultString(u, res.Output)
+	}
+	if results(1) != results(1) {
+		t.Fatal("same seed diverged")
+	}
+	// Some seed pair must differ (3 conflicts, 8 outcomes).
+	diff := false
+	for seed := int64(2); seed < 12; seed++ {
+		if results(seed) != results(1) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("random strategy never varied across seeds")
+	}
+}
+
+func TestFallbackAllUndecided(t *testing.T) {
+	u := core.NewUniverse()
+	p, _ := parser.ParseProgram(u, "", `p -> +a. p -> -a.`)
+	db, _ := parser.ParseDatabase(u, "", `p.`)
+	eng, _ := core.NewEngine(u, p, Fallback{Strategies: []core.Strategy{Specificity{}}}, core.Options{})
+	if _, err := eng.Run(context.Background(), db, nil); !errors.Is(err, ErrUndecided) {
+		t.Fatalf("err = %v, want ErrUndecided", err)
+	}
+}
+
+func TestFallbackName(t *testing.T) {
+	f := Fallback{Strategies: []core.Strategy{Specificity{}, Inertia()}}
+	if f.Name() != "fallback(specificity,inertia)" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestProtectUpdates(t *testing.T) {
+	// The rule tries to delete what the transaction inserts. Plain
+	// inertia would delete (a ∉ D); ProtectUpdates keeps the update.
+	prog := `+a(X) -> -a(X).`
+	u, res := run(t, prog, ``, `+a(x).`, ProtectUpdates{Inner: Inertia()})
+	if got := resultString(u, res.Output); got != "a(x)" {
+		t.Fatalf("result = {%s}, want {a(x)}", got)
+	}
+	// Without protection, inertia removes it.
+	u2, res2 := run(t, prog, ``, `+a(x).`, Inertia())
+	if res2.Output.Len() != 0 {
+		t.Fatalf("unprotected result = {%s}, want empty", resultString(u2, res2.Output))
+	}
+}
+
+func TestProtectUpdatesBothSidesFallThrough(t *testing.T) {
+	// Conflicting updates on both sides: inner strategy decides.
+	u, res := run(t, ``, `p(x).`, `+p(x). -p(x).`, ProtectUpdates{Inner: Inertia()})
+	if got := resultString(u, res.Output); got != "p(x)" {
+		t.Fatalf("result = {%s}", got)
+	}
+}
+
+func TestCriticLibrary(t *testing.T) {
+	prog := `
+		rule keep priority 9: p -> +a.
+		rule drop priority 1: p -> -a.
+	`
+	// Standard panel: recency=insert, reliability=insert (9 >= 1),
+	// conservative=delete (a not in D) -> 2:1 insert.
+	strat := Fallback{Strategies: []core.Strategy{
+		Voting{Critics: StandardPanel()},
+		Inertia(),
+	}}
+	u, res := run(t, prog, `p.`, "", strat)
+	if got := resultString(u, res.Output); got != "a, p" {
+		t.Fatalf("standard panel gave {%s}", got)
+	}
+
+	// MajorityCritic: two deleting rules vs one inserting.
+	prog2 := `
+		rule i1: p -> +b.
+		rule d1: p -> -b.
+		rule d2: q -> -b.
+	`
+	strat2 := Fallback{Strategies: []core.Strategy{
+		Voting{Critics: []Critic{MajorityCritic()}},
+		Inertia(),
+	}}
+	u2, res2 := run(t, prog2, `p. q. b.`, "", strat2)
+	if got := resultString(u2, res2.Output); got != "p, q" {
+		t.Fatalf("majority critic gave {%s}", got)
+	}
+}
+
+func TestCriticNames(t *testing.T) {
+	for _, c := range StandardPanel() {
+		if c.Name() == "" {
+			t.Fatal("unnamed critic")
+		}
+	}
+	if MajorityCritic().Name() != "majority" {
+		t.Fatal("majority name wrong")
+	}
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a Go client for the HTTP API.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:7474".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, req, resp any) error {
+	var body io.Reader
+	if req != nil {
+		data, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if req != nil {
+		httpReq.Header.Set("Content-Type", "application/json")
+	}
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, httpResp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", httpResp.StatusCode)
+	}
+	if resp != nil {
+		return json.Unmarshal(data, resp)
+	}
+	return nil
+}
+
+// SetProgram installs the active rule program (and optionally the
+// default strategy tag).
+func (c *Client) SetProgram(ctx context.Context, source, strategy string) (*ProgramResponse, error) {
+	return c.SetProgramWith(ctx, ProgramRequest{Source: source, Strategy: strategy})
+}
+
+// SetProgramWith installs a program with explicit options (e.g.
+// Format: "triggers" for the CREATE TRIGGER DDL).
+func (c *Client) SetProgramWith(ctx context.Context, req ProgramRequest) (*ProgramResponse, error) {
+	var resp ProgramResponse
+	if err := c.do(ctx, http.MethodPut, "/v1/program", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Program fetches the active program.
+func (c *Client) Program(ctx context.Context) (*ProgramResponse, error) {
+	var resp ProgramResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/program", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Transact applies an update set through the active rules.
+func (c *Client) Transact(ctx context.Context, updates string) (*TransactionResponse, error) {
+	return c.TransactWith(ctx, TransactionRequest{Updates: updates})
+}
+
+// TransactWith applies an update set with explicit options.
+func (c *Client) TransactWith(ctx context.Context, req TransactionRequest) (*TransactionResponse, error) {
+	var resp TransactionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/transaction", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Database lists the current facts.
+func (c *Client) Database(ctx context.Context) ([]string, error) {
+	var resp DatabaseResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/database", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Facts, nil
+}
+
+// Query runs a conjunctive query.
+func (c *Client) Query(ctx context.Context, query string) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", QueryRequest{Query: query}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Analyze runs static analysis on the active program.
+func (c *Client) Analyze(ctx context.Context) (*AnalyzeResponse, error) {
+	var resp AnalyzeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// History lists committed transactions since the last checkpoint.
+func (c *Client) History(ctx context.Context) ([]TxnInfo, error) {
+	var resp HistoryResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/history", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Transactions, nil
+}
+
+// DatabaseAt lists the facts as of transaction seq (0 = last
+// checkpoint).
+func (c *Client) DatabaseAt(ctx context.Context, seq int) ([]string, error) {
+	var resp DatabaseResponse
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/database?at=%d", seq), nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Facts, nil
+}
+
+// Watch subscribes to committed transactions via the server's SSE
+// stream. Events arrive on the returned channel until ctx is
+// cancelled or the connection drops, after which the channel closes.
+// Slow consumers may miss events; use History for a complete log.
+func (c *Client) Watch(ctx context.Context) (<-chan TxnInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/watch", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	out := make(chan TxnInfo, 16)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var txn TxnInfo
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &txn); err != nil {
+				return
+			}
+			select {
+			case out <- txn:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Checkpoint snapshots the store.
+func (c *Client) Checkpoint(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/checkpoint", nil, nil)
+}

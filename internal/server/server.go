@@ -1,0 +1,456 @@
+// Package server exposes a persistent PARK active database over an
+// HTTP/JSON API, together with a matching Go client. It turns the
+// library into the kind of system the paper targets: a database that
+// holds a rule set and reacts to transactions (update sets) by
+// computing PARK(P, D, U) and durably installing the result.
+//
+// Endpoints (all JSON):
+//
+//	PUT  /v1/program       install the active rule program
+//	GET  /v1/program       fetch the active rule program
+//	POST /v1/transaction   apply an update set through the rules
+//	GET  /v1/database      list the current facts
+//	POST /v1/query         run a conjunctive query
+//	POST /v1/analyze       static analysis of the active program
+//	POST /v1/checkpoint    snapshot the store and truncate the WAL
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/persist"
+	"repro/internal/resolve"
+)
+
+// Server is the HTTP handler for one persistent store. The active
+// program and default strategy are part of the server state.
+type Server struct {
+	store *persist.Store
+
+	mu          sync.RWMutex
+	programSrc  string
+	program     *core.Program
+	strategyTag string
+}
+
+// New creates a server over the store. The initial program is empty
+// and the default strategy is inertia.
+func New(store *persist.Store) *Server {
+	return &Server{
+		store:       store,
+		program:     &core.Program{},
+		strategyTag: "inertia",
+	}
+}
+
+// SetProgram installs a rule program from rule-language source.
+func (s *Server) SetProgram(src string) error { return s.setProgram(src, "rules") }
+
+// SetTriggerProgram installs a program from trigger-DDL source.
+func (s *Server) SetTriggerProgram(src string) error { return s.setProgram(src, "triggers") }
+
+// setProgram installs a program in the given format ("rules" or
+// "triggers").
+func (s *Server) setProgram(src, format string) error {
+	var prog *core.Program
+	var err error
+	switch format {
+	case "", "rules":
+		prog, err = parser.ParseProgram(s.store.Universe(), "program", src)
+	case "triggers":
+		prog, err = parser.ParseTriggers(s.store.Universe(), "program", src)
+	default:
+		return fmt.Errorf("unknown program format %q (want rules or triggers)", format)
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.programSrc = src
+	s.program = prog
+	return nil
+}
+
+// SetStrategy sets the server's default conflict resolution strategy
+// tag, validating it.
+func (s *Server) SetStrategy(tag string) error {
+	if _, err := strategyFor(tag, 0); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.strategyTag = tag
+	return nil
+}
+
+// strategyFor resolves a strategy tag. Interactive strategies are not
+// available over the wire.
+func strategyFor(tag string, seed int64) (core.Strategy, error) {
+	switch tag {
+	case "", "inertia":
+		return resolve.Inertia(), nil
+	case "priority":
+		return resolve.Priority{TieBreak: resolve.Inertia()}, nil
+	case "specificity":
+		return resolve.Fallback{Strategies: []core.Strategy{resolve.Specificity{}, resolve.Inertia()}}, nil
+	case "random":
+		return resolve.NewRandom(seed), nil
+	case "protect-inertia":
+		return resolve.ProtectUpdates{Inner: resolve.Inertia()}, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", tag)
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/program", s.handleSetProgram)
+	mux.HandleFunc("GET /v1/program", s.handleGetProgram)
+	mux.HandleFunc("POST /v1/transaction", s.handleTransaction)
+	mux.HandleFunc("GET /v1/database", s.handleDatabase)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	return mux
+}
+
+// --- wire types ---
+
+// ProgramRequest installs a program.
+type ProgramRequest struct {
+	Source string `json:"source"`
+	// Format is "rules" (default) or "triggers" (the CREATE TRIGGER
+	// DDL).
+	Format string `json:"format,omitempty"`
+	// Strategy optionally sets the server's default strategy tag.
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// ProgramResponse reports the active program.
+type ProgramResponse struct {
+	Source   string `json:"source"`
+	Rules    int    `json:"rules"`
+	Strategy string `json:"strategy"`
+}
+
+// TransactionRequest applies an update set.
+type TransactionRequest struct {
+	// Updates in rule-language syntax, e.g. "+q(b). -p(a).".
+	Updates string `json:"updates"`
+	// Strategy overrides the server default for this transaction.
+	Strategy string `json:"strategy,omitempty"`
+	// Seed parameterizes the random strategy.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ConflictInfo describes one resolved conflict.
+type ConflictInfo struct {
+	Atom     string `json:"atom"`
+	Decision string `json:"decision"`
+}
+
+// TransactionResponse reports the outcome of a transaction.
+type TransactionResponse struct {
+	Facts     []string       `json:"facts"`
+	Phases    int            `json:"phases"`
+	Steps     int            `json:"steps"`
+	Conflicts []ConflictInfo `json:"conflicts,omitempty"`
+	Blocked   int            `json:"blocked"`
+}
+
+// DatabaseResponse lists the current facts.
+type DatabaseResponse struct {
+	Facts []string `json:"facts"`
+}
+
+// HistoryResponse lists the committed transactions since the last
+// checkpoint.
+type HistoryResponse struct {
+	Transactions []TxnInfo `json:"transactions"`
+}
+
+// TxnInfo describes one committed transaction's delta.
+type TxnInfo struct {
+	Seq     int      `json:"seq"`
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// QueryRequest runs a conjunctive query.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// QueryResponse returns variable names and answer rows.
+type QueryResponse struct {
+	Vars []string   `json:"vars"`
+	Rows [][]string `json:"rows"`
+}
+
+// AnalyzeResponse reports static analysis of the active program.
+type AnalyzeResponse struct {
+	Rules              int      `json:"rules"`
+	ConflictPredicates []string `json:"conflictPredicates"`
+	Stratified         bool     `json:"stratified"`
+	Recursive          bool     `json:"recursive"`
+	UsesEvents         bool     `json:"usesEvents"`
+	Warnings           []string `json:"warnings,omitempty"`
+}
+
+// ErrorResponse carries an error message.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// --- handlers ---
+
+func (s *Server) handleSetProgram(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Strategy != "" {
+		if _, err := strategyFor(req.Strategy, 0); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := s.setProgram(req.Source, req.Format); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if req.Strategy != "" {
+		s.strategyTag = req.Strategy
+	}
+	s.mu.Unlock()
+	s.handleGetProgram(w, r)
+}
+
+func (s *Server) handleGetProgram(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, ProgramResponse{
+		Source:   s.programSrc,
+		Rules:    len(s.program.Rules),
+		Strategy: s.strategyTag,
+	})
+}
+
+func (s *Server) handleTransaction(w http.ResponseWriter, r *http.Request) {
+	var req TransactionRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	u := s.store.Universe()
+	var ups []core.Update
+	if req.Updates != "" {
+		var err error
+		ups, err = parser.ParseUpdates(u, "transaction", req.Updates)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	s.mu.RLock()
+	prog := s.program
+	tag := s.strategyTag
+	s.mu.RUnlock()
+	if req.Strategy != "" {
+		tag = req.Strategy
+	}
+	strat, err := strategyFor(tag, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.store.Apply(r.Context(), prog, ups, strat, core.Options{})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := TransactionResponse{
+		Facts:   factStrings(u, res.Output),
+		Phases:  res.Stats.Phases,
+		Steps:   res.Stats.Steps,
+		Blocked: res.Stats.BlockedInstances,
+	}
+	for _, rc := range res.Conflicts {
+		resp.Conflicts = append(resp.Conflicts, ConflictInfo{
+			Atom:     u.AtomString(rc.Conflict.Atom),
+			Decision: rc.Decision.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDatabase(w http.ResponseWriter, r *http.Request) {
+	db := s.store.Snapshot()
+	// ?at=N time-travels to the state after transaction N (0 = the
+	// last checkpoint).
+	if at := r.URL.Query().Get("at"); at != "" {
+		seq, err := strconv.Atoi(at)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad 'at' parameter %q", at))
+			return
+		}
+		db, err = s.store.StateAt(seq)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, DatabaseResponse{Facts: factStrings(s.store.Universe(), db)})
+}
+
+// handleWatch streams committed transactions as server-sent events
+// ("data: {json}\n\n" frames) until the client disconnects. Slow
+// consumers may miss events (the store drops rather than blocks); use
+// /v1/history for a complete log.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	events, cancel := s.store.Subscribe(64)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case txn, ok := <-events:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(TxnInfo{Seq: txn.Seq, Added: txn.Added, Removed: txn.Removed})
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	resp := HistoryResponse{Transactions: []TxnInfo{}}
+	for _, txn := range s.store.History() {
+		resp.Transactions = append(resp.Transactions, TxnInfo{Seq: txn.Seq, Added: txn.Added, Removed: txn.Removed})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	u := s.store.Universe()
+	q, err := parser.ParseQuery(u, "query", req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var keep []int
+	resp := QueryResponse{Rows: [][]string{}}
+	for i, n := range q.VarNames {
+		if n != "_" {
+			keep = append(keep, i)
+			resp.Vars = append(resp.Vars, n)
+		}
+	}
+	seen := make(map[string]struct{})
+	err = s.store.Query(q, func(binding []core.Sym) bool {
+		row := make([]string, len(keep))
+		key := ""
+		for j, i := range keep {
+			row[j] = u.Syms.Name(binding[i])
+			key += row[j] + "\x00"
+		}
+		if _, dup := seen[key]; dup {
+			return true
+		}
+		seen[key] = struct{}{}
+		resp.Rows = append(resp.Rows, row)
+		return true
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	prog := s.program
+	s.mu.RUnlock()
+	u := s.store.Universe()
+	rep := analysis.Analyze(u, prog)
+	resp := AnalyzeResponse{
+		Rules:      len(prog.Rules),
+		Stratified: rep.Stratified,
+		Recursive:  rep.Recursive,
+		UsesEvents: rep.UsesEvents,
+		Warnings:   rep.Warnings,
+	}
+	for _, p := range rep.ConflictPredicates {
+		resp.ConflictPredicates = append(resp.ConflictPredicates, u.Syms.Name(p))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Checkpoint(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func factStrings(u *core.Universe, d *core.Database) []string {
+	ids := append([]core.AID(nil), d.Atoms()...)
+	u.SortAtoms(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = u.AtomString(id)
+	}
+	return out
+}

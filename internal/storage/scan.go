@@ -1,0 +1,60 @@
+package storage
+
+// Pattern describes a selection over a relation: for each column
+// either a bound symbol or Unbound.
+const Unbound int32 = -1
+
+// MatchRow reports whether the given row matches the pattern.
+func MatchRow(row []int32, pattern []int32) bool {
+	for i, p := range pattern {
+		if p != Unbound && row[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan calls fn for every row of r that matches pattern, in row
+// order, until fn returns false. If useIndex is true and at least one
+// pattern column is bound, the scan probes the (lazily built) hash
+// index of the first bound column instead of scanning linearly; the
+// useIndex=false path exists for the indexing ablation benchmark.
+func (r *Relation) Scan(pattern []int32, useIndex bool, fn func(row int) bool) {
+	if len(pattern) != r.arity {
+		panic("storage: pattern arity mismatch")
+	}
+	if useIndex {
+		for c, p := range pattern {
+			if p == Unbound {
+				continue
+			}
+			for _, row := range r.Probe(c, p) {
+				if MatchRow(r.Row(int(row)), pattern) {
+					if !fn(int(row)) {
+						return
+					}
+				}
+			}
+			return
+		}
+	}
+	n := r.Len()
+	for row := 0; row < n; row++ {
+		if MatchRow(r.Row(row), pattern) {
+			if !fn(row) {
+				return
+			}
+		}
+	}
+}
+
+// Contains reports whether any row matches the fully or partially
+// bound pattern.
+func (r *Relation) Contains(pattern []int32, useIndex bool) bool {
+	found := false
+	r.Scan(pattern, useIndex, func(int) bool {
+		found = true
+		return false
+	})
+	return found
+}

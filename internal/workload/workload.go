@@ -1,0 +1,295 @@
+// Package workload generates synthetic programs, database instances
+// and update sets for the benchmark harness (experiments B1–B8 in
+// DESIGN.md) and for randomized property tests. All generators are
+// deterministic functions of their parameters (and seed), and emit
+// sources in the library's rule language so they can also be dumped
+// and replayed through the CLI.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Scenario is one generated workload.
+type Scenario struct {
+	Name     string
+	Program  string // rule-language source
+	Database string
+	Updates  string
+	// Notes documents what the scenario exercises.
+	Notes string
+}
+
+// Chain produces a linear fact-propagation workload: a chain of n
+// edges and a program copying reachability down the chain. It runs in
+// Θ(n) steps with one derivation per step — the worst case for the
+// per-step overhead of the engine.
+func Chain(n int) Scenario {
+	var db strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&db, "edge(n%d, n%d).\n", i, i+1)
+	}
+	prog := `
+		rule seed: start(X) -> +reach(X).
+		rule step: reach(X), edge(X, Y) -> +reach(Y).
+	`
+	db.WriteString("start(n0).\n")
+	return Scenario{
+		Name:     fmt.Sprintf("chain-%d", n),
+		Program:  prog,
+		Database: db.String(),
+		Notes:    "linear propagation; Θ(n) steps, conflict-free",
+	}
+}
+
+// TransitiveClosure produces a random directed graph with the given
+// node count and edge probability (in percent), plus the classic
+// recursive TC program. Conflict-free, recursion through insertion;
+// output size is O(n²) and the run exercises joins heavily (B1).
+func TransitiveClosure(nodes, edgePercent int, seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	var db strings.Builder
+	edges := 0
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < nodes; j++ {
+			if i != j && rng.Intn(100) < edgePercent {
+				fmt.Fprintf(&db, "edge(n%d, n%d).\n", i, j)
+				edges++
+			}
+		}
+	}
+	if edges == 0 {
+		fmt.Fprintf(&db, "edge(n0, n%d).\n", nodes-1)
+	}
+	prog := `
+		rule base: edge(X, Y) -> +tc(X, Y).
+		rule trans: tc(X, Y), edge(Y, Z) -> +tc(X, Z).
+	`
+	return Scenario{
+		Name:     fmt.Sprintf("tc-%d-%d", nodes, edgePercent),
+		Program:  prog,
+		Database: db.String(),
+		Notes:    "transitive closure; conflict-free recursion, O(n^2) output",
+	}
+}
+
+// ConflictLadder produces a program with k sequenced conflicts: a
+// driver chain s0 -> s1 -> ... -> sk where reaching stage i fires
+// both +c_i and -c_i. Each phase of the PARK computation runs into
+// exactly one new conflict, so the evaluation performs k restarts —
+// the workload behind B2 ("restarts grow with planted conflicts and
+// never exceed the groundings bound").
+func ConflictLadder(k int) Scenario {
+	var prog strings.Builder
+	for i := 1; i <= k; i++ {
+		fmt.Fprintf(&prog, "rule drive%d priority %d: s%d -> +s%d.\n", i, i, i-1, i)
+		fmt.Fprintf(&prog, "rule ins%d priority %d: s%d -> +c%d.\n", i, 2*i, i, i)
+		fmt.Fprintf(&prog, "rule del%d priority %d: s%d -> -c%d.\n", i, 2*i+1, i, i)
+	}
+	return Scenario{
+		Name:     fmt.Sprintf("ladder-%d", k),
+		Program:  prog.String(),
+		Database: "s0.\n",
+		Notes:    "k sequenced conflicts; k phase restarts under any SELECT",
+	}
+}
+
+// WideConflicts produces k independent conflicts that all surface in
+// the very first step (one restart resolves them all): the contrast
+// case to ConflictLadder for the restart-count experiment.
+func WideConflicts(k int) Scenario {
+	var prog strings.Builder
+	for i := 1; i <= k; i++ {
+		fmt.Fprintf(&prog, "rule ins%d priority %d: s0 -> +c%d.\n", i, 2*i, i)
+		fmt.Fprintf(&prog, "rule del%d priority %d: s0 -> -c%d.\n", i, 2*i+1, i)
+	}
+	return Scenario{
+		Name:     fmt.Sprintf("wide-%d", k),
+		Program:  prog.String(),
+		Database: "s0.\n",
+		Notes:    "k simultaneous conflicts; a single restart resolves all",
+	}
+}
+
+// Grid produces an n×n grid reachability workload: right/down edges
+// plus the recursive reach program seeded at the origin. Unlike the
+// chain it has many same-length derivation paths per atom, stressing
+// the per-step dedup of the semi-naive evaluator.
+func Grid(n int) Scenario {
+	var db strings.Builder
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				fmt.Fprintf(&db, "edge(c%d_%d, c%d_%d).\n", i, j, i+1, j)
+			}
+			if j+1 < n {
+				fmt.Fprintf(&db, "edge(c%d_%d, c%d_%d).\n", i, j, i, j+1)
+			}
+		}
+	}
+	db.WriteString("reach(c0_0).\n")
+	prog := `
+		rule step: reach(X), edge(X, Y) -> +reach(Y).
+	`
+	return Scenario{
+		Name:     fmt.Sprintf("grid-%d", n),
+		Program:  prog,
+		Database: db.String(),
+		Notes:    "grid reachability; many redundant derivation paths",
+	}
+}
+
+// SelectiveJoin produces a workload dominated by index probes: a
+// large binary relation big(X, Y) joined against a small set of probe
+// keys. With hash indexes each probe costs O(matches); with linear
+// scans it costs O(|big|) — the workload behind ablation B6.
+func SelectiveJoin(bigRows, probes int, seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	keys := max(16, bigRows/64)
+	var db strings.Builder
+	for i := 0; i < bigRows; i++ {
+		fmt.Fprintf(&db, "big(k%d, v%d).\n", rng.Intn(keys), i)
+	}
+	for p := 0; p < probes; p++ {
+		fmt.Fprintf(&db, "probe(k%d).\n", rng.Intn(keys))
+	}
+	prog := `rule join: probe(X), big(X, Y) -> +out(X, Y).`
+	return Scenario{
+		Name:     fmt.Sprintf("seljoin-%d-%d", bigRows, probes),
+		Program:  prog,
+		Database: db.String(),
+		Notes:    "selective join; hash-index probes vs full scans",
+	}
+}
+
+// RandomProgram produces a random safe program over unary and binary
+// predicates together with a random database. Roughly half the head
+// predicates get both inserting and deleting rules, so conflicts are
+// common; used for the divergence experiment B4 and for randomized
+// engine properties. All validity/safety invariants hold by
+// construction.
+func RandomProgram(rules, preds, consts int, seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	if preds < 2 {
+		preds = 2
+	}
+	if consts < 2 {
+		consts = 2
+	}
+	var prog strings.Builder
+	for r := 0; r < rules; r++ {
+		// Body: 1-3 positive literals over variables X, Y; optionally
+		// one negated literal over already-bound variables.
+		nbody := 1 + rng.Intn(3)
+		vars := []string{"X", "Y"}
+		usedVars := map[string]bool{}
+		var body []string
+		for b := 0; b < nbody; b++ {
+			pred := fmt.Sprintf("p%d", rng.Intn(preds))
+			v := vars[rng.Intn(len(vars))]
+			usedVars[v] = true
+			body = append(body, fmt.Sprintf("%s(%s)", pred, v))
+		}
+		if rng.Intn(3) == 0 {
+			// Negated literal over a bound variable.
+			var bound []string
+			for v := range usedVars {
+				bound = append(bound, v)
+			}
+			v := bound[rng.Intn(len(bound))]
+			body = append(body, fmt.Sprintf("!p%d(%s)", rng.Intn(preds), v))
+		}
+		var bound []string
+		for _, v := range vars {
+			if usedVars[v] {
+				bound = append(bound, v)
+			}
+		}
+		head := fmt.Sprintf("p%d(%s)", rng.Intn(preds), bound[rng.Intn(len(bound))])
+		op := "+"
+		if rng.Intn(2) == 0 {
+			op = "-"
+		}
+		fmt.Fprintf(&prog, "rule r%d priority %d: %s -> %s%s.\n", r, rng.Intn(10), strings.Join(body, ", "), op, head)
+	}
+	var db strings.Builder
+	nfacts := consts * 2
+	for f := 0; f < nfacts; f++ {
+		fmt.Fprintf(&db, "p%d(k%d).\n", rng.Intn(preds), rng.Intn(consts))
+	}
+	return Scenario{
+		Name:     fmt.Sprintf("random-%d-%d-%d-%d", rules, preds, consts, seed),
+		Program:  prog.String(),
+		Database: db.String(),
+		Notes:    "random safe unary program with conflict potential",
+	}
+}
+
+// TriggerCascade produces an ECA workload: events propagate through a
+// chain of depth event rules, seeded by width transaction updates
+// (B7). Each update +l0(x_j) triggers a cascade of depth insertions
+// and a final deletion of the matching guard fact.
+func TriggerCascade(depth, width int) Scenario {
+	var prog strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&prog, "rule step%d: +l%d(X) -> +l%d(X).\n", i, i, i+1)
+	}
+	fmt.Fprintf(&prog, "rule fin: +l%d(X), guard(X) -> -guard(X).\n", depth)
+	var db, ups strings.Builder
+	for j := 0; j < width; j++ {
+		fmt.Fprintf(&db, "guard(x%d).\n", j)
+		fmt.Fprintf(&ups, "+l0(x%d).\n", j)
+	}
+	return Scenario{
+		Name:     fmt.Sprintf("cascade-%d-%d", depth, width),
+		Program:  prog.String(),
+		Database: db.String(),
+		Updates:  ups.String(),
+		Notes:    "ECA trigger cascade: depth event-rule chain, width updates",
+	}
+}
+
+// HRPayroll produces the payroll scenario motivating the paper's §2
+// example at scale: employees with salary records and active flags,
+// a deactivation trigger cascade, and the paper's cleanup rule
+// deleting payroll records of inactive employees. The updates
+// deactivate every deactivatePercent-th employee.
+func HRPayroll(employees int, deactivatePercent int, seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	var db strings.Builder
+	for i := 0; i < employees; i++ {
+		dept := rng.Intn(1 + employees/10)
+		fmt.Fprintf(&db, "emp(e%d). dept(e%d, d%d). active(e%d). payroll(e%d, s%d).\n",
+			i, i, dept, i, i, 1000+rng.Intn(4000))
+	}
+	prog := `
+		% the paper's §2 example rule: drop salary records of
+		% non-active employees
+		rule cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+		% deactivation event cascades into an audit trail
+		rule audit: -active(X), dept(X, D) -> +audit(X, D).
+		% every audited employee loses the active flag (idempotent here)
+		rule deact: audit(X, D) -> -active(X).
+	`
+	var ups strings.Builder
+	step := 100 / max(1, deactivatePercent)
+	for i := 0; i < employees; i += max(1, step) {
+		fmt.Fprintf(&ups, "-active(e%d).\n", i)
+	}
+	return Scenario{
+		Name:     fmt.Sprintf("hr-%d-%d", employees, deactivatePercent),
+		Program:  prog,
+		Database: db.String(),
+		Updates:  ups.String(),
+		Notes:    "HR payroll maintenance (the paper's motivating domain)",
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package park
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// QueryResult holds the answers of a conjunctive query: the named
+// variables (anonymous '_' variables are projected away) and one row
+// of constant names per distinct answer, sorted lexicographically.
+type QueryResult struct {
+	Vars []string
+	Rows [][]string
+}
+
+// Len returns the number of distinct answer rows.
+func (r *QueryResult) Len() int { return len(r.Rows) }
+
+// String renders the result like "X=a, S=100 | X=b, S=200".
+func (r *QueryResult) String() string {
+	if len(r.Rows) == 0 {
+		return "no"
+	}
+	if len(r.Vars) == 0 {
+		return "yes"
+	}
+	rows := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		parts := make([]string, len(r.Vars))
+		for j, v := range r.Vars {
+			parts[j] = v + "=" + row[j]
+		}
+		rows[i] = strings.Join(parts, ", ")
+	}
+	return strings.Join(rows, " | ")
+}
+
+// ParseQuery parses a conjunctive query ("p(X, b), !r(X)").
+func ParseQuery(u *Universe, name, src string) (*core.Query, error) {
+	return parser.ParseQuery(u, name, src)
+}
+
+// Query evaluates a conjunctive query against a database instance and
+// returns the distinct answers over the query's named variables. A
+// query with no variables returns zero or one empty row ("no"/"yes").
+func Query(u *Universe, d *Database, src string) (*QueryResult, error) {
+	q, err := parser.ParseQuery(u, "query", src)
+	if err != nil {
+		return nil, err
+	}
+	// Project away anonymous variables.
+	var keep []int
+	var vars []string
+	for i, n := range q.VarNames {
+		if n != "_" {
+			keep = append(keep, i)
+			vars = append(vars, n)
+		}
+	}
+	seen := make(map[string]struct{})
+	res := &QueryResult{Vars: vars}
+	err = core.EvalQuery(u, d, q, func(binding []Sym) bool {
+		row := make([]string, len(keep))
+		for j, i := range keep {
+			row[j] = u.Syms.Name(binding[i])
+		}
+		key := strings.Join(row, "\x00")
+		if _, dup := seen[key]; dup {
+			return true
+		}
+		seen[key] = struct{}{}
+		res.Rows = append(res.Rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		for k := range res.Rows[i] {
+			if res.Rows[i][k] != res.Rows[j][k] {
+				return res.Rows[i][k] < res.Rows[j][k]
+			}
+		}
+		return false
+	})
+	return res, nil
+}
+
+// QueryWithViews evaluates a query against the database extended with
+// derived predicates ("views"): a conflict-free program of pure
+// insertion rules — plain (possibly recursive) datalog — materialized
+// with the inflationary fixpoint before the query runs. This is the
+// situation the paper's introduction sets aside: "if no two
+// conflicting rules are ever firable, some fixpoint semantics may be
+// appropriate". Deletion rules and event literals are rejected.
+func QueryWithViews(ctx context.Context, u *Universe, d *Database, viewSrc, querySrc string) (*QueryResult, error) {
+	views, err := parser.ParseProgram(u, "views", viewSrc)
+	if err != nil {
+		return nil, err
+	}
+	for i := range views.Rules {
+		r := &views.Rules[i]
+		if r.Op != core.OpInsert {
+			return nil, fmt.Errorf("view rule %s: views must only insert (found a deletion rule)", views.RuleLabel(i))
+		}
+		for _, lit := range r.Body {
+			if lit.Kind == core.LitEvIns || lit.Kind == core.LitEvDel {
+				return nil, fmt.Errorf("view rule %s: event literals are not allowed in views", views.RuleLabel(i))
+			}
+		}
+	}
+	materialized, err := baseline.Inflationary(ctx, u, views, d, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Query(u, materialized, querySrc)
+}

@@ -1,0 +1,87 @@
+package park
+
+import (
+	"io"
+
+	"repro/internal/resolve"
+)
+
+// Strategy combinator and policy types, re-exported from
+// internal/resolve.
+type (
+	// PriorityStrategy resolves conflicts by rule priority (§5).
+	PriorityStrategy = resolve.Priority
+	// SpecificityStrategy prefers more specific rules (§5); partial,
+	// compose with Fallback.
+	SpecificityStrategy = resolve.Specificity
+	// InteractiveStrategy asks the user on every conflict (§5).
+	InteractiveStrategy = resolve.Interactive
+	// VotingStrategy adopts the majority opinion of its critics (§5).
+	VotingStrategy = resolve.Voting
+	// RandomStrategy picks randomly with a fixed seed (§5).
+	RandomStrategy = resolve.Random
+	// FallbackStrategy chains partial strategies.
+	FallbackStrategy = resolve.Fallback
+	// ProtectUpdatesStrategy makes transaction updates unoverridable.
+	ProtectUpdatesStrategy = resolve.ProtectUpdates
+	// Critic is one voter of the voting scheme.
+	Critic = resolve.Critic
+	// CriticFunc adapts a function to Critic.
+	CriticFunc = resolve.CriticFunc
+)
+
+// ErrUndecided is returned by partial strategies that abstain.
+var ErrUndecided = resolve.ErrUndecided
+
+// Inertia returns the principle-of-inertia strategy (§4.1): a
+// conflicting atom keeps the status it had in the original database.
+func Inertia() Strategy { return resolve.Inertia() }
+
+// Priority returns the rule-priority strategy: the conflict side with
+// the highest-priority rule wins; tieBreak (may be nil) handles equal
+// maxima.
+func Priority(tieBreak Strategy) Strategy { return resolve.Priority{TieBreak: tieBreak} }
+
+// Specificity returns the specificity strategy backed by inertia for
+// incomparable conflicts — the composition the paper suggests.
+func Specificity() Strategy {
+	return resolve.Fallback{Strategies: []Strategy{resolve.Specificity{}, resolve.Inertia()}}
+}
+
+// Interactive returns a strategy that prompts on w and reads
+// insert/delete answers from r.
+func Interactive(r io.Reader, w io.Writer) Strategy { return &resolve.Interactive{R: r, W: w} }
+
+// Voting returns the critics-vote-majority strategy with inertia as
+// the tie breaker.
+func Voting(critics ...Critic) Strategy {
+	return resolve.Fallback{Strategies: []Strategy{
+		resolve.Voting{Critics: critics},
+		resolve.Inertia(),
+	}}
+}
+
+// Random returns a seeded random strategy (reproducible per seed).
+func Random(seed int64) Strategy { return resolve.NewRandom(seed) }
+
+// Fallback chains partial strategies: the first decision wins.
+func Fallback(strategies ...Strategy) Strategy {
+	return resolve.Fallback{Strategies: strategies}
+}
+
+// ProtectUpdates wraps a strategy so transaction updates always win
+// conflicts against rules (§4.3).
+func ProtectUpdates(inner Strategy) Strategy { return resolve.ProtectUpdates{Inner: inner} }
+
+// Pre-built critics for the voting scheme (§5): recency prefers the
+// new information, reliability trusts the higher-priority rule,
+// conservative votes for the original database status, majority votes
+// with the larger conflict side.
+func RecencyCritic() Critic      { return resolve.RecencyCritic() }
+func ReliabilityCritic() Critic  { return resolve.ReliabilityCritic() }
+func ConservativeCritic() Critic { return resolve.ConservativeCritic() }
+func MajorityCritic() Critic     { return resolve.MajorityCritic() }
+
+// StandardPanel is a ready-made recency/reliability/conservative
+// critic panel for Voting.
+func StandardPanel() []Critic { return resolve.StandardPanel() }

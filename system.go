@@ -1,0 +1,36 @@
+package park
+
+import (
+	"io"
+
+	"repro/internal/persist"
+	"repro/internal/server"
+)
+
+// System-level types, re-exported so the durable store and the HTTP
+// server are reachable from the public facade.
+type (
+	// Store is a durable database instance: snapshot + write-ahead
+	// log, atomic transactions, crash recovery, history/time travel
+	// and subscriptions. See examples/activedb and examples/monitor.
+	Store = persist.Store
+	// TxnRecord is one committed transaction's fact-level delta.
+	TxnRecord = persist.TxnRecord
+	// Server exposes a Store over an HTTP/JSON API.
+	Server = server.Server
+	// Client is the Go client for the HTTP API.
+	Client = server.Client
+)
+
+// OpenStore opens (or creates) a durable store directory, recovering
+// state from the snapshot and write-ahead log.
+func OpenStore(dir string) (*Store, error) { return persist.Open(dir) }
+
+// RestoreStore initializes a new store directory from a Backup
+// stream; it refuses to overwrite an existing store.
+func RestoreStore(dir string, r io.Reader) error { return persist.Restore(dir, r) }
+
+// NewServer wraps a store in the HTTP/JSON active-database server;
+// install a program with SetProgram/SetTriggerProgram and serve
+// Handler().
+func NewServer(store *Store) *Server { return server.New(store) }
