@@ -453,12 +453,12 @@ func runB10(quick bool) error {
 	sc := workload.SelectiveJoin(n, 512, 1)
 	w := table()
 	fmt.Fprintf(w, "cores available: %d\n", runtime.GOMAXPROCS(0))
-	fmt.Fprintln(w, "mode\tworkers\ttime\tspeedup")
+	fmt.Fprintln(w, "mode\tworkers\ttime\tspeedup\tshards")
 	base, _, d1, err := evalScenario(sc, nil, park.Options{NoIndex: true})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "linear\t1\t%v\t1.0x\n", d1.Round(time.Microsecond))
+	fmt.Fprintf(w, "linear\t1\t%v\t1.0x\t%d\n", d1.Round(time.Microsecond), base.RunStats.Shards)
 	for _, workers := range []int{2, 4, 8} {
 		res, _, d, err := evalScenario(sc, nil, park.Options{NoIndex: true, Parallel: workers})
 		if err != nil {
@@ -467,7 +467,7 @@ func runB10(quick bool) error {
 		if res.Stats.Derivations != base.Stats.Derivations {
 			return fmt.Errorf("parallel run diverged: %d vs %d derivations", res.Stats.Derivations, base.Stats.Derivations)
 		}
-		fmt.Fprintf(w, "linear\t%d\t%v\t%.1fx\n", workers, d.Round(time.Microsecond), float64(d1)/float64(d))
+		fmt.Fprintf(w, "linear\t%d\t%v\t%.1fx\t%d\n", workers, d.Round(time.Microsecond), float64(d1)/float64(d), res.RunStats.Shards)
 	}
 	w.Flush()
 	fmt.Println("shape check: results identical; speedup bounded by core count")
@@ -489,7 +489,7 @@ func runB11(quick bool) error {
 		txns = 20
 	}
 	w := table()
-	fmt.Fprintln(w, "employees\ttxns\ttotal\tper-txn\ttxn/s")
+	fmt.Fprintln(w, "employees\ttxns\ttotal\tper-txn\ttxn/s\tphases\tsteps\tgroundings")
 	for _, n := range sizes {
 		sc := workload.HRPayroll(n, 0, 7) // no updates; we drive them below
 		dir, err := os.MkdirTemp("", "parkbench-b11-*")
@@ -513,20 +513,28 @@ func runB11(quick bool) error {
 		if err := store.ApplyUpdates(context.Background(), seed); err != nil {
 			return cleanupB11(store, dir, err)
 		}
+		// Aggregate the per-run engine counters the way the server's
+		// /v1/metrics does, so the table shows where the time went.
+		var phases, steps int
+		var groundings int64
 		start := time.Now()
 		for i := 0; i < txns; i++ {
 			ups, err := parser.ParseUpdates(u, "", fmt.Sprintf("-active(e%d).\n", i%n))
 			if err != nil {
 				return cleanupB11(store, dir, err)
 			}
-			if _, err := store.Apply(context.Background(), prog, ups, nil, park.Options{}); err != nil {
+			res, err := store.Apply(context.Background(), prog, ups, nil, park.Options{})
+			if err != nil {
 				return cleanupB11(store, dir, err)
 			}
+			phases += res.RunStats.Phases
+			steps += res.RunStats.Steps
+			groundings += res.RunStats.Groundings
 		}
 		elapsed := time.Since(start)
-		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%.0f\n", n, txns,
+		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%.0f\t%d\t%d\t%d\n", n, txns,
 			elapsed.Round(time.Millisecond), (elapsed / time.Duration(txns)).Round(time.Microsecond),
-			float64(txns)/elapsed.Seconds())
+			float64(txns)/elapsed.Seconds(), phases, steps, groundings)
 		if err := cleanupB11(store, dir, nil); err != nil {
 			return err
 		}

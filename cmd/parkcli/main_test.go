@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -204,6 +205,25 @@ func TestCmdCheckTriggers(t *testing.T) {
 	}
 }
 
+// lockedBuilder lets the test poll the watch goroutine's output
+// without racing its writes.
+type lockedBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuilder) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuilder) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
 func TestWatchCommand(t *testing.T) {
 	store, err := persist.Open(t.TempDir())
 	if err != nil {
@@ -215,9 +235,9 @@ func TestWatchCommand(t *testing.T) {
 	defer ts.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
-	var out strings.Builder
+	out := &lockedBuilder{}
 	done := make(chan error, 1)
-	go func() { done <- watch(ctx, ts.URL, &out) }()
+	go func() { done <- watch(ctx, ts.URL, out) }()
 
 	c := &server.Client{BaseURL: ts.URL}
 	// The watcher connects asynchronously and events before the

@@ -8,6 +8,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	park "repro"
 )
@@ -163,10 +164,13 @@ func parseGroundAtom(u *park.Universe, text string) (park.AID, error) {
 	return db.Atoms()[0], nil
 }
 
-// runJSON is the -format json shape of a run result.
+// runJSON is the -format json shape of a run result. Stats carries
+// the extended RunStats (Γ-step split, groundings, shards, SELECT
+// outcomes, per-phase wall time); the embedded Stats fields are
+// inlined, so pre-existing keys are unchanged.
 type runJSON struct {
 	Facts     []string       `json:"facts"`
-	Stats     park.Stats     `json:"stats"`
+	Stats     park.RunStats  `json:"stats"`
 	Conflicts []conflictJSON `json:"conflicts,omitempty"`
 }
 
@@ -178,7 +182,7 @@ type conflictJSON struct {
 func printResultJSON(u *park.Universe, res *park.Result) error {
 	ids := append([]park.AID(nil), res.Output.Atoms()...)
 	u.SortAtoms(ids)
-	out := runJSON{Stats: res.Stats, Facts: make([]string, len(ids))}
+	out := runJSON{Stats: res.RunStats, Facts: make([]string, len(ids))}
 	for i, id := range ids {
 		out.Facts[i] = u.AtomString(id)
 	}
@@ -208,9 +212,13 @@ func printResult(u *park.Universe, res *park.Result, stats bool) {
 		fmt.Printf("%s.\n", u.AtomString(id))
 	}
 	if stats {
+		rs := res.RunStats
 		fmt.Fprintf(os.Stderr, "phases=%d steps=%d conflicts=%d stale=%d blocked=%d derivations=%d new-facts=%d\n",
-			res.Stats.Phases, res.Stats.Steps, res.Stats.Conflicts, res.Stats.StaleConflicts,
-			res.Stats.BlockedInstances, res.Stats.Derivations, res.Stats.NewFacts)
+			rs.Phases, rs.Steps, rs.Conflicts, rs.StaleConflicts,
+			rs.BlockedInstances, rs.Derivations, rs.NewFacts)
+		fmt.Fprintf(os.Stderr, "restarts=%d gamma-full=%d gamma-delta=%d groundings=%d shards=%d select-insert=%d select-delete=%d wall=%v\n",
+			rs.Restarts, rs.FullSteps, rs.DeltaSteps, rs.Groundings, rs.Shards,
+			rs.InsertDecisions, rs.DeleteDecisions, rs.Wall.Round(time.Microsecond))
 	}
 }
 

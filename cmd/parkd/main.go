@@ -2,18 +2,32 @@
 //
 // Usage:
 //
-//	parkd -dir ./data [-addr :7474] [-program rules.park | -triggers ddl.sql] [-strategy inertia]
+//	parkd -dir ./data [-addr :7474] [-program rules.park | -triggers ddl.sql]
+//	      [-strategy inertia] [-pprof] [-read-timeout 30s] [-write-timeout 0]
+//	      [-idle-timeout 2m] [-shutdown-timeout 10s]
 //
 // The store directory holds the snapshot and write-ahead log; state
-// survives restarts. See internal/server for the JSON API.
+// survives restarts. See internal/server for the JSON API and
+// docs/OBSERVABILITY.md for the metrics (/v1/metrics) and profiling
+// (-pprof) surfaces.
+//
+// parkd shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests get -shutdown-timeout to finish, and
+// the store is closed (syncing the WAL) before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/persist"
 	"repro/internal/server"
@@ -25,6 +39,12 @@ type config struct {
 	program  string // rule-language program file
 	triggers string // trigger-DDL program file
 	strategy string
+
+	pprof           bool
+	readTimeout     time.Duration
+	writeTimeout    time.Duration
+	idleTimeout     time.Duration
+	shutdownTimeout time.Duration
 }
 
 // setup opens the store and builds the configured server. The caller
@@ -68,6 +88,58 @@ func setup(cfg config) (*server.Server, *persist.Store, error) {
 	return srv, store, nil
 }
 
+// buildHandler mounts the API handler and, when enabled, the
+// net/http/pprof endpoints under /debug/pprof/.
+func buildHandler(srv *server.Server, withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// newHTTPServer builds the http.Server with the configured timeouts.
+// The write timeout defaults to 0 (disabled) because /v1/watch is a
+// long-lived SSE stream; setting it bounds every response including
+// watch streams.
+func newHTTPServer(addr string, h http.Handler, cfg config) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+}
+
+// serve runs the HTTP server until ctx is cancelled (or the listener
+// fails), then shuts down gracefully within cfg.shutdownTimeout.
+func serve(ctx context.Context, hs *http.Server, cfg config) error {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("parkd: shutting down (waiting up to %v for in-flight requests)", cfg.shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		// Long-lived connections (e.g. /v1/watch streams) that outlive
+		// the grace period are cut hard.
+		hs.Close()
+		return fmt.Errorf("parkd: forced shutdown: %w", err)
+	}
+	return nil
+}
+
 func main() {
 	var cfg config
 	addr := flag.String("addr", ":7474", "listen address")
@@ -75,6 +147,11 @@ func main() {
 	flag.StringVar(&cfg.program, "program", "", "rule program file to install at startup")
 	flag.StringVar(&cfg.triggers, "triggers", "", "trigger-DDL program file to install at startup")
 	flag.StringVar(&cfg.strategy, "strategy", "inertia", "default conflict resolution strategy")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "max duration for reading a request (0 disables)")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 0, "max duration for writing a response (0 disables; >0 also bounds /v1/watch streams)")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 	if cfg.dir == "" {
 		fmt.Fprintln(os.Stderr, "parkd: -dir is required")
@@ -84,10 +161,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("parkd: %v", err)
 	}
-	defer store.Close()
 
-	log.Printf("parkd: serving store %s on %s (%d facts)", cfg.dir, *addr, store.Len())
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatalf("parkd: %v", err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := newHTTPServer(*addr, buildHandler(srv, cfg.pprof), cfg)
+	log.Printf("parkd: serving store %s on %s (%d facts, pprof=%v)", cfg.dir, *addr, store.Len(), cfg.pprof)
+	serveErr := serve(ctx, hs, cfg)
+	// Close the store regardless of how serving ended, so the WAL is
+	// synced before the process exits.
+	if err := store.Close(); err != nil {
+		log.Printf("parkd: store close: %v", err)
 	}
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		log.Fatalf("parkd: %v", serveErr)
+	}
+	log.Printf("parkd: store closed, bye")
 }

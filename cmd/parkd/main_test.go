@@ -2,10 +2,12 @@ package main
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/server"
 )
@@ -53,6 +55,71 @@ func TestSetupWithTriggerProgram(t *testing.T) {
 	}
 	defer store.Close()
 	_ = srv
+}
+
+func TestBuildHandlerPprofGating(t *testing.T) {
+	srv, store, err := setup(config{dir: filepath.Join(t.TempDir(), "data")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	get := func(h http.Handler, path string) int {
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	without := buildHandler(srv, false)
+	with := buildHandler(srv, true)
+	if code := get(without, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof disabled: /debug/pprof/ = %d, want 404", code)
+	}
+	if code := get(with, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("pprof enabled: /debug/pprof/ = %d, want 200", code)
+	}
+	// The API (including /v1/metrics) is mounted either way.
+	if code := get(without, "/v1/metrics"); code != http.StatusOK {
+		t.Fatalf("/v1/metrics = %d, want 200", code)
+	}
+	if code := get(with, "/v1/metrics"); code != http.StatusOK {
+		t.Fatalf("/v1/metrics (pprof build) = %d, want 200", code)
+	}
+}
+
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	cfg := config{
+		readTimeout:  7 * time.Second,
+		writeTimeout: 3 * time.Second,
+		idleTimeout:  11 * time.Second,
+	}
+	hs := newHTTPServer(":0", http.NotFoundHandler(), cfg)
+	if hs.ReadTimeout != 7*time.Second || hs.WriteTimeout != 3*time.Second ||
+		hs.IdleTimeout != 11*time.Second || hs.ReadHeaderTimeout == 0 {
+		t.Fatalf("server timeouts not applied: %+v", hs)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	cfg := config{shutdownTimeout: 5 * time.Second}
+	hs := newHTTPServer("127.0.0.1:0", http.NotFoundHandler(), cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, hs, cfg) }()
+	time.Sleep(50 * time.Millisecond) // let ListenAndServe bind
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after context cancellation")
+	}
 }
 
 func TestSetupErrors(t *testing.T) {

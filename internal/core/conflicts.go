@@ -65,6 +65,11 @@ func (e *Engine) resolveConflicts(atoms []AID) (bool, error) {
 			progressed = true
 		}
 		rs.stats.Conflicts++
+		if dec == DecideInsert {
+			rs.stats.InsertDecisions++
+		} else {
+			rs.stats.DeleteDecisions++
+		}
 		rs.conflicts = append(rs.conflicts, ResolvedConflict{Conflict: c, Decision: dec})
 		rs.tracer.ConflictResolved(rs.stats.Phases, c, dec, newly)
 	}

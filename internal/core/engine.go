@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Options configures an Engine. The zero value is the recommended
@@ -79,6 +80,9 @@ type Result struct {
 	Output *Database
 	// Stats summarizes the run.
 	Stats Stats
+	// RunStats carries the extended operational counters and timings
+	// of the run (RunStats.Stats duplicates Stats).
+	RunStats RunStats
 	// Blocked is the final blocked set B in blocking order.
 	Blocked []Grounding
 	// Conflicts lists the conflicts in resolution order together with
@@ -101,6 +105,42 @@ type ResolvedConflict struct {
 	Decision Decision
 }
 
+// RunStats extends Stats with the operational counters and timings
+// the observability layer exposes: how the Δ operator spent its time
+// (per-phase wall clock), how Γ evaluation split between full and
+// incremental steps, how much raw grounding enumeration happened, and
+// how conflict resolution decided. All fields describe exactly one
+// Engine.Run.
+type RunStats struct {
+	Stats
+	// Restarts is the number of bi-structure restarts (§5): phases
+	// after the first, each triggered by a conflict resolution.
+	Restarts int
+	// FullSteps counts Γ evaluations over the whole interpretation
+	// (the first step of every phase, or every step under
+	// Options.Naive), including the final evaluation that detects the
+	// ω fixpoint.
+	FullSteps int
+	// DeltaSteps counts semi-naive (delta-driven) Γ evaluations.
+	DeltaSteps int
+	// Groundings counts every rule-grounding enumeration folded into
+	// a step, before per-step deduplication and blocked-set filtering
+	// (Stats.Derivations counts after both).
+	Groundings int64
+	// Shards counts the preset-binding chunks dispatched to the
+	// parallel worker pool (0 for sequential runs).
+	Shards int64
+	// InsertDecisions and DeleteDecisions split Stats.Conflicts by
+	// SELECT outcome: conflicts the strategy resolved by keeping the
+	// insertion resp. the deletion.
+	InsertDecisions int
+	DeleteDecisions int
+	// PhaseWall is the wall-clock duration of each phase, in order.
+	PhaseWall []time.Duration
+	// Wall is the total wall-clock duration of the run.
+	Wall time.Duration
+}
+
 // Engine evaluates the PARK semantics for one program over databases
 // sharing one universe. An Engine is not safe for concurrent use, but
 // may be reused for sequential runs.
@@ -112,6 +152,9 @@ type Engine struct {
 
 	// per-run state
 	run *runState
+	// lastRun retains the previous Run's extended statistics for
+	// RunStats().
+	lastRun RunStats
 }
 
 // NewEngine validates the program and returns an engine using the
@@ -131,6 +174,13 @@ func (e *Engine) Universe() *Universe { return e.u }
 
 // Program returns the engine's program (without update rules).
 func (e *Engine) Program() *Program { return e.prog }
+
+// RunStats returns the extended statistics of the most recent Run
+// (the zero value before any run). For a completed run it equals the
+// Result's RunStats field; after a failed run it holds the counters
+// accumulated up to the failure, which is useful when diagnosing
+// phase-limit or context-cancellation aborts.
+func (e *Engine) RunStats() RunStats { return e.lastRun }
 
 type provKey struct {
 	op   HeadOp
@@ -162,7 +212,7 @@ type runState struct {
 	deltaPlus  []AID
 	deltaMinus []AID
 
-	stats     Stats
+	stats     RunStats
 	conflicts []ResolvedConflict
 	firings   []int64
 	tracer    Tracer
@@ -201,14 +251,25 @@ func (e *Engine) Run(ctx context.Context, d *Database, updates []Update) (*Resul
 		ta.SetInterp(rs.in)
 	}
 	e.run = rs
-	defer func() { e.run = nil }()
+	start := time.Now()
+	defer func() {
+		rs.stats.Wall = time.Since(start)
+		rs.stats.Restarts = rs.stats.Phases - 1
+		if rs.stats.Restarts < 0 {
+			rs.stats.Restarts = 0
+		}
+		e.lastRun = rs.stats
+		e.run = nil
+	}()
 
 	for {
 		rs.stats.Phases++
 		if e.opts.MaxPhases > 0 && rs.stats.Phases > e.opts.MaxPhases {
 			return nil, fmt.Errorf("park: phase limit %d exceeded", e.opts.MaxPhases)
 		}
+		phaseStart := time.Now()
 		fixpoint, err := e.runPhase(ctx)
+		rs.stats.PhaseWall = append(rs.stats.PhaseWall, time.Since(phaseStart))
 		if err != nil {
 			return nil, err
 		}
@@ -217,9 +278,12 @@ func (e *Engine) Run(ctx context.Context, d *Database, updates []Update) (*Resul
 		}
 	}
 	rs.stats.BlockedInstances = rs.blocked.Len()
+	rs.stats.Wall = time.Since(start)
+	rs.stats.Restarts = rs.stats.Phases - 1
 	res := &Result{
 		Output:      rs.in.Incorp(),
-		Stats:       rs.stats,
+		Stats:       rs.stats.Stats,
+		RunStats:    rs.stats,
 		Blocked:     append([]Grounding(nil), rs.blocked.All()...),
 		Conflicts:   rs.conflicts,
 		RuleFirings: rs.firings,

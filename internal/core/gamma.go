@@ -24,6 +24,7 @@ func (e *Engine) gammaStep(m *matcher, full bool) []AID {
 	clear(rs.stepHave)
 
 	if full {
+		rs.stats.FullSteps++
 		if e.opts.Parallel > 1 {
 			e.enumRulesParallel()
 		} else {
@@ -32,6 +33,7 @@ func (e *Engine) gammaStep(m *matcher, full bool) []AID {
 			}
 		}
 	} else {
+		rs.stats.DeltaSteps++
 		dp := groupByPred(e.u, rs.deltaPlus)
 		dm := groupByPred(e.u, rs.deltaMinus)
 		for ri := range rs.progU.Rules {
@@ -101,6 +103,7 @@ func (e *Engine) enumRule(m *matcher, ri int, preset []Sym) {
 // collection. Must be called from the engine goroutine only.
 func (e *Engine) processGrounding(g Grounding) {
 	rs := e.run
+	rs.stats.Groundings++
 	r := &rs.progU.Rules[g.Rule]
 	k := g.Key()
 	if _, ok := rs.stepSeen[k]; ok {

@@ -50,6 +50,7 @@ func (e *Engine) enumRulesParallel() {
 		}
 	}
 
+	rs.stats.Shards += int64(len(tasks))
 	results := make([][]Grounding, len(tasks))
 	workers := e.opts.Parallel
 	if workers > len(tasks) {

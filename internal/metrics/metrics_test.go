@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("park_test_total", "test counter")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	// A second lookup under the same name/labels returns the same
+	// instrument, not a fresh one.
+	if again := reg.Counter("park_test_total", "test counter"); again.Value() != workers*per {
+		t.Fatalf("re-lookup returned a different counter (value %d)", again.Value())
+	}
+	c.Add(-5) // negative adds are ignored
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter after Add(-5) = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("park_test_gauge", "test gauge")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("park_test_seconds", "test histogram", []float64{0.01, 0.1, 1})
+	// Bounds are inclusive upper bounds: an observation exactly on a
+	// bound lands in that bound's bucket.
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.1, 0.5, 1, 2} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	if hv.Count != 7 {
+		t.Fatalf("count = %d, want 7", hv.Count)
+	}
+	wantSum := 0.005 + 0.01 + 0.05 + 0.1 + 0.5 + 1 + 2
+	if math.Abs(hv.Sum-wantSum) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", hv.Sum, wantSum)
+	}
+	// Cumulative counts: <=0.01 → 2, <=0.1 → 4, <=1 → 6, +Inf → 7.
+	wantCum := []uint64{2, 4, 6}
+	for i, b := range hv.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket le=%v count = %d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("park_test_conc_seconds", "test", []float64{1})
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if math.Abs(h.Sum()-0.5*workers*per) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), 0.5*workers*per)
+	}
+}
+
+// TestSnapshotVsResetRace exercises concurrent Observe/Inc, Snapshot
+// and Reset; under -race this verifies every access is synchronized.
+func TestSnapshotVsResetRace(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("park_race_total", "race test")
+	h := reg.Histogram("park_race_seconds", "race test", nil)
+	g := reg.Gauge("park_race_gauge", "race test")
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = reg.Snapshot()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			reg.Reset()
+		}
+	}()
+	// Let the snapshot/reset goroutines finish, then stop the writer.
+	wgDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(wgDone)
+	}()
+	for i := 0; i < 2; i++ {
+		_ = reg.Snapshot()
+	}
+	close(done)
+	<-wgDone
+	// After a final reset, everything must read zero.
+	reg.Reset()
+	snap := reg.Snapshot()
+	for _, mv := range append(snap.Counters, snap.Gauges...) {
+		if mv.Value != 0 {
+			t.Fatalf("%s = %d after reset, want 0", mv.Name, mv.Value)
+		}
+	}
+	for _, hv := range snap.Histograms {
+		if hv.Count != 0 || hv.Sum != 0 {
+			t.Fatalf("%s count=%d sum=%v after reset, want zeros", hv.Name, hv.Count, hv.Sum)
+		}
+	}
+}
+
+func TestLabelsDistinguishChildren(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("park_http_requests_total", "reqs", L("endpoint", "/v1/query"), L("code", "200"))
+	b := reg.Counter("park_http_requests_total", "reqs", L("endpoint", "/v1/query"), L("code", "400"))
+	// Same labels in a different order resolve to the same child.
+	a2 := reg.Counter("park_http_requests_total", "reqs", L("code", "200"), L("endpoint", "/v1/query"))
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	if a2.Value() != 2 {
+		t.Fatalf("label order changed child identity: %d", a2.Value())
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 2 {
+		t.Fatalf("children = %d, want 2", len(snap.Counters))
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("park_x", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering park_x as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("park_x", "x")
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("park_reqs_total", "Requests served.", L("endpoint", "/v1/query")).Add(3)
+	reg.Gauge("park_inflight", "In-flight requests.").Set(1)
+	h := reg.Histogram("park_lat_seconds", "Latency.", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(0.7)
+	h.Observe(5)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE park_reqs_total counter",
+		`park_reqs_total{endpoint="/v1/query"} 3`,
+		"# TYPE park_inflight gauge",
+		"park_inflight 1",
+		"# TYPE park_lat_seconds histogram",
+		`park_lat_seconds_bucket{le="0.5"} 1`,
+		`park_lat_seconds_bucket{le="1"} 2`,
+		`park_lat_seconds_bucket{le="+Inf"} 3`,
+		"park_lat_seconds_sum 5.9",
+		"park_lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("park_esc_total", "", L("path", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `path="a\"b\\c\nd"`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("park_j_total", "j").Add(7)
+	reg.Histogram("park_j_seconds", "j", []float64{1}).Observe(0.5)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 7 {
+		t.Fatalf("round-trip counters = %+v", snap.Counters)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("round-trip histograms = %+v", snap.Histograms)
+	}
+}

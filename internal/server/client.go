@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Client is a Go client for the HTTP API.
@@ -193,4 +195,36 @@ func (c *Client) Watch(ctx context.Context) (<-chan TxnInfo, error) {
 // Checkpoint snapshots the store.
 func (c *Client) Checkpoint(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/v1/checkpoint", nil, nil)
+}
+
+// Metrics fetches the server's metrics snapshot (JSON form of
+// /v1/metrics).
+func (c *Client) Metrics(ctx context.Context) (*metrics.Snapshot, error) {
+	var resp metrics.Snapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// MetricsText fetches the server's metrics in the Prometheus text
+// exposition format.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/metrics?format=prometheus", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	return string(data), nil
 }

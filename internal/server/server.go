@@ -13,6 +13,14 @@
 //	POST /v1/query         run a conjunctive query
 //	POST /v1/analyze       static analysis of the active program
 //	POST /v1/checkpoint    snapshot the store and truncate the WAL
+//	GET  /v1/history       committed transactions since the checkpoint
+//	GET  /v1/watch         SSE stream of committed transactions
+//	GET  /v1/metrics       engine/HTTP/store metrics (JSON or Prometheus)
+//
+// Every endpoint is instrumented with request counters, latency
+// histograms and an in-flight gauge; /v1/metrics exposes those
+// together with the engine counters (phases, restarts, conflicts,
+// Γ steps). See docs/OBSERVABILITY.md for the full catalogue.
 package server
 
 import (
@@ -24,6 +32,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/persist"
 	"repro/internal/resolve"
@@ -33,6 +42,8 @@ import (
 // program and default strategy are part of the server state.
 type Server struct {
 	store *persist.Store
+	reg   *metrics.Registry
+	em    *engineMetrics
 
 	mu          sync.RWMutex
 	programSrc  string
@@ -43,12 +54,20 @@ type Server struct {
 // New creates a server over the store. The initial program is empty
 // and the default strategy is inertia.
 func New(store *persist.Store) *Server {
+	reg := metrics.NewRegistry()
 	return &Server{
 		store:       store,
+		reg:         reg,
+		em:          newEngineMetrics(reg),
 		program:     &core.Program{},
 		strategyTag: "inertia",
 	}
 }
+
+// Metrics returns the server's metric registry, for embedding callers
+// that want to add their own instruments or render the metrics out of
+// band.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // SetProgram installs a rule program from rule-language source.
 func (s *Server) SetProgram(src string) error { return s.setProgram(src, "rules") }
@@ -109,18 +128,21 @@ func strategyFor(tag string, seed int64) (core.Strategy, error) {
 	return nil, fmt.Errorf("unknown strategy %q", tag)
 }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler. Every route runs behind the
+// metrics middleware (request counter, latency histogram, in-flight
+// gauge), including /v1/metrics itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /v1/program", s.handleSetProgram)
-	mux.HandleFunc("GET /v1/program", s.handleGetProgram)
-	mux.HandleFunc("POST /v1/transaction", s.handleTransaction)
-	mux.HandleFunc("GET /v1/database", s.handleDatabase)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /v1/history", s.handleHistory)
-	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	mux.HandleFunc("PUT /v1/program", s.instrument("/v1/program", s.handleSetProgram))
+	mux.HandleFunc("GET /v1/program", s.instrument("/v1/program", s.handleGetProgram))
+	mux.HandleFunc("POST /v1/transaction", s.instrument("/v1/transaction", s.handleTransaction))
+	mux.HandleFunc("GET /v1/database", s.instrument("/v1/database", s.handleDatabase))
+	mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
+	mux.HandleFunc("POST /v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/checkpoint", s.instrument("/v1/checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("GET /v1/history", s.instrument("/v1/history", s.handleHistory))
+	mux.HandleFunc("GET /v1/watch", s.instrument("/v1/watch", s.handleWatch))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
 	return mux
 }
 
@@ -163,9 +185,12 @@ type ConflictInfo struct {
 type TransactionResponse struct {
 	Facts     []string       `json:"facts"`
 	Phases    int            `json:"phases"`
+	Restarts  int            `json:"restarts"`
 	Steps     int            `json:"steps"`
 	Conflicts []ConflictInfo `json:"conflicts,omitempty"`
 	Blocked   int            `json:"blocked"`
+	// WallSeconds is the engine wall-clock time of this transaction.
+	WallSeconds float64 `json:"wallSeconds"`
 }
 
 // DatabaseResponse lists the current facts.
@@ -296,14 +321,18 @@ func (s *Server) handleTransaction(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.store.Apply(r.Context(), prog, ups, strat, core.Options{})
 	if err != nil {
+		s.em.errors.Inc()
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.em.recordRun(res.RunStats)
 	resp := TransactionResponse{
-		Facts:   factStrings(u, res.Output),
-		Phases:  res.Stats.Phases,
-		Steps:   res.Stats.Steps,
-		Blocked: res.Stats.BlockedInstances,
+		Facts:       factStrings(u, res.Output),
+		Phases:      res.Stats.Phases,
+		Restarts:    res.RunStats.Restarts,
+		Steps:       res.Stats.Steps,
+		Blocked:     res.Stats.BlockedInstances,
+		WallSeconds: res.RunStats.Wall.Seconds(),
 	}
 	for _, rc := range res.Conflicts {
 		resp.Conflicts = append(resp.Conflicts, ConflictInfo{

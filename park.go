@@ -56,6 +56,10 @@ type (
 	ResolvedConflict = core.ResolvedConflict
 	// Stats summarizes one evaluation.
 	Stats = core.Stats
+	// RunStats extends Stats with operational counters and timings
+	// (Γ-step split, groundings, parallel shards, SELECT outcomes,
+	// per-phase wall time).
+	RunStats = core.RunStats
 	// Tracer observes an evaluation.
 	Tracer = core.Tracer
 	// TextTracer prints paper-style step-by-step traces.
