@@ -6,11 +6,14 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	park "repro"
+	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/persist"
 	"repro/internal/workload"
@@ -548,6 +551,177 @@ func cleanupB11(store *persist.Store, dir string, err error) error {
 	store.Close()
 	os.RemoveAll(dir)
 	return err
+}
+
+// B12 — concurrent commit pipeline: transactions per second and tail
+// latency of the durable store as the number of concurrent clients
+// grows, with the group-commit pipeline versus the legacy serialized
+// one (evaluation, WAL append and fsync all under one lock, one fsync
+// per transaction). The workload keeps evaluation deliberately cheap
+// — one rule firing per transaction — so the fsync is the dominant
+// cost and the table isolates what the commit pipeline itself buys:
+// with group commit a single fsync covers a whole batch of
+// concurrently submitted transactions, so throughput scales with the
+// client count while the serialized baseline stays flat at
+// ~1/fsync-latency. Clients also interleave snapshot reads with their
+// writes, which the pipeline serves lock-free.
+func runB12(quick bool) error {
+	txnsPerClient := 50
+	clientCounts := []int{1, 2, 4, 8}
+	if quick {
+		txnsPerClient = 20
+		clientCounts = []int{1, 8}
+	}
+	w := table()
+	fmt.Fprintln(w, "mode\tclients\ttxns\ttotal\ttxn/s\tp50\tp99\tfsyncs\tretries")
+	rates := map[string]float64{}
+	for _, serialized := range []bool{true, false} {
+		mode := "group"
+		if serialized {
+			mode = "serialized"
+		}
+		for _, clients := range clientCounts {
+			r, err := runB12Once(serialized, clients, txnsPerClient)
+			if err != nil {
+				return fmt.Errorf("%s/%d clients: %w", mode, clients, err)
+			}
+			rates[fmt.Sprintf("%s-%d", mode, clients)] = r.rate
+			fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.0f\t%v\t%v\t%d\t%d\n",
+				mode, clients, clients*txnsPerClient,
+				r.elapsed.Round(time.Millisecond), r.rate,
+				r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond),
+				r.fsyncs, r.retries)
+		}
+	}
+	w.Flush()
+	max := clientCounts[len(clientCounts)-1]
+	speedup := rates[fmt.Sprintf("group-%d", max)] / rates[fmt.Sprintf("serialized-%d", max)]
+	// Short quick-mode runs are noisy; before declaring the shape
+	// violated, re-measure the deciding pair of cells (best of three,
+	// like evalScenario does for the engine benches).
+	for attempt := 0; speedup < 1.2 && attempt < 3; attempt++ {
+		rs, err := runB12Once(true, max, txnsPerClient)
+		if err != nil {
+			return err
+		}
+		rg, err := runB12Once(false, max, txnsPerClient)
+		if err != nil {
+			return err
+		}
+		if again := rg.rate / rs.rate; again > speedup {
+			speedup = again
+		}
+	}
+	fmt.Printf("shape check: at %d clients group commit is %.1fx the serialized pipeline\n", max, speedup)
+	if speedup < 1.2 {
+		return fmt.Errorf("group commit at %d clients is only %.2fx the serialized baseline; batching should amortize the fsync", max, speedup)
+	}
+	return nil
+}
+
+type b12Result struct {
+	elapsed  time.Duration
+	rate     float64 // transactions per second
+	p50, p99 time.Duration
+	fsyncs   int64
+	retries  int64
+}
+
+// runB12Once drives one cell of the B12 table: clients goroutines,
+// each committing txnsPerClient transactions (every one fires a
+// rule) interleaved with snapshot reads. Each transaction replaces
+// the client's previous event, so the database stays small and the
+// per-transaction compute stays flat: the cell measures the commit
+// pipeline, not interpretation loading. Updates are parsed before the
+// clock starts for the same reason.
+func runB12Once(serialized bool, clients, txnsPerClient int) (*b12Result, error) {
+	dir, err := os.MkdirTemp("", "parkbench-b12-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	var opts []persist.Option
+	if serialized {
+		opts = append(opts, persist.WithSerializedCommits())
+	}
+	store, err := persist.Open(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	reg := metrics.NewRegistry()
+	store.Instrument(reg)
+	u := store.Universe()
+	prog, err := parser.ParseProgram(u, "", `
+rule log:   +ev(X) -> +audit(X).
+rule unlog: -ev(X) -> -audit(X).
+`)
+	if err != nil {
+		return nil, err
+	}
+	updates := make([][][]park.Update, clients)
+	for c := 0; c < clients; c++ {
+		updates[c] = make([][]park.Update, txnsPerClient)
+		for i := 0; i < txnsPerClient; i++ {
+			text := fmt.Sprintf("+ev(c%d_i%d).\n", c, i)
+			if i > 0 {
+				text += fmt.Sprintf("-ev(c%d_i%d).\n", c, i-1)
+			}
+			ups, err := parser.ParseUpdates(u, "", text)
+			if err != nil {
+				return nil, err
+			}
+			updates[c][i] = ups
+		}
+	}
+	lats := make([][]time.Duration, clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < txnsPerClient; i++ {
+				t0 := time.Now()
+				if _, err := store.Apply(context.Background(), prog, updates[c][i], nil, park.Options{}); err != nil {
+					errs <- err
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+				// Mixed load: a lock-free read between writes.
+				if i%2 == 0 {
+					_ = store.Len()
+				} else {
+					_ = store.Seq()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	// Each client ends with exactly its last ev plus its audit twin.
+	if want := 2 * clients; store.Len() != want {
+		return nil, fmt.Errorf("store has %d facts, want %d", store.Len(), want)
+	}
+	all := make([]time.Duration, 0, clients*txnsPerClient)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	return &b12Result{
+		elapsed: elapsed,
+		rate:    float64(len(all)) / elapsed.Seconds(),
+		p50:     q(0.50),
+		p99:     q(0.99),
+		fsyncs:  reg.Counter("park_store_fsyncs_total", "").Value(),
+		retries: reg.Counter("park_store_commit_retries_total", "").Value(),
+	}, nil
 }
 
 // dbToUpdates rewrites a facts file into insertion updates.

@@ -42,6 +42,7 @@ func main() {
 		{"B9", "ablation: blocking granularity (all conflicts vs one per restart)", runB9},
 		{"B10", "parallel full-step evaluation speedup", runB10},
 		{"B11", "full-system transaction throughput (durable store)", runB11},
+		{"B12", "concurrent commit pipeline: group commit vs serialized", runB12},
 	}
 	failed := 0
 	for _, b := range benches {

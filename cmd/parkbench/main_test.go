@@ -20,6 +20,7 @@ func TestAllBenchExperimentsQuick(t *testing.T) {
 		"B9":  runB9,
 		"B10": runB10,
 		"B11": runB11,
+		"B12": runB12,
 	}
 	for id, run := range runs {
 		id, run := id, run

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -119,6 +120,47 @@ func TestServeGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not return after context cancellation")
+	}
+}
+
+// TestShutdownRequestsGet503 pins the graceful-shutdown contract: a
+// transaction racing the store close must get 503 Service Unavailable
+// (the client should retry elsewhere), not a 422 "engine error", and
+// must not be counted as an engine failure in the metrics.
+func TestShutdownRequestsGet503(t *testing.T) {
+	srv, store, err := setup(config{dir: filepath.Join(t.TempDir(), "data")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(buildHandler(srv, false))
+	defer ts.Close()
+	c := &server.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	if _, err := c.Transact(ctx, `+p(a).`); err != nil {
+		t.Fatal(err)
+	}
+
+	// main closes the store after serve returns; requests on
+	// still-open connections race that close.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Transact(ctx, `+p(b).`)
+	if err == nil || !strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("transaction after close = %v, want HTTP 503", err)
+	}
+	if err := c.Checkpoint(ctx); err == nil || !strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("checkpoint after close = %v, want HTTP 503", err)
+	}
+	// Shutdown must not pollute the engine error counter.
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "park_engine_errors_total") && !strings.HasSuffix(line, " 0") {
+			t.Fatalf("engine errors after shutdown = %q, want 0", line)
+		}
 	}
 }
 

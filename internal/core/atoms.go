@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // AID identifies an interned ground atom within a Universe.
@@ -29,10 +30,17 @@ func (a Atom) IsGround() bool {
 // Universe interns the symbols and ground atoms of one evaluation.
 // The extended Herbrand base H*(P, D) of the paper is the set
 // {a, +a, -a | a interned here}; marks are kept by Interp, not by the
-// universe. A Universe is not safe for concurrent mutation.
+// universe.
+//
+// A Universe is safe for concurrent use: interning is append-only and
+// idempotent, so concurrent request parsers and engine runs (the
+// server evaluates PARK outside the store's commit lock) share one
+// universe without external synchronization. Reads take the shared
+// lock; interning takes it exclusively only when the atom is new.
 type Universe struct {
 	Syms *SymbolTable
 
+	mu    sync.RWMutex
 	atoms []groundAtom   // AID -> atom
 	index map[string]AID // encoded key -> AID
 
@@ -57,19 +65,38 @@ func NewUniverse() *Universe {
 // an error if the predicate was previously used with a different
 // arity.
 func (u *Universe) PinArity(pred Sym, arity int) error {
+	u.mu.RLock()
+	got, ok := u.arities[pred]
+	u.mu.RUnlock()
+	if ok {
+		return u.checkArity(pred, got, arity)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.pinArityLocked(pred, arity)
+}
+
+// pinArityLocked is PinArity under an already-held write lock.
+func (u *Universe) pinArityLocked(pred Sym, arity int) error {
 	if got, ok := u.arities[pred]; ok {
-		if got != arity {
-			return fmt.Errorf("predicate %s used with arity %d and %d", u.Syms.Name(pred), got, arity)
-		}
-		return nil
+		return u.checkArity(pred, got, arity)
 	}
 	u.arities[pred] = arity
+	return nil
+}
+
+func (u *Universe) checkArity(pred Sym, got, want int) error {
+	if got != want {
+		return fmt.Errorf("predicate %s used with arity %d and %d", u.Syms.Name(pred), got, want)
+	}
 	return nil
 }
 
 // Arity returns the pinned arity of a predicate and whether the
 // predicate is known.
 func (u *Universe) Arity(pred Sym) (int, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	a, ok := u.arities[pred]
 	return a, ok
 }
@@ -89,14 +116,23 @@ func atomKey(pred Sym, args []Sym) string {
 // InternAtom returns the AID for the ground atom pred(args...),
 // interning it if new. It returns an error on arity mismatch.
 func (u *Universe) InternAtom(pred Sym, args []Sym) (AID, error) {
-	if err := u.PinArity(pred, len(args)); err != nil {
+	key := atomKey(pred, args)
+	// Fast path: the atom (and its pinned arity) already exist.
+	u.mu.RLock()
+	id, ok := u.index[key]
+	u.mu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err := u.pinArityLocked(pred, len(args)); err != nil {
 		return -1, err
 	}
-	key := atomKey(pred, args)
 	if id, ok := u.index[key]; ok {
 		return id, nil
 	}
-	id := AID(len(u.atoms))
+	id = AID(len(u.atoms))
 	cp := make([]Sym, len(args))
 	copy(cp, args)
 	u.atoms = append(u.atoms, groundAtom{pred: pred, args: cp})
@@ -106,26 +142,51 @@ func (u *Universe) InternAtom(pred Sym, args []Sym) (AID, error) {
 
 // LookupAtom returns the AID of a ground atom if it has been interned.
 func (u *Universe) LookupAtom(pred Sym, args []Sym) (AID, bool) {
-	id, ok := u.index[atomKey(pred, args)]
+	key := atomKey(pred, args)
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	id, ok := u.index[key]
 	return id, ok
 }
 
 // NumAtoms returns the number of interned ground atoms.
-func (u *Universe) NumAtoms() int { return len(u.atoms) }
+func (u *Universe) NumAtoms() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.atoms)
+}
+
+// atom returns the interned atom record and whether id is valid.
+// Argument slices are immutable after interning, so the returned
+// record may be used without holding the lock.
+func (u *Universe) atom(id AID) (groundAtom, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	if id < 0 || int(id) >= len(u.atoms) {
+		return groundAtom{}, false
+	}
+	return u.atoms[id], true
+}
 
 // AtomPred returns the predicate of an interned ground atom.
-func (u *Universe) AtomPred(id AID) Sym { return u.atoms[id].pred }
+func (u *Universe) AtomPred(id AID) Sym {
+	ga, _ := u.atom(id)
+	return ga.pred
+}
 
 // AtomArgs returns the argument symbols of an interned ground atom.
 // The slice must not be modified.
-func (u *Universe) AtomArgs(id AID) []Sym { return u.atoms[id].args }
+func (u *Universe) AtomArgs(id AID) []Sym {
+	ga, _ := u.atom(id)
+	return ga.args
+}
 
 // AtomString renders an interned ground atom as text, e.g. "q(a, b)".
 func (u *Universe) AtomString(id AID) string {
-	if id < 0 || int(id) >= len(u.atoms) {
+	ga, ok := u.atom(id)
+	if !ok {
 		return fmt.Sprintf("atom#%d", id)
 	}
-	ga := u.atoms[id]
 	if len(ga.args) == 0 {
 		return u.Syms.Name(ga.pred)
 	}
@@ -196,8 +257,13 @@ func parseInt(s string) (int64, bool) {
 // SortAtoms sorts AIDs by their textual rendering; used to produce
 // deterministic, human-stable output.
 func (u *Universe) SortAtoms(ids []AID) {
+	// Snapshot the append-only atom slice once; prefix entries are
+	// immutable, so the comparator needs no further locking.
+	u.mu.RLock()
+	atoms := u.atoms
+	u.mu.RUnlock()
 	sort.Slice(ids, func(i, j int) bool {
-		a, b := u.atoms[ids[i]], u.atoms[ids[j]]
+		a, b := atoms[ids[i]], atoms[ids[j]]
 		an, bn := u.Syms.Name(a.pred), u.Syms.Name(b.pred)
 		if an != bn {
 			return an < bn

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 // Sym is an interned constant or predicate symbol. Symbols are
@@ -25,7 +26,11 @@ const NoSym Sym = -1
 
 // SymbolTable interns the constant and predicate symbols of one
 // evaluation universe. The zero value is not usable; use NewSymbolTable.
+// All methods are safe for concurrent use: symbols are only ever
+// appended, and interning is idempotent, so concurrent parsers and
+// engine runs over one universe observe a consistent table.
 type SymbolTable struct {
+	mu    sync.RWMutex
 	names []string
 	ids   map[string]Sym
 }
@@ -38,10 +43,18 @@ func NewSymbolTable() *SymbolTable {
 // Intern returns the symbol for name, assigning a fresh one if the
 // name has not been seen before.
 func (t *SymbolTable) Intern(name string) Sym {
+	t.mu.RLock()
+	s, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if s, ok := t.ids[name]; ok {
 		return s
 	}
-	s := Sym(len(t.names))
+	s = Sym(len(t.names))
 	t.names = append(t.names, name)
 	t.ids[name] = s
 	return s
@@ -49,6 +62,8 @@ func (t *SymbolTable) Intern(name string) Sym {
 
 // Lookup returns the symbol for name and whether it is known.
 func (t *SymbolTable) Lookup(name string) (Sym, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	s, ok := t.ids[name]
 	return s, ok
 }
@@ -56,6 +71,8 @@ func (t *SymbolTable) Lookup(name string) (Sym, bool) {
 // Name returns the string form of a symbol. Unknown symbols render as
 // "#<n>" so diagnostics never panic.
 func (t *SymbolTable) Name(s Sym) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if s < 0 || int(s) >= len(t.names) {
 		return "#" + strconv.Itoa(int(s))
 	}
@@ -63,7 +80,11 @@ func (t *SymbolTable) Name(s Sym) string {
 }
 
 // Len returns the number of interned symbols.
-func (t *SymbolTable) Len() int { return len(t.names) }
+func (t *SymbolTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
 
 // Term is a constant or a variable occurring in a rule. A term is
 // encoded in a single int32: values >= 0 are constant symbols, values

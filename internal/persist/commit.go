@@ -1,0 +1,236 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Apply runs one transaction: PARK(P, current state, updates) under
+// the given strategy and options, durably logs the fact-level delta,
+// and installs the result as the new current state. On error the
+// store is unchanged (a failed fsync poisons the store — see
+// waitDurable). It returns the engine result (whose Output is the
+// new state).
+//
+// Apply is safe to call from many goroutines. Evaluation runs on an
+// immutable snapshot outside the store lock; if another transaction
+// commits first, the evaluation is retried on the new state
+// (optimistic concurrency). Durability is acknowledged through group
+// commit: one fsync covers every transaction installed since the
+// previous fsync.
+func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, error) {
+	if err := s.acquireSlot(ctx); err != nil {
+		return nil, err
+	}
+	defer s.releaseSlot()
+	if s.cfg.serialized {
+		return s.applySerialized(ctx, prog, updates, strategy, opts)
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		base := s.current()
+		eng, err := core.NewEngine(s.u, prog, strategy, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Evaluate outside the lock: base.db is immutable, the engine
+		// never mutates its input, and the universe interns safely
+		// under concurrency.
+		res, err := eng.Run(ctx, base.db, updates)
+		if err != nil {
+			return nil, err
+		}
+		added, removed := splitDiff(base.db, res.Output)
+
+		lockStart := time.Now()
+		s.mu.Lock()
+		s.met.observeLockWait(time.Since(lockStart))
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if cur := s.current(); cur.version != base.version {
+			// A concurrent commit changed the base state under us:
+			// the evaluation may be stale, so redo it on the new state.
+			s.mu.Unlock()
+			s.met.incRetry()
+			continue
+		}
+		if len(added)+len(removed) == 0 {
+			// Nothing changed; no WAL traffic, no history entry, no
+			// version bump needed (installing the same facts).
+			s.mu.Unlock()
+			return res, nil
+		}
+		_, lsn, err := s.installLocked(base, res.Output, added, removed)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("persist: wal append: %w", err)
+		}
+		// The state is installed (later transactions already build on
+		// it); acknowledge the caller only once the batch is durable.
+		if err := s.waitDurable(lsn); err != nil {
+			return nil, fmt.Errorf("persist: wal sync: %w", err)
+		}
+		return res, nil
+	}
+}
+
+// splitDiff computes the fact-level delta old -> new.
+func splitDiff(before, after *core.Database) (added, removed []core.AID) {
+	for _, up := range core.Diff(before, after) {
+		if up.Op == core.OpInsert {
+			added = append(added, up.Atom)
+		} else {
+			removed = append(removed, up.Atom)
+		}
+	}
+	return added, removed
+}
+
+// installLocked appends the delta and commit marker to the WAL,
+// records the transaction in history, and installs the new state.
+// Callers hold s.mu. The returned LSN is the logical position the
+// caller must wait on for durability.
+func (s *Store) installLocked(base *dbState, output *core.Database, added, removed []core.AID) (TxnRecord, int64, error) {
+	txn := TxnRecord{Seq: s.seq + 1}
+	for _, id := range added {
+		text := s.u.AtomString(id)
+		txn.Added = append(txn.Added, text)
+		if err := s.appendRecord('+', text); err != nil {
+			return txn, 0, err
+		}
+	}
+	for _, id := range removed {
+		text := s.u.AtomString(id)
+		txn.Removed = append(txn.Removed, text)
+		if err := s.appendRecord('-', text); err != nil {
+			return txn, 0, err
+		}
+	}
+	if err := s.appendCommitMarker(txn.Seq); err != nil {
+		return txn, 0, err
+	}
+	s.seq = txn.Seq
+	s.history = append(s.history, txn)
+	s.state.Store(&dbState{db: output.Clone(), version: base.version + 1})
+	// Notify here (in commit order) rather than after the fsync:
+	// concurrent committers complete their durability waits out of
+	// order, and subscribers rely on seeing monotonic sequences.
+	s.notify(txn)
+
+	s.syncMu.Lock()
+	s.appendedLSN++
+	s.pendingTxns++
+	lsn := s.appendedLSN
+	s.syncMu.Unlock()
+	return txn, lsn, nil
+}
+
+// waitDurable blocks until an fsync (or checkpoint) covers the given
+// logical LSN. The first waiter becomes the group-commit leader: it
+// captures the current batch and syncs once for all of it; followers
+// wait on the condition variable. A failed fsync is sticky — the WAL
+// can no longer promise durability, so every later commit fails too.
+func (s *Store) waitDurable(lsn int64) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	for {
+		if s.syncedLSN >= lsn {
+			return nil
+		}
+		if s.syncErr != nil {
+			return s.syncErr
+		}
+		if !s.syncing {
+			s.syncing = true
+			target := s.appendedLSN
+			batch := s.pendingTxns
+			s.pendingTxns = 0
+			s.syncMu.Unlock()
+
+			err := s.wal.Sync()
+
+			s.syncMu.Lock()
+			s.syncing = false
+			s.met.observeBatch(batch)
+			if err != nil {
+				s.syncErr = err
+			} else if target > s.syncedLSN {
+				s.syncedLSN = target
+			}
+			s.syncCond.Broadcast()
+			continue
+		}
+		s.syncCond.Wait()
+	}
+}
+
+// applySerialized is the legacy commit path (WithSerializedCommits):
+// one lock held across evaluation, append and a per-transaction
+// fsync. Kept for benchmarking the pipeline against it.
+func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	base := s.current()
+	eng, err := core.NewEngine(s.u, prog, strategy, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(ctx, base.db, updates)
+	if err != nil {
+		return nil, err
+	}
+	added, removed := splitDiff(base.db, res.Output)
+	if len(added)+len(removed) == 0 {
+		return res, nil
+	}
+	_, _, err = s.installLocked(base, res.Output, added, removed)
+	if err != nil {
+		return nil, fmt.Errorf("persist: wal append: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.syncMu.Lock()
+		s.syncErr = err
+		s.syncMu.Unlock()
+		return nil, fmt.Errorf("persist: wal sync: %w", err)
+	}
+	s.syncMu.Lock()
+	if s.appendedLSN > s.syncedLSN {
+		s.syncedLSN = s.appendedLSN
+	}
+	s.met.observeBatch(s.pendingTxns)
+	s.pendingTxns = 0
+	s.syncMu.Unlock()
+	return res, nil
+}
+
+// acquireSlot admits one transaction into the bounded commit
+// pipeline, waiting (context-aware) when the queue is full.
+func (s *Store) acquireSlot(ctx context.Context) error {
+	select {
+	case s.queue <- struct{}{}:
+		return nil
+	default:
+	}
+	start := time.Now()
+	select {
+	case s.queue <- struct{}{}:
+		s.met.observeQueueWait(time.Since(start))
+		return nil
+	case <-ctx.Done():
+		s.met.observeQueueWait(time.Since(start))
+		return ctx.Err()
+	}
+}
+
+func (s *Store) releaseSlot() { <-s.queue }

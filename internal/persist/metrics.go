@@ -1,0 +1,67 @@
+package persist
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// BatchBuckets are the histogram bucket bounds for group-commit batch
+// sizes (transactions per fsync).
+var BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// storeMetrics holds the commit-pipeline instruments. All fields are
+// optional (nil when the store is not instrumented), so every method
+// is nil-safe; a bare library store pays only a nil check per event.
+type storeMetrics struct {
+	fsyncs    *metrics.Counter   // park_store_fsyncs_total
+	retries   *metrics.Counter   // park_store_commit_retries_total
+	batchSize *metrics.Histogram // park_store_commit_batch_size
+	queueWait *metrics.Histogram // park_store_commit_queue_wait_seconds
+	lockWait  *metrics.Histogram // park_store_commit_lock_wait_seconds
+}
+
+// Instrument registers the store's commit-pipeline metrics in reg and
+// starts recording into them. Call once, before serving traffic.
+func (s *Store) Instrument(reg *metrics.Registry) {
+	s.met = storeMetrics{
+		fsyncs: reg.Counter("park_store_fsyncs_total",
+			"WAL fsyncs issued; with group commit one fsync covers a batch of transactions."),
+		retries: reg.Counter("park_store_commit_retries_total",
+			"Transactions re-evaluated because a concurrent commit changed their base state."),
+		batchSize: reg.Histogram("park_store_commit_batch_size",
+			"Transactions made durable per fsync (group-commit batch size).", BatchBuckets),
+		queueWait: reg.Histogram("park_store_commit_queue_wait_seconds",
+			"Time transactions waited for admission to the bounded commit queue.", nil),
+		lockWait: reg.Histogram("park_store_commit_lock_wait_seconds",
+			"Time committers waited for the install lock.", nil),
+	}
+}
+
+// observeBatch records one completed fsync and its batch size.
+func (m *storeMetrics) observeBatch(n int64) {
+	if m.fsyncs != nil {
+		m.fsyncs.Inc()
+	}
+	if m.batchSize != nil && n > 0 {
+		m.batchSize.Observe(float64(n))
+	}
+}
+
+func (m *storeMetrics) incRetry() {
+	if m.retries != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *storeMetrics) observeQueueWait(d time.Duration) {
+	if m.queueWait != nil {
+		m.queueWait.Observe(d.Seconds())
+	}
+}
+
+func (m *storeMetrics) observeLockWait(d time.Duration) {
+	if m.lockWait != nil {
+		m.lockWait.Observe(d.Seconds())
+	}
+}

@@ -2,8 +2,14 @@ package persist
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -117,6 +123,132 @@ func TestStoreAgainstModel(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCrashDuringGroupCommit simulates a crash at every byte offset
+// of a WAL written by concurrent committers sharing fsyncs: recovery
+// must land exactly on a committed-transaction boundary — each
+// transaction is recovered entirely or not at all, even when several
+// transactions shared one group-commit fsync and the torn tail cuts a
+// batch in half.
+func TestCrashDuringGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := s.Universe()
+	ctx := context.Background()
+
+	// Concurrent committers so the WAL really is written through the
+	// group-commit path (batches of >1 when the scheduler cooperates).
+	const writers = 6
+	const txnsPerWriter = 3
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txnsPerWriter; i++ {
+				// Each transaction adds one atom and removes the
+				// writer's previous one, so the WAL carries both '+'
+				// and '-' records inside group-commit batches.
+				src := fmt.Sprintf("+t(w%d, i%d).", w, i)
+				if i > 0 {
+					src += fmt.Sprintf(" -t(w%d, i%d).", w, i-1)
+				}
+				if err := s.ApplyUpdates(ctx, mustUpdates(t, u, src)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("committer failed")
+	}
+	// The commit order on disk is the history order.
+	hist := s.History()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// expected[k] renders the state after the first k transactions.
+	expected := make([]string, len(hist)+1)
+	model := map[string]bool{}
+	render := func() string {
+		var atoms []string
+		for a := range model {
+			atoms = append(atoms, a)
+		}
+		sort.Strings(atoms)
+		return strings.Join(atoms, ", ")
+	}
+	expected[0] = render()
+	for k, txn := range hist {
+		for _, a := range txn.Added {
+			model[a] = true
+		}
+		for _, a := range txn.Removed {
+			delete(model, a)
+		}
+		expected[k+1] = render()
+	}
+
+	// commitEnds[k] is the byte offset just past the k-th commit
+	// marker: the recovery points.
+	var commitEnds []int64
+	off := int64(0)
+	for int(off)+recordHeader <= len(wal) {
+		length := int64(binary.LittleEndian.Uint32(wal[off:]))
+		payload := wal[off+recordHeader : off+recordHeader+length]
+		off += recordHeader + length
+		if _, ok := commitMarkerSeq(payload); ok {
+			commitEnds = append(commitEnds, off)
+		}
+	}
+	if len(commitEnds) != len(hist) {
+		t.Fatalf("WAL has %d commit markers, history has %d entries", len(commitEnds), len(hist))
+	}
+
+	// Crash at every byte offset (torn tail of arbitrary length).
+	for cut := int64(0); cut <= int64(len(wal)); cut++ {
+		// The longest committed prefix entirely below the cut.
+		k := sort.Search(len(commitEnds), func(i int) bool { return commitEnds[i] > cut })
+		crashDir := t.TempDir()
+		snap, err := os.ReadFile(filepath.Join(dir, snapshotName))
+		if err == nil {
+			if werr := os.WriteFile(filepath.Join(crashDir, snapshotName), snap, 0o644); werr != nil {
+				t.Fatal(werr)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(crashDir, walName), wal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Open(crashDir)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		got := renderDB(rec.Universe(), rec.Snapshot())
+		if got != expected[k] {
+			t.Fatalf("cut %d: recovered {%s}, want first %d txns {%s}", cut, got, k, expected[k])
+		}
+		recHist := rec.History()
+		if len(recHist) != k {
+			t.Fatalf("cut %d: recovered %d history entries, want %d", cut, len(recHist), k)
+		}
+		for i, txn := range recHist {
+			if txn.Seq != hist[i].Seq {
+				t.Fatalf("cut %d: history[%d].Seq = %d, want %d", cut, i, txn.Seq, hist[i].Seq)
+			}
+		}
+		rec.Close()
 	}
 }
 

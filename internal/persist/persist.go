@@ -10,15 +10,37 @@
 //	snapshot.park   ground facts in the rule language (atomic rename)
 //	wal.log         length- and CRC32-prefixed delta records
 //
-// Every transaction (Apply) evaluates PARK(P, D, U) on the current
-// state, logs the resulting fact-level delta followed by a commit
-// marker, fsyncs, and only then installs the new state — so a crash
-// at any point recovers either the pre- or the post-transaction
-// state, never a partial one. Delta records are absolute ("atom
-// present"/"atom absent"), which additionally makes replay idempotent:
-// a crash between Checkpoint's snapshot rename and its WAL truncation
-// merely re-applies the old deltas on top of the new snapshot,
-// converging to the same state (fault-injection-tested).
+// Concurrency model. The store runs a three-stage commit pipeline:
+//
+//  1. Apply evaluates PARK(P, D, U) on an immutable copy-on-write
+//     snapshot of the current state, *outside* any lock. Because the
+//     semantics is a pure function of (program, database, updates),
+//     evaluation needs no mutual exclusion — only the install does.
+//  2. Under a narrow commit lock the store revalidates that the base
+//     state is still current (optimistic concurrency: if another
+//     transaction committed meanwhile, the evaluation is retried on
+//     the new state), appends the fact-level delta plus a commit
+//     marker to the WAL, and installs the new state pointer.
+//  3. Durability is acknowledged by WAL group commit: one fsync
+//     covers every transaction appended since the previous fsync
+//     (leader/follower — the first waiter syncs for the batch), so
+//     concurrent committers amortize the dominant fsync cost.
+//
+// Reads (Snapshot, Query, Len, Backup) load the installed state
+// pointer atomically and never take the commit lock: installed
+// databases are immutable, so readers are wait-free with respect to
+// writers. A bounded commit queue provides backpressure; admission
+// respects the caller's context.
+//
+// A crash at any point recovers either the pre- or the
+// post-transaction state, never a partial one: recovery discards
+// deltas with no trailing commit marker, so atomicity is per
+// transaction even when several transactions share one fsync. Delta
+// records are absolute ("atom present"/"atom absent"), which
+// additionally makes replay idempotent: a crash between Checkpoint's
+// snapshot rename and its WAL truncation merely re-applies the old
+// deltas on top of the new snapshot, converging to the same state
+// (fault-injection-tested).
 package persist
 
 import (
@@ -29,7 +51,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/parser"
@@ -42,19 +67,58 @@ const (
 	recordHeader = 8
 	// maxRecord guards recovery against garbage lengths.
 	maxRecord = 1 << 20
+	// snapshotSeqPrefix heads the snapshot file's first line, recording
+	// the global transaction sequence at checkpoint time. It is a rule
+	// language comment, so older readers parse the snapshot unchanged.
+	snapshotSeqPrefix = "% park snapshot seq="
 )
 
+// ErrClosed is returned by operations on a closed store. Callers can
+// match it with errors.Is to distinguish shutdown from engine errors.
+var ErrClosed = errors.New("persist: store is closed")
+
+// dbState is one installed database version. The database it points
+// to is immutable: commits install a fresh dbState rather than
+// mutating in place, so readers holding a dbState need no lock.
+type dbState struct {
+	db *core.Database
+	// version increments on every install; Apply uses it to detect
+	// that its evaluation base went stale (optimistic revalidation).
+	version uint64
+}
+
 // Store is a durable database instance. All methods are safe for
-// concurrent use; transactions are serialized.
+// concurrent use. Transactions evaluate concurrently on immutable
+// state snapshots; only the commit install is serialized, and WAL
+// fsyncs are batched across concurrent committers (group commit).
 type Store struct {
-	mu  sync.Mutex
 	dir string
 	u   *core.Universe
-	db  *core.Database
-	wal *os.File
+
+	// state is the installed current database, read lock-free by
+	// Snapshot/Query/Len/Backup. Replaced (never mutated) under mu.
+	state atomic.Pointer[dbState]
+
+	// mu is the narrow commit lock: it guards WAL appends, the
+	// install of state, seq/history bookkeeping, and Checkpoint/Close.
+	// The engine never runs under mu.
+	mu sync.Mutex
 	// walRecords counts records appended since the last checkpoint.
 	walRecords int
 	closed     bool
+	wal        *os.File
+	// walErr is sticky: a failed append may leave a partial
+	// transaction in the file, after which further appends could be
+	// misattributed to the next commit marker. All subsequent commits
+	// fail instead.
+	walErr error
+
+	// seq is the global transaction sequence: monotonic across
+	// checkpoints and restarts (persisted in commit markers and the
+	// snapshot header). baseSeq is the sequence at the last
+	// checkpoint; history[i].Seq == baseSeq+i+1.
+	seq     int
+	baseSeq int
 
 	// snapDB is the state at the last checkpoint (or Open snapshot);
 	// history holds the per-transaction deltas since then. Together
@@ -62,13 +126,63 @@ type Store struct {
 	snapDB  *core.Database
 	history []TxnRecord
 
+	// Group commit state, guarded by syncMu (lock order: mu before
+	// syncMu; waitDurable takes only syncMu). LSNs are logical —
+	// cumulative committed-transaction counts, never reset — so an
+	// in-flight fsync straddling a checkpoint stays harmless.
+	syncMu      sync.Mutex
+	syncCond    *sync.Cond
+	appendedLSN int64 // transactions appended to the WAL
+	syncedLSN   int64 // transactions covered by fsync or checkpoint
+	syncing     bool  // a leader is currently in wal.Sync
+	syncErr     error // sticky fsync failure
+	pendingTxns int64 // appended since the last fsync began
+
+	// queue is the bounded commit-queue semaphore (backpressure).
+	queue chan struct{}
+
+	cfg config
+	met storeMetrics
+
 	// subsMu guards the transaction subscribers (see Subscribe).
 	subsMu subscribers
 }
 
+// config collects Open options.
+type config struct {
+	serialized bool
+	queueDepth int
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithSerializedCommits disables the concurrent commit pipeline:
+// every transaction holds one store-wide lock across evaluation, WAL
+// append and its own fsync. This reproduces the legacy fully
+// serialized behavior and exists for benchmarking the pipeline
+// against it (parkbench B12); production callers should not use it.
+func WithSerializedCommits() Option {
+	return func(c *config) { c.serialized = true }
+}
+
+// WithCommitQueueDepth bounds the number of transactions admitted
+// into the commit pipeline at once (evaluating or waiting to
+// install). Admission beyond the bound blocks, honoring the caller's
+// context — this is the store's backpressure. Default 64.
+func WithCommitQueueDepth(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.queueDepth = n
+		}
+	}
+}
+
 // TxnRecord is one committed transaction's fact-level delta.
 type TxnRecord struct {
-	// Seq numbers transactions since the last checkpoint, from 1.
+	// Seq is the global transaction sequence number: monotonic for
+	// the lifetime of the store directory, across checkpoints and
+	// restarts.
 	Seq int
 	// Added and Removed render the delta atoms in rule-language
 	// syntax.
@@ -78,29 +192,38 @@ type TxnRecord struct {
 
 // Open opens (or creates) a store directory, recovering state from
 // the snapshot and the write-ahead log. A torn record at the WAL tail
-// (from a crash mid-append) is discarded; everything before it is
-// recovered.
-func Open(dir string) (*Store, error) {
+// (from a crash mid-append or mid-group-commit) is discarded;
+// everything before it is recovered.
+func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	s := &Store{dir: dir, u: core.NewUniverse(), db: core.NewDatabase()}
+	cfg := config{queueDepth: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Store{dir: dir, u: core.NewUniverse(), cfg: cfg}
+	s.syncCond = sync.NewCond(&s.syncMu)
+	s.queue = make(chan struct{}, cfg.queueDepth)
+	db := core.NewDatabase()
 
 	snapPath := filepath.Join(dir, snapshotName)
 	if data, err := os.ReadFile(snapPath); err == nil {
-		db, err := parser.ParseDatabase(s.u, snapPath, string(data))
+		text := string(data)
+		s.baseSeq = parseSnapshotSeq(text)
+		s.seq = s.baseSeq
+		db, err = parser.ParseDatabase(s.u, snapPath, text)
 		if err != nil {
 			return nil, fmt.Errorf("persist: corrupt snapshot: %w", err)
 		}
-		s.db = db
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 
-	s.snapDB = s.db.Clone()
+	s.snapDB = db.Clone()
 
 	walPath := filepath.Join(dir, walName)
-	validLen, records, err := s.replayWAL(walPath)
+	validLen, records, err := s.replayWAL(walPath, db)
 	if err != nil {
 		return nil, err
 	}
@@ -120,15 +243,33 @@ func Open(dir string) (*Store, error) {
 	}
 	s.wal = wal
 	s.walRecords = records
+	s.state.Store(&dbState{db: db, version: 1})
 	return s, nil
 }
 
-// replayWAL applies every committed transaction to s.db and rebuilds
+// parseSnapshotSeq reads the global sequence from the snapshot
+// header comment; snapshots from before the header existed yield 0.
+func parseSnapshotSeq(text string) int {
+	if !strings.HasPrefix(text, snapshotSeqPrefix) {
+		return 0
+	}
+	line := text[len(snapshotSeqPrefix):]
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(line))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// replayWAL applies every committed transaction to db and rebuilds
 // the transaction history. Records of an uncommitted trailing
 // transaction (no commit marker — a crash mid-Apply) are discarded
 // along with any torn or corrupt tail; the returned offset is the end
 // of the last commit marker.
-func (s *Store) replayWAL(path string) (int64, int, error) {
+func (s *Store) replayWAL(path string, db *core.Database) (int64, int, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, nil
@@ -151,7 +292,7 @@ func (s *Store) replayWAL(path string) (int64, int, error) {
 		if crc32.ChecksumIEEE(payload) != sum {
 			break // corrupt tail
 		}
-		commit, err := s.applyRecord(payload, &pending)
+		commit, err := s.applyRecord(db, payload, &pending)
 		if err != nil {
 			// A structurally valid but semantically bad record means
 			// real corruption, not a torn write.
@@ -167,15 +308,16 @@ func (s *Store) replayWAL(path string) (int64, int, error) {
 	// Roll back the uncommitted tail, if any, by replaying the
 	// committed prefix over the snapshot.
 	if committedEnd < off || len(pending.Added)+len(pending.Removed) > 0 {
-		s.db = s.snapDB.Clone()
+		*db = *s.snapDB.Clone()
 		s.history = nil
+		s.seq = s.baseSeq
 		pending = TxnRecord{}
 		rep := data[:committedEnd]
 		o := int64(0)
 		for o < committedEnd {
 			length := int64(binary.LittleEndian.Uint32(rep[o:]))
 			payload := rep[o+recordHeader : o+recordHeader+length]
-			if _, err := s.applyRecord(payload, &pending); err != nil {
+			if _, err := s.applyRecord(db, payload, &pending); err != nil {
 				return 0, 0, fmt.Errorf("persist: corrupt WAL record at offset %d: %w", o, err)
 			}
 			o += recordHeader + length
@@ -184,12 +326,28 @@ func (s *Store) replayWAL(path string) (int64, int, error) {
 	return committedEnd, committedRecords, nil
 }
 
-// applyRecord applies one record to the in-memory database, tracking
-// the pending transaction delta. It reports whether the record was a
-// commit marker.
-func (s *Store) applyRecord(payload []byte, pending *TxnRecord) (bool, error) {
-	if len(payload) == 1 && payload[0] == 'C' {
-		pending.Seq = len(s.history) + 1
+// applyRecord applies one record to db, tracking the pending
+// transaction delta. It reports whether the record was a commit
+// marker.
+func (s *Store) applyRecord(db *core.Database, payload []byte, pending *TxnRecord) (bool, error) {
+	if seq, ok := commitMarkerSeq(payload); ok {
+		if seq == 0 {
+			// Legacy marker without a sequence: number consecutively.
+			seq = s.seq + 1
+		}
+		if seq <= s.baseSeq {
+			// The transaction is already folded into the snapshot (a
+			// crash hit between Checkpoint's rename and its WAL
+			// truncation). The replay above was idempotent; just don't
+			// duplicate the history entry.
+			*pending = TxnRecord{}
+			return true, nil
+		}
+		if seq <= s.seq {
+			return false, fmt.Errorf("commit sequence %d not after %d", seq, s.seq)
+		}
+		s.seq = seq
+		pending.Seq = seq
 		s.history = append(s.history, *pending)
 		*pending = TxnRecord{}
 		return true, nil
@@ -205,15 +363,32 @@ func (s *Store) applyRecord(payload []byte, pending *TxnRecord) (bool, error) {
 	}
 	switch op {
 	case '+':
-		s.db.Add(id)
+		db.Add(id)
 		pending.Added = append(pending.Added, atomText)
 	case '-':
-		s.db.Remove(id)
+		db.Remove(id)
 		pending.Removed = append(pending.Removed, atomText)
 	default:
 		return false, fmt.Errorf("unknown op %q", op)
 	}
 	return false, nil
+}
+
+// commitMarkerSeq decodes a commit-marker payload. Current markers
+// are 'C' followed by the global sequence (8 bytes little-endian);
+// legacy markers are a bare 'C' and report seq 0 (numbered by the
+// caller).
+func commitMarkerSeq(payload []byte) (int, bool) {
+	if len(payload) == 0 || payload[0] != 'C' {
+		return 0, false
+	}
+	switch len(payload) {
+	case 1:
+		return 0, true
+	case 9:
+		return int(binary.LittleEndian.Uint64(payload[1:])), true
+	}
+	return 0, false
 }
 
 // internAtomText parses a ground atom in rule-language syntax.
@@ -229,21 +404,32 @@ func (s *Store) internAtomText(text string) (core.AID, error) {
 }
 
 // Universe returns the store's symbol universe. Programs evaluated
-// against the store must be parsed into this universe.
+// against the store must be parsed into this universe; the universe
+// is safe for concurrent interning, so request parsing never needs
+// the store lock.
 func (s *Store) Universe() *core.Universe { return s.u }
 
-// Snapshot returns a copy of the current database instance.
+// current returns the installed state, wait-free.
+func (s *Store) current() *dbState { return s.state.Load() }
+
+// Snapshot returns a copy of the current database instance. It never
+// blocks on writers: the installed state is immutable and the clone
+// happens outside any lock.
 func (s *Store) Snapshot() *core.Database {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.db.Clone()
+	return s.current().db.Clone()
 }
 
-// Len returns the current number of facts.
+// Len returns the current number of facts, without locking.
 func (s *Store) Len() int {
+	return s.current().db.Len()
+}
+
+// Seq returns the global sequence number of the most recent
+// committed transaction (0 for a fresh store).
+func (s *Store) Seq() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.db.Len()
+	return s.seq
 }
 
 // WALRecords returns the number of delta records since the last
@@ -254,19 +440,38 @@ func (s *Store) WALRecords() int {
 	return s.walRecords
 }
 
-// appendRecord writes one record; op 'C' with empty text is the
-// commit marker.
+// appendRecord writes one record; callers hold s.mu. Op 'C' with
+// empty text is the legacy commit marker (tests exercise recovery of
+// pre-sequence WALs through this path).
 func (s *Store) appendRecord(op byte, atomText string) error {
 	payload := make([]byte, 1+len(atomText))
 	payload[0] = op
 	copy(payload[1:], atomText)
+	return s.appendPayload(payload)
+}
+
+// appendCommitMarker writes a commit marker carrying the global
+// sequence; callers hold s.mu.
+func (s *Store) appendCommitMarker(seq int) error {
+	payload := make([]byte, 9)
+	payload[0] = 'C'
+	binary.LittleEndian.PutUint64(payload[1:], uint64(seq))
+	return s.appendPayload(payload)
+}
+
+func (s *Store) appendPayload(payload []byte) error {
+	if s.walErr != nil {
+		return s.walErr
+	}
 	var hdr [recordHeader]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
 	if _, err := s.wal.Write(hdr[:]); err != nil {
+		s.walErr = err
 		return err
 	}
 	if _, err := s.wal.Write(payload); err != nil {
+		s.walErr = err
 		return err
 	}
 	s.walRecords++

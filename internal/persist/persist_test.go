@@ -388,21 +388,82 @@ func TestHistoryAndStateAt(t *testing.T) {
 	if len(s2.History()) != 2 {
 		t.Fatalf("reopened history = %d", len(s2.History()))
 	}
-	// ...and is cleared by a checkpoint (the snapshot collapses it).
+	// ...and is cleared by a checkpoint (the snapshot collapses it),
+	// but the global sequence does NOT reset: the checkpoint becomes
+	// the new base.
 	if err := s2.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	if len(s2.History()) != 0 {
 		t.Fatalf("history after checkpoint = %d", len(s2.History()))
 	}
-	db, err := s2.StateAt(0)
+	if s2.BaseSeq() != 2 || s2.Seq() != 2 {
+		t.Fatalf("after checkpoint base/seq = %d/%d, want 2/2", s2.BaseSeq(), s2.Seq())
+	}
+	db, err := s2.StateAt(2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := renderDB(s2.Universe(), db); got != "p(b)" {
-		t.Fatalf("StateAt(0) after checkpoint = {%s}", got)
+		t.Fatalf("StateAt(2) after checkpoint = {%s}", got)
+	}
+	// Pre-checkpoint sequences are no longer reconstructable...
+	if _, err := s2.StateAt(1); err == nil {
+		t.Fatal("StateAt(1) accepted after checkpoint")
 	}
 	s2.Close()
+}
+
+// TestSeqMonotonicAcrossCheckpoint is the regression test for the
+// sequence-reset bug: transaction sequence numbers used to restart at
+// 1 after every checkpoint, so /v1/watch consumers and ?at=N time
+// travel saw duplicate, ambiguous sequences.
+func TestSeqMonotonicAcrossCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	u := s.Universe()
+	ctx := context.Background()
+	if err := s.ApplyUpdates(ctx, mustUpdates(t, u, `+p(a).`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyUpdates(ctx, mustUpdates(t, u, `+p(b).`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyUpdates(ctx, mustUpdates(t, u, `+p(c).`)); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.History()
+	if len(hist) != 1 || hist[0].Seq != 3 {
+		t.Fatalf("post-checkpoint history = %+v, want one entry with Seq 3", hist)
+	}
+	// The sequence survives a restart, too: the snapshot header and
+	// the commit markers both carry it.
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Seq() != 3 || s2.BaseSeq() != 2 {
+		t.Fatalf("reopened seq/base = %d/%d, want 3/2", s2.Seq(), s2.BaseSeq())
+	}
+	if err := s2.ApplyUpdates(ctx, mustUpdates(t, s2.Universe(), `+p(d).`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.History(); len(got) != 2 || got[1].Seq != 4 {
+		t.Fatalf("history after reopen+apply = %+v, want Seqs 3, 4", got)
+	}
+	// Time travel by global sequence across the checkpoint boundary.
+	db, err := s2.StateAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderDB(s2.Universe(), db); got != "p(a), p(b), p(c)" {
+		t.Fatalf("StateAt(3) = {%s}", got)
+	}
 }
 
 func TestBackupRestore(t *testing.T) {

@@ -12,70 +12,9 @@ import (
 	"repro/internal/parser"
 )
 
-// Apply runs one transaction: PARK(P, current state, updates) under
-// the given strategy and options, durably logs the fact-level delta,
-// and installs the result as the new current state. On error the
-// store is unchanged. It returns the engine result (whose Output is
-// the new state).
-func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, fmt.Errorf("persist: store is closed")
-	}
-	eng, err := core.NewEngine(s.u, prog, strategy, opts)
-	if err != nil {
-		return nil, err
-	}
-	res, err := eng.Run(ctx, s.db, updates)
-	if err != nil {
-		return nil, err
-	}
-	// Fact-level delta old -> new.
-	var added, removed []core.AID
-	for _, up := range core.Diff(s.db, res.Output) {
-		if up.Op == core.OpInsert {
-			added = append(added, up.Atom)
-		} else {
-			removed = append(removed, up.Atom)
-		}
-	}
-	// Durability: delta records followed by a commit marker, then one
-	// fsync. Recovery discards deltas with no trailing marker, so a
-	// crash anywhere in this sequence preserves atomicity. No-change
-	// transactions are not logged (and get no history entry).
-	if len(added)+len(removed) > 0 {
-		txn := TxnRecord{Seq: len(s.history) + 1}
-		for _, id := range added {
-			text := s.u.AtomString(id)
-			txn.Added = append(txn.Added, text)
-			if err := s.appendRecord('+', text); err != nil {
-				return nil, fmt.Errorf("persist: wal append: %w", err)
-			}
-		}
-		for _, id := range removed {
-			text := s.u.AtomString(id)
-			txn.Removed = append(txn.Removed, text)
-			if err := s.appendRecord('-', text); err != nil {
-				return nil, fmt.Errorf("persist: wal append: %w", err)
-			}
-		}
-		if err := s.appendRecord('C', ""); err != nil {
-			return nil, fmt.Errorf("persist: wal append: %w", err)
-		}
-		if err := s.wal.Sync(); err != nil {
-			return nil, fmt.Errorf("persist: wal sync: %w", err)
-		}
-		s.history = append(s.history, txn)
-		s.notify(txn)
-	}
-	s.db = res.Output.Clone()
-	return res, nil
-}
-
 // History returns the committed transactions since the last
-// checkpoint, oldest first. Transactions that changed nothing are not
-// recorded.
+// checkpoint, oldest first, with their global sequence numbers.
+// Transactions that changed nothing are not recorded.
 func (s *Store) History() []TxnRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -84,17 +23,34 @@ func (s *Store) History() []TxnRecord {
 	return out
 }
 
-// StateAt reconstructs the database as of transaction seq (0 = the
-// state at the last checkpoint / Open snapshot). It errors if seq is
-// out of range.
-func (s *Store) StateAt(seq int) (*core.Database, error) {
+// BaseSeq returns the global sequence number of the last checkpoint:
+// StateAt(BaseSeq()) is the checkpoint state, and history covers
+// (BaseSeq(), Seq()].
+func (s *Store) BaseSeq() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if seq < 0 || seq > len(s.history) {
-		return nil, fmt.Errorf("persist: transaction %d out of range [0, %d]", seq, len(s.history))
+	return s.baseSeq
+}
+
+// StateAt reconstructs the database as of global transaction sequence
+// seq. The earliest reachable state is the last checkpoint
+// (seq == BaseSeq()); the latest is the current state (seq == Seq()).
+// It errors if seq is outside that window.
+func (s *Store) StateAt(seq int) (*core.Database, error) {
+	s.mu.Lock()
+	base := s.baseSeq
+	hist := make([]TxnRecord, len(s.history))
+	copy(hist, s.history)
+	snap := s.snapDB.Clone()
+	s.mu.Unlock()
+	if seq < base || seq > base+len(hist) {
+		return nil, fmt.Errorf("persist: transaction %d out of range [%d, %d]", seq, base, base+len(hist))
 	}
-	db := s.snapDB.Clone()
-	for _, txn := range s.history[:seq] {
+	db := snap
+	for _, txn := range hist {
+		if txn.Seq > seq {
+			break
+		}
 		for _, text := range txn.Added {
 			id, err := s.internAtomText(text)
 			if err != nil {
@@ -121,29 +77,36 @@ func (s *Store) ApplyUpdates(ctx context.Context, updates []core.Update) error {
 	return err
 }
 
-// Query evaluates a conjunctive query against the current state.
+// Query evaluates a conjunctive query against the current state. It
+// runs on the installed copy-on-write snapshot and never waits on
+// writers.
 func (s *Store) Query(q *core.Query, yield func(binding []core.Sym) bool) error {
-	s.mu.Lock()
-	db := s.db.Clone()
-	s.mu.Unlock()
-	return core.EvalQuery(s.u, db, q, yield)
+	return core.EvalQuery(s.u, s.current().db, q, yield)
 }
 
 // Checkpoint writes the current state as a new snapshot (atomically,
-// via temp file + rename) and truncates the write-ahead log.
+// via temp file + rename) and truncates the write-ahead log. The
+// snapshot header records the global sequence, so sequence numbers
+// keep increasing across checkpoints. In-flight group-commit waiters
+// are released: the snapshot made their transactions durable.
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("persist: store is closed")
+		return ErrClosed
 	}
+	db := s.current().db
 	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName)
-	ids := append([]core.AID(nil), s.db.Atoms()...)
+	if _, err := fmt.Fprintf(tmp, "%s%d\n", snapshotSeqPrefix, s.seq); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	ids := append([]core.AID(nil), db.Atoms()...)
 	s.u.SortAtoms(ids)
 	for _, id := range ids {
 		if _, err := fmt.Fprintf(tmp, "%s.\n", s.u.AtomString(id)); err != nil {
@@ -168,12 +131,26 @@ func (s *Store) Checkpoint() error {
 		return fmt.Errorf("persist: %w", err)
 	}
 	s.walRecords = 0
-	s.snapDB = s.db.Clone()
+	s.snapDB = db.Clone()
 	s.history = nil
+	s.baseSeq = s.seq
+	// Every appended transaction is in the durable snapshot now;
+	// release any committers still waiting on an fsync. (LSNs are
+	// logical counts, so an fsync in flight across this point settles
+	// harmlessly.)
+	s.syncMu.Lock()
+	if s.appendedLSN > s.syncedLSN {
+		s.syncedLSN = s.appendedLSN
+	}
+	s.pendingTxns = 0
+	s.syncCond.Broadcast()
+	s.syncMu.Unlock()
 	return nil
 }
 
-// Close syncs and closes the store. Further operations fail.
+// Close syncs and closes the store. Further operations fail with
+// ErrClosed. Committers still waiting for group commit are released
+// by the final sync.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -181,20 +158,31 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	if err := s.wal.Sync(); err != nil {
-		s.wal.Close()
-		return fmt.Errorf("persist: %w", err)
+	syncErr := s.wal.Sync()
+	closeErr := s.wal.Close()
+	s.syncMu.Lock()
+	if syncErr != nil {
+		s.syncErr = syncErr
+	} else if s.appendedLSN > s.syncedLSN {
+		s.syncedLSN = s.appendedLSN
 	}
-	return s.wal.Close()
+	s.syncCond.Broadcast()
+	s.syncMu.Unlock()
+	if syncErr != nil {
+		return fmt.Errorf("persist: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("persist: %w", closeErr)
+	}
+	return nil
 }
 
 // Backup streams a consistent snapshot of the current state (sorted
 // ground facts in rule-language syntax) to w. The result is a valid
-// snapshot/database file.
+// snapshot/database file. Backup reads the installed copy-on-write
+// state and never blocks writers.
 func (s *Store) Backup(w io.Writer) error {
-	s.mu.Lock()
-	db := s.db.Clone()
-	s.mu.Unlock()
+	db := s.current().db
 	ids := append([]core.AID(nil), db.Atoms()...)
 	s.u.SortAtoms(ids)
 	bw := bufio.NewWriter(w)

@@ -24,7 +24,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -52,9 +54,12 @@ type Server struct {
 }
 
 // New creates a server over the store. The initial program is empty
-// and the default strategy is inertia.
+// and the default strategy is inertia. The store's commit-pipeline
+// metrics (fsyncs, group-commit batch sizes, retries, queue waits)
+// are registered into the server's registry.
 func New(store *persist.Store) *Server {
 	reg := metrics.NewRegistry()
+	store.Instrument(reg)
 	return &Server{
 		store:       store,
 		reg:         reg,
@@ -321,8 +326,7 @@ func (s *Server) handleTransaction(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.store.Apply(r.Context(), prog, ups, strat, core.Options{})
 	if err != nil {
-		s.em.errors.Inc()
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeApplyErr(w, err)
 		return
 	}
 	s.em.recordRun(res.RunStats)
@@ -343,10 +347,35 @@ func (s *Server) handleTransaction(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// statusClientClosedRequest is nginx's non-standard 499 "client
+// closed request": the client went away before the transaction
+// finished. Neither a client error we can report to anyone nor an
+// engine failure.
+const statusClientClosedRequest = 499
+
+// writeApplyErr maps store.Apply failures to HTTP statuses. Only
+// genuine evaluation failures are 422s and counted as engine errors;
+// client disconnects, server timeouts and shutdown are transport
+// conditions and must not pollute the engine error counter.
+func (s *Server) writeApplyErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		writeErr(w, statusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, persist.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		s.em.errors.Inc()
+		writeErr(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
 func (s *Server) handleDatabase(w http.ResponseWriter, r *http.Request) {
 	db := s.store.Snapshot()
-	// ?at=N time-travels to the state after transaction N (0 = the
-	// last checkpoint).
+	// ?at=N time-travels to the state after global transaction
+	// sequence N (the earliest reachable value is the last
+	// checkpoint's sequence).
 	if at := r.URL.Query().Get("at"); at != "" {
 		seq, err := strconv.Atoi(at)
 		if err != nil {
@@ -468,6 +497,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if err := s.store.Checkpoint(); err != nil {
+		if errors.Is(err, persist.ErrClosed) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}

@@ -17,18 +17,32 @@ func MatchRow(row []int32, pattern []int32) bool {
 // Scan calls fn for every row of r that matches pattern, in row
 // order, until fn returns false. If useIndex is true and at least one
 // pattern column is bound, the scan probes the (lazily built) hash
-// index of the first bound column instead of scanning linearly; the
-// useIndex=false path exists for the indexing ablation benchmark.
+// index of the most selective bound column — the one whose posting
+// list is shortest — instead of scanning linearly; the rows of the
+// other bound columns would all be re-checked by MatchRow anyway, so
+// probing the smallest list minimizes the work. The useIndex=false
+// path exists for the indexing ablation benchmark.
 func (r *Relation) Scan(pattern []int32, useIndex bool, fn func(row int) bool) {
 	if len(pattern) != r.arity {
 		panic("storage: pattern arity mismatch")
 	}
 	if useIndex {
+		var best []int32
+		found := false
 		for c, p := range pattern {
 			if p == Unbound {
 				continue
 			}
-			for _, row := range r.Probe(c, p) {
+			rows := r.Probe(c, p)
+			if !found || len(rows) < len(best) {
+				best, found = rows, true
+			}
+			if len(best) == 0 {
+				break // no rows can match; also the cheapest possible probe
+			}
+		}
+		if found {
+			for _, row := range best {
 				if MatchRow(r.Row(int(row)), pattern) {
 					if !fn(int(row)) {
 						return

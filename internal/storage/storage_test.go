@@ -141,6 +141,50 @@ func TestScanIndexedVsLinearAgree(t *testing.T) {
 			t.Fatalf("pattern %v: indexed %v != linear %v", p, a, b)
 		}
 	}
+
+	// Selection heuristic: a skewed relation where column 0 is almost
+	// useless (all rows share one value) and column 1 is selective.
+	// The scan must probe the shortest posting list regardless of which
+	// bound column comes first in the pattern, and must still agree
+	// with the linear scan.
+	skew := NewRelation(3)
+	for i := 0; i < 400; i++ {
+		skew.Append([]int32{7, int32(i % 100), int32(i % 2)}, int32(i))
+	}
+	skewPatterns := [][]int32{
+		{7, 42, Unbound},       // col 0 matches 400 rows, col 1 only 4
+		{7, Unbound, 1},        // col 2's list (200) still beats col 0's (400)
+		{7, 42, 0},             // all three bound, middle one wins
+		{7, 999, Unbound},      // selective column matches nothing: empty result
+		{Unbound, 42, Unbound}, // single bound column unchanged
+	}
+	for _, p := range skewPatterns {
+		a := scanRows(skew, p, true)
+		b := scanRows(skew, p, false)
+		sort.Ints(a)
+		sort.Ints(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("skew pattern %v: indexed %v != linear %v", p, a, b)
+		}
+	}
+	// White-box check that the heuristic consults the selective
+	// column at all: pre-heuristic Scan probed only the FIRST bound
+	// column, so column 1's index was never built for a {bound,
+	// bound, _} pattern. With the smallest-list selection every bound
+	// column is probed (to compare list lengths), which is observable
+	// through the lazily built indexes.
+	fresh := NewRelation(3)
+	for i := 0; i < 400; i++ {
+		fresh.Append([]int32{7, int32(i % 100), int32(i % 2)}, int32(i))
+	}
+	fresh.Scan([]int32{7, 42, Unbound}, true, func(int) bool { return true })
+	if fresh.builtUpTo[1] != 400 {
+		t.Fatalf("selective column index built up to %d rows, want 400 (heuristic never considered column 1)", fresh.builtUpTo[1])
+	}
+	// And the probe sizes confirm which list the heuristic favors.
+	if c0, c1 := len(fresh.Probe(0, 7)), len(fresh.Probe(1, 42)); c0 != 400 || c1 != 4 {
+		t.Fatalf("posting lists = %d/%d, want 400/4", c0, c1)
+	}
 }
 
 func TestScanEarlyStop(t *testing.T) {
