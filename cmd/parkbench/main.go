@@ -43,6 +43,7 @@ func main() {
 		{"B10", "parallel full-step evaluation speedup", runB10},
 		{"B11", "full-system transaction throughput (durable store)", runB11},
 		{"B12", "concurrent commit pipeline: group commit vs serialized", runB12},
+		{"B13", "read-replica scaling: throughput and lag vs follower count", runB13},
 	}
 	failed := 0
 	for _, b := range benches {

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	park "repro"
+	"repro/internal/parser"
+	"repro/internal/persist"
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+// B13 — read-replica scaling: sustained read throughput against a
+// leader under write load, as read-only followers are added and
+// queries fan out across them. Every node runs in this one process
+// (stores, HTTP servers and replication streams all share the same
+// cores), so the table measures the architecture — reads leaving the
+// leader's commit path and spreading over independent stores — rather
+// than added hardware; on a real deployment each follower brings its
+// own cores and the scaling headroom is larger than what a
+// single-machine run can show. The shape checks are therefore
+// correctness-first: every follower must converge to the leader's
+// exact state with zero final lag, and reads must keep flowing while
+// followers replicate.
+func runB13(quick bool) error {
+	followerCounts := []int{0, 1, 2, 4}
+	readers := 8
+	window := 1500 * time.Millisecond
+	if quick {
+		followerCounts = []int{0, 2}
+		window = 500 * time.Millisecond
+	}
+	w := table()
+	fmt.Fprintln(w, "followers\treaders\treads\treads/s\twrites/s\tmax lag\tfinal lag\tconverge")
+	baseRate := 0.0
+	for _, n := range followerCounts {
+		r, err := runB13Once(n, readers, window)
+		if err != nil {
+			return fmt.Errorf("%d followers: %w", n, err)
+		}
+		if n == 0 {
+			baseRate = r.readRate
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.0f\t%.0f\t%d\t%d\t%v\n",
+			n, readers, r.reads, r.readRate, r.writeRate,
+			r.maxLag, r.finalLag, r.converge.Round(time.Millisecond))
+	}
+	w.Flush()
+	fmt.Printf("shape check: followers converge exactly under write load; reads at max fan-out are %.2fx the leader-only rate (in-process run — one machine's cores shared by all nodes)\n",
+		lastB13Rate/nonZero(baseRate))
+	return nil
+}
+
+// lastB13Rate carries the last row's read rate into the shape-check
+// line (set by runB13Once).
+var lastB13Rate float64
+
+func nonZero(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+type b13Result struct {
+	reads     int64
+	readRate  float64
+	writeRate float64
+	maxLag    int64
+	finalLag  int
+	converge  time.Duration
+}
+
+// runB13Once drives one row: a leader committing continuously (one
+// rule firing per transaction, as in B12), n followers replicating
+// it, and `readers` clients issuing conjunctive queries round-robin
+// over the read endpoints (the followers when present, the leader
+// otherwise) for the measurement window. After the window the writer
+// stops and the row records how long the followers take to drain the
+// remaining lag to zero, then verifies byte-for-byte state equality.
+func runB13Once(followers, readers int, window time.Duration) (*b13Result, error) {
+	dir, err := os.MkdirTemp("", "parkbench-b13-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := persist.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	leader := httptest.NewServer(server.New(store).Handler())
+	defer leader.Close()
+	u := store.Universe()
+	prog, err := parser.ParseProgram(u, "", `
+rule log:   +ev(X) -> +audit(X).
+rule unlog: -ev(X) -> -audit(X).
+`)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type replicaNode struct {
+		store    *persist.Store
+		follower *repl.Follower
+		ts       *httptest.Server
+	}
+	var replicas []replicaNode
+	defer func() {
+		for _, rn := range replicas {
+			rn.ts.Close()
+			rn.store.Close()
+		}
+	}()
+	for i := 0; i < followers; i++ {
+		fdir, err := os.MkdirTemp("", "parkbench-b13-f*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(fdir)
+		fstore, err := persist.Open(fdir)
+		if err != nil {
+			return nil, err
+		}
+		f := repl.NewFollower(fstore, leader.URL,
+			repl.WithBackoff(5*time.Millisecond, 100*time.Millisecond))
+		rts := httptest.NewServer(server.NewReplica(fstore, f, leader.URL).Handler())
+		replicas = append(replicas, replicaNode{store: fstore, follower: f, ts: rts})
+		go f.Run(ctx)
+	}
+	readURLs := []string{leader.URL}
+	if followers > 0 {
+		readURLs = readURLs[:0]
+		for _, rn := range replicas {
+			readURLs = append(readURLs, rn.ts.URL)
+		}
+	}
+
+	// Writer: replace the previous event each transaction so the
+	// database stays small and per-commit work flat.
+	var writes, reads int64
+	var maxLag int64
+	writerDone := make(chan error, 1)
+	stopWrites := make(chan struct{})
+	go func() {
+		i := 0
+		for {
+			select {
+			case <-stopWrites:
+				writerDone <- nil
+				return
+			default:
+			}
+			text := fmt.Sprintf("+ev(i%d).\n", i)
+			if i > 0 {
+				text += fmt.Sprintf("-ev(i%d).\n", i-1)
+			}
+			ups, err := parser.ParseUpdates(u, "", text)
+			if err == nil {
+				_, err = store.Apply(ctx, prog, ups, nil, park.Options{})
+			}
+			if err != nil {
+				writerDone <- err
+				return
+			}
+			atomic.AddInt64(&writes, 1)
+			i++
+		}
+	}()
+	// Lag sampler (steady-state lag under load, max over followers).
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				for _, rn := range replicas {
+					if lag := int64(rn.follower.Status().LagSeq()); lag > atomic.LoadInt64(&maxLag) {
+						atomic.StoreInt64(&maxLag, lag)
+					}
+				}
+			}
+		}
+	}()
+
+	// Readers: conjunctive queries round-robin over the read endpoints.
+	var wg sync.WaitGroup
+	stopReads := make(chan struct{})
+	readerErrs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				c := &server.Client{BaseURL: readURLs[(r+j)%len(readURLs)]}
+				if _, err := c.Query(ctx, "audit(X)"); err != nil {
+					readerErrs <- err
+					return
+				}
+				atomic.AddInt64(&reads, 1)
+			}
+		}(r)
+	}
+
+	start := time.Now()
+	time.Sleep(window)
+	close(stopReads)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopWrites)
+	if err := <-writerDone; err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-readerErrs:
+		return nil, err
+	default:
+	}
+
+	// Drain: with writes stopped, every follower must reach the
+	// leader's exact sequence and state.
+	drainStart := time.Now()
+	deadline := drainStart.Add(20 * time.Second)
+	finalLag := 0
+	for _, rn := range replicas {
+		for rn.store.Seq() != store.Seq() {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("follower stuck at seq %d, leader at %d", rn.store.Seq(), store.Seq())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if lag := rn.follower.Status().LagSeq(); lag > finalLag {
+			finalLag = lag
+		}
+		if got, want := renderFacts(rn.store), renderFacts(store); got != want {
+			return nil, fmt.Errorf("follower state %q, leader %q", got, want)
+		}
+	}
+	res := &b13Result{
+		reads:     atomic.LoadInt64(&reads),
+		readRate:  float64(atomic.LoadInt64(&reads)) / elapsed.Seconds(),
+		writeRate: float64(atomic.LoadInt64(&writes)) / elapsed.Seconds(),
+		maxLag:    atomic.LoadInt64(&maxLag),
+		finalLag:  finalLag,
+		converge:  time.Since(drainStart),
+	}
+	lastB13Rate = res.readRate
+	return res, nil
+}
+
+// renderFacts renders a store's database as one sorted string.
+func renderFacts(s *persist.Store) string {
+	u, db := s.Universe(), s.Snapshot()
+	ids := append([]park.AID(nil), db.Atoms()...)
+	u.SortAtoms(ids)
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += ", "
+		}
+		out += u.AtomString(id)
+	}
+	return out
+}

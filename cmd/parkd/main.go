@@ -3,13 +3,22 @@
 // Usage:
 //
 //	parkd -dir ./data [-addr :7474] [-program rules.park | -triggers ddl.sql]
-//	      [-strategy inertia] [-pprof] [-read-timeout 30s] [-write-timeout 0]
+//	      [-strategy inertia] [-follow http://leader:7474] [-pprof]
+//	      [-read-timeout 30s] [-write-timeout 0]
 //	      [-idle-timeout 2m] [-shutdown-timeout 10s]
 //
 // The store directory holds the snapshot and write-ahead log; state
 // survives restarts. See internal/server for the JSON API and
 // docs/OBSERVABILITY.md for the metrics (/v1/metrics) and profiling
 // (-pprof) surfaces.
+//
+// With -follow, parkd runs as a read-only replica of the leader at
+// the given base URL: it bootstraps from the leader's snapshot,
+// replays its committed transactions in order (resuming across
+// restarts of either side), serves queries locally and answers write
+// requests with 421 plus an X-Park-Leader hint. -program, -triggers
+// and -strategy are rejected in follower mode — the replicated state
+// is the leader's. See docs/REPLICATION.md and docs/OPERATIONS.md.
 //
 // parkd shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests get -shutdown-timeout to finish, and
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/persist"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -39,6 +49,7 @@ type config struct {
 	program  string // rule-language program file
 	triggers string // trigger-DDL program file
 	strategy string
+	follow   string // leader base URL; non-empty selects replica mode
 
 	pprof           bool
 	readTimeout     time.Duration
@@ -48,17 +59,30 @@ type config struct {
 }
 
 // setup opens the store and builds the configured server. The caller
-// owns closing the returned store.
-func setup(cfg config) (*server.Server, *persist.Store, error) {
+// owns closing the returned store and, in follower mode, running the
+// returned follower (nil otherwise).
+func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
+	if cfg.follow != "" {
+		if cfg.program != "" || cfg.triggers != "" {
+			return nil, nil, nil, fmt.Errorf("parkd: -follow is incompatible with -program/-triggers (replicas take their state from the leader)")
+		}
+		if cfg.strategy != "" && cfg.strategy != "inertia" {
+			return nil, nil, nil, fmt.Errorf("parkd: -follow is incompatible with -strategy (replicas do not evaluate rules)")
+		}
+	}
 	store, err := persist.Open(cfg.dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	fail := func(err error) (*server.Server, *persist.Store, *repl.Follower, error) {
+		store.Close()
+		return nil, nil, nil, err
+	}
+	if cfg.follow != "" {
+		follower := repl.NewFollower(store, cfg.follow, repl.WithLogger(log.Printf))
+		return server.NewReplica(store, follower, cfg.follow), store, follower, nil
 	}
 	srv := server.New(store)
-	fail := func(err error) (*server.Server, *persist.Store, error) {
-		store.Close()
-		return nil, nil, err
-	}
 	if cfg.program != "" && cfg.triggers != "" {
 		return fail(fmt.Errorf("parkd: use only one of -program and -triggers"))
 	}
@@ -85,7 +109,7 @@ func setup(cfg config) (*server.Server, *persist.Store, error) {
 			return fail(err)
 		}
 	}
-	return srv, store, nil
+	return srv, store, nil, nil
 }
 
 // buildHandler mounts the API handler and, when enabled, the
@@ -147,6 +171,7 @@ func main() {
 	flag.StringVar(&cfg.program, "program", "", "rule program file to install at startup")
 	flag.StringVar(&cfg.triggers, "triggers", "", "trigger-DDL program file to install at startup")
 	flag.StringVar(&cfg.strategy, "strategy", "inertia", "default conflict resolution strategy")
+	flag.StringVar(&cfg.follow, "follow", "", "leader base URL; run as a read-only replica of that node")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "max duration for reading a request (0 disables)")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 0, "max duration for writing a response (0 disables; >0 also bounds /v1/watch streams)")
@@ -157,7 +182,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "parkd: -dir is required")
 		os.Exit(2)
 	}
-	srv, store, err := setup(cfg)
+	srv, store, follower, err := setup(cfg)
 	if err != nil {
 		log.Fatalf("parkd: %v", err)
 	}
@@ -165,9 +190,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// In replica mode the follower replicates in the background for
+	// the whole life of the process; it stops with the same signal
+	// context that stops the HTTP server.
+	replDone := make(chan struct{})
+	if follower != nil {
+		go func() {
+			defer close(replDone)
+			if err := follower.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("parkd: replication stopped: %v", err)
+			}
+		}()
+		log.Printf("parkd: following leader at %s", cfg.follow)
+	} else {
+		close(replDone)
+	}
+
 	hs := newHTTPServer(*addr, buildHandler(srv, cfg.pprof), cfg)
+	// Abort open /v1/watch and /v1/repl/stream responses when graceful
+	// shutdown begins: they are unbounded by design and would otherwise
+	// hold Shutdown for the entire grace period.
+	hs.RegisterOnShutdown(srv.StopStreams)
 	log.Printf("parkd: serving store %s on %s (%d facts, pprof=%v)", cfg.dir, *addr, store.Len(), cfg.pprof)
 	serveErr := serve(ctx, hs, cfg)
+	// Wait for the follower to stop applying before closing the store.
+	stop()
+	<-replDone
 	// Close the store regardless of how serving ended, so the WAL is
 	// synced before the process exits.
 	if err := store.Close(); err != nil {

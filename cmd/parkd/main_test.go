@@ -19,7 +19,7 @@ func TestSetupWithRuleProgram(t *testing.T) {
 	if err := os.WriteFile(prog, []byte(`p(X) -> +q(X).`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, store, err := setup(config{dir: filepath.Join(dir, "data"), program: prog, strategy: "priority"})
+	srv, store, _, err := setup(config{dir: filepath.Join(dir, "data"), program: prog, strategy: "priority"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestSetupWithTriggerProgram(t *testing.T) {
 	if err := os.WriteFile(ddl, []byte(`CREATE RULE r WHEN p(X) DO INSERT q(X);`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, store, err := setup(config{dir: filepath.Join(dir, "data"), triggers: ddl})
+	srv, store, _, err := setup(config{dir: filepath.Join(dir, "data"), triggers: ddl})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestSetupWithTriggerProgram(t *testing.T) {
 }
 
 func TestBuildHandlerPprofGating(t *testing.T) {
-	srv, store, err := setup(config{dir: filepath.Join(t.TempDir(), "data")})
+	srv, store, _, err := setup(config{dir: filepath.Join(t.TempDir(), "data")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 // (the client should retry elsewhere), not a 422 "engine error", and
 // must not be counted as an engine failure in the metrics.
 func TestShutdownRequestsGet503(t *testing.T) {
-	srv, store, err := setup(config{dir: filepath.Join(t.TempDir(), "data")})
+	srv, store, _, err := setup(config{dir: filepath.Join(t.TempDir(), "data")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,22 +164,69 @@ func TestShutdownRequestsGet503(t *testing.T) {
 	}
 }
 
+// TestSetupFollowerMode pins the replica-mode contract: state-shaping
+// flags are rejected (the leader owns the state), and the resulting
+// server refuses writes with 421 and a leader hint while still
+// serving reads.
+func TestSetupFollowerMode(t *testing.T) {
+	dir := t.TempDir()
+	leaderURL := "http://leader.example:7474"
+	prog := filepath.Join(dir, "rules.park")
+	os.WriteFile(prog, []byte(`p(X) -> +q(X).`), 0o644)
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d1"), follow: leaderURL, program: prog}); err == nil {
+		t.Fatal("follower mode accepted -program")
+	}
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d2"), follow: leaderURL, strategy: "priority"}); err == nil {
+		t.Fatal("follower mode accepted -strategy")
+	}
+	srv, store, follower, err := setup(config{dir: filepath.Join(dir, "d3"), follow: leaderURL, strategy: "inertia"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if follower == nil {
+		t.Fatal("follower mode returned no follower")
+	}
+	ts := httptest.NewServer(buildHandler(srv, false))
+	defer ts.Close()
+	c := &server.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	if _, err := c.Transact(ctx, `+p(a).`); err == nil || !strings.Contains(err.Error(), "HTTP 421") {
+		t.Fatalf("replica transaction = %v, want HTTP 421", err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/transaction", "application/json", strings.NewReader(`{"updates":"+p(a)."}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Park-Leader"); got != leaderURL {
+		t.Fatalf("X-Park-Leader = %q, want %q", got, leaderURL)
+	}
+	// Reads keep working locally.
+	if _, err := c.Database(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MetricsText(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSetupErrors(t *testing.T) {
 	dir := t.TempDir()
 	f := filepath.Join(dir, "x.park")
 	os.WriteFile(f, []byte(`p -> +q.`), 0o644)
-	if _, _, err := setup(config{dir: filepath.Join(dir, "d1"), program: f, triggers: f}); err == nil {
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d1"), program: f, triggers: f}); err == nil {
 		t.Fatal("both program kinds accepted")
 	}
-	if _, _, err := setup(config{dir: filepath.Join(dir, "d2"), program: filepath.Join(dir, "missing")}); err == nil {
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d2"), program: filepath.Join(dir, "missing")}); err == nil {
 		t.Fatal("missing program file accepted")
 	}
 	bad := filepath.Join(dir, "bad.park")
 	os.WriteFile(bad, []byte(`p(X) -> +q(Y).`), 0o644)
-	if _, _, err := setup(config{dir: filepath.Join(dir, "d3"), program: bad}); err == nil {
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d3"), program: bad}); err == nil {
 		t.Fatal("unsafe program accepted")
 	}
-	if _, _, err := setup(config{dir: filepath.Join(dir, "d4"), strategy: "bogus"}); err == nil {
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d4"), strategy: "bogus"}); err == nil {
 		t.Fatal("bogus strategy accepted")
 	}
 }

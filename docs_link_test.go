@@ -1,0 +1,113 @@
+package park_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks walks README.md and docs/*.md and verifies that every
+// relative markdown link points at a file that exists, and that links
+// with fragments point at a real heading in the target document. It
+// also checks bare "docs/FOO.md"-style mentions in prose, which this
+// repo uses as cross-references.
+func TestDocLinks(t *testing.T) {
+	pages := []string{"README.md"}
+	docPages, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages = append(pages, docPages...)
+	if len(pages) < 2 {
+		t.Fatalf("found only %v; doc layout changed?", pages)
+	}
+
+	mdLink := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	bareRef := regexp.MustCompile(`(?:docs/)?[A-Z][A-Z_]*\.md|docs/[a-zA-Z_]+\.md`)
+
+	for _, page := range pages {
+		raw, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		dir := filepath.Dir(page)
+
+		seen := map[string]bool{}
+		check := func(ref string) {
+			if seen[ref] {
+				return
+			}
+			seen[ref] = true
+			target, fragment, _ := strings.Cut(ref, "#")
+			if target == "" {
+				// Same-file anchor.
+				if fragment != "" && !hasAnchor(text, fragment) {
+					t.Errorf("%s: anchor #%s not found in same file", page, fragment)
+				}
+				return
+			}
+			// Resolve relative to the page's directory, falling back
+			// to the repo root (prose mentions are root-relative).
+			resolved := filepath.Join(dir, target)
+			if _, err := os.Stat(resolved); err != nil {
+				resolved = target
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q", page, ref)
+					return
+				}
+			}
+			if fragment != "" && strings.HasSuffix(resolved, ".md") {
+				tgt, err := os.ReadFile(resolved)
+				if err != nil {
+					t.Errorf("%s: unreadable link target %q: %v", page, ref, err)
+					return
+				}
+				if !hasAnchor(string(tgt), fragment) {
+					t.Errorf("%s: link %q: no heading for anchor #%s in %s", page, ref, fragment, resolved)
+				}
+			}
+		}
+
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			ref := m[1]
+			if strings.Contains(ref, "://") || strings.HasPrefix(ref, "mailto:") {
+				continue
+			}
+			check(ref)
+		}
+		for _, ref := range bareRef.FindAllString(text, -1) {
+			check(ref)
+		}
+	}
+}
+
+// hasAnchor reports whether doc has a heading whose GitHub slug is
+// fragment (lowercase, spaces to dashes, punctuation dropped).
+func hasAnchor(doc, fragment string) bool {
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		if githubSlug(heading) == strings.ToLower(fragment) {
+			return true
+		}
+	}
+	return false
+}
+
+func githubSlug(heading string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r == ' ' || r == '-':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}

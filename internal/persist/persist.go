@@ -41,6 +41,31 @@
 // snapshot rename and its WAL truncation merely re-applies the old
 // deltas on top of the new snapshot, converging to the same state
 // (fault-injection-tested).
+//
+// Sequence numbers. Every committed transaction carries a global
+// sequence number with three invariants the rest of the system leans
+// on:
+//
+//  1. Dense and monotone: the first commit in a store's life is 1 and
+//     each commit is exactly the predecessor plus one — there are no
+//     gaps, so "the state at sequence N" names exactly one database.
+//  2. Durable: the sequence is stored in each WAL commit marker and
+//     in the snapshot header ("% park snapshot seq=N"), so it
+//     survives restarts and checkpoints; recovery resumes the
+//     numbering where the crashed process left off.
+//  3. Order-defining: states are reconstructible at any sequence in
+//     the retained window [baseSeq, seq] (StateAt, History), and the
+//     replication layer (internal/repl) identifies a follower's
+//     position solely by its sequence — resuming a stream is
+//     "send me everything after N".
+//
+// Replication hooks. ReplicaCut takes a consistent cut (snapshot +
+// history + live subscription, gapless by construction) for serving a
+// replication stream; ApplyReplicated installs a leader-evaluated
+// delta through the same WAL/commit path without re-running the
+// engine; ResetToSnapshot adopts a leader snapshot wholesale; SyncWAL
+// lets a follower batch durability across applied transactions. A
+// store being replicated into must have no other writers.
 package persist
 
 import (

@@ -1,0 +1,217 @@
+package persist
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// This file is the store-side substrate for streaming replication
+// (internal/repl). A leader serves a follower the pair
+// (snapshot-at-checkpoint, transaction tail); the follower installs
+// leader-committed transactions through ApplyReplicated, which
+// preserves every invariant of the local commit path — in particular
+// the global sequence stays dense and monotone, so a replica's state
+// at sequence N is exactly the leader's state at sequence N.
+
+// ReplicaCut is a consistent view of the store for starting a
+// replication stream: the checkpoint state, the committed transactions
+// since it, the current sequence, and a subscription registered
+// atomically with the copy — a transaction committed after the cut is
+// delivered on Events, a transaction committed before it is in
+// History, and no transaction is in neither.
+type ReplicaCut struct {
+	// BaseSeq is the global sequence of the last checkpoint; Snapshot
+	// (when requested) is the state at exactly that sequence.
+	BaseSeq int
+	// Seq is the newest committed sequence at cut time.
+	Seq int
+	// Snapshot is the checkpoint state (immutable — do not mutate);
+	// nil unless the cut was taken with withSnapshot.
+	Snapshot *core.Database
+	// History holds the committed deltas in (BaseSeq, Seq], oldest
+	// first.
+	History []TxnRecord
+	// Events delivers transactions committed after the cut, in commit
+	// order. The subscription drops when the consumer falls behind
+	// (see Subscribe); a consumer that observes a sequence gap must
+	// restart from a fresh cut.
+	Events <-chan TxnRecord
+	// Cancel releases the subscription. Always call it.
+	Cancel func()
+}
+
+// ReplicaCut captures a consistent replication cut. The subscription
+// is registered under the commit lock, so the History copy and the
+// Events stream tile the transaction sequence exactly. withSnapshot
+// additionally exposes the checkpoint state (needed when the consumer
+// resumes from before BaseSeq, or not at all); buffer sizes the
+// subscription channel.
+func (s *Store) ReplicaCut(withSnapshot bool, buffer int) (*ReplicaCut, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	cut := &ReplicaCut{BaseSeq: s.baseSeq, Seq: s.seq}
+	if withSnapshot {
+		// snapDB is replaced, never mutated, so handing out the
+		// pointer is safe; the caller renders it outside the lock.
+		cut.Snapshot = s.snapDB
+	}
+	cut.History = make([]TxnRecord, len(s.history))
+	copy(cut.History, s.history)
+	// Lock order mu -> subsMu matches the notify path, so registering
+	// while holding mu cannot race a commit's fan-out.
+	cut.Events, cut.Cancel = s.Subscribe(buffer)
+	return cut, nil
+}
+
+// ApplyReplicated installs one leader-committed transaction delta at
+// exactly txn.Seq, bypassing rule evaluation: replication ships
+// results, not programs, because PARK(P, D, U) is a pure function the
+// leader already computed. The transaction must be the next in
+// sequence (txn.Seq == Seq()+1); a transaction at or below the current
+// sequence is skipped idempotently (stream resume overlap), and a gap
+// is an error — the follower must re-resume from its actual sequence.
+//
+// The delta is WAL-logged with the leader's sequence in the commit
+// marker, but not fsynced: a replica batches durability through
+// SyncWAL, because a crash that loses the un-synced tail merely makes
+// it re-request those transactions from the leader.
+func (s *Store) ApplyReplicated(txn TxnRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if txn.Seq <= s.seq {
+		return nil
+	}
+	if txn.Seq != s.seq+1 {
+		return fmt.Errorf("persist: replication gap: store at seq %d, got txn %d", s.seq, txn.Seq)
+	}
+	// Intern (and thereby validate) every atom before touching the
+	// WAL, so a malformed frame cannot leave a partial transaction.
+	addIDs := make([]core.AID, len(txn.Added))
+	for i, text := range txn.Added {
+		id, err := s.internAtomText(text)
+		if err != nil {
+			return fmt.Errorf("persist: replicated txn %d: %w", txn.Seq, err)
+		}
+		addIDs[i] = id
+	}
+	remIDs := make([]core.AID, len(txn.Removed))
+	for i, text := range txn.Removed {
+		id, err := s.internAtomText(text)
+		if err != nil {
+			return fmt.Errorf("persist: replicated txn %d: %w", txn.Seq, err)
+		}
+		remIDs[i] = id
+	}
+	for _, text := range txn.Added {
+		if err := s.appendRecord('+', text); err != nil {
+			return fmt.Errorf("persist: wal append: %w", err)
+		}
+	}
+	for _, text := range txn.Removed {
+		if err := s.appendRecord('-', text); err != nil {
+			return fmt.Errorf("persist: wal append: %w", err)
+		}
+	}
+	if err := s.appendCommitMarker(txn.Seq); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	cur := s.current()
+	db := cur.db.Clone()
+	for _, id := range addIDs {
+		db.Add(id)
+	}
+	for _, id := range remIDs {
+		db.Remove(id)
+	}
+	rec := TxnRecord{Seq: txn.Seq}
+	rec.Added = append(rec.Added, txn.Added...)
+	rec.Removed = append(rec.Removed, txn.Removed...)
+	s.seq = txn.Seq
+	s.history = append(s.history, rec)
+	s.state.Store(&dbState{db: db, version: cur.version + 1})
+	s.notify(rec)
+	s.syncMu.Lock()
+	s.appendedLSN++
+	s.pendingTxns++
+	s.syncMu.Unlock()
+	return nil
+}
+
+// SyncWAL makes every transaction appended so far durable, through the
+// same group-commit machinery as Apply (a no-op when nothing is
+// pending). Replicas call it at batch boundaries instead of per
+// transaction.
+func (s *Store) SyncWAL() error {
+	s.syncMu.Lock()
+	lsn := s.appendedLSN
+	s.syncMu.Unlock()
+	if lsn == 0 {
+		return nil
+	}
+	return s.waitDurable(lsn)
+}
+
+// ResetToSnapshot replaces the entire store state with a leader
+// snapshot taken at the given global sequence: the facts become the
+// new checkpoint (written durably, atomic rename), the WAL restarts
+// empty, and the sequence jumps to seq. This is the replica bootstrap
+// path — used when the store has no state, or when its sequence falls
+// outside the leader's retained window (including the divergence case
+// where the replica is ahead of a restarted leader: the leader wins).
+func (s *Store) ResetToSnapshot(seq int, facts []string) error {
+	if seq < 0 {
+		return fmt.Errorf("persist: negative snapshot sequence %d", seq)
+	}
+	var sb strings.Builder
+	for _, f := range facts {
+		sb.WriteString(f)
+		sb.WriteString(".\n")
+	}
+	db, err := parser.ParseDatabase(s.u, "replica-snapshot", sb.String())
+	if err != nil {
+		return fmt.Errorf("persist: replica snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.writeSnapshotLocked(db, seq); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	// The WAL is empty and at a clean boundary again; a previous
+	// append failure no longer poisons durability.
+	s.walErr = nil
+	s.walRecords = 0
+	s.snapDB = db.Clone()
+	s.history = nil
+	s.seq = seq
+	s.baseSeq = seq
+	cur := s.current()
+	s.state.Store(&dbState{db: db, version: cur.version + 1})
+	// Anything previously appended is superseded by the durable
+	// snapshot; release group-commit waiters.
+	s.syncMu.Lock()
+	if s.appendedLSN > s.syncedLSN {
+		s.syncedLSN = s.appendedLSN
+	}
+	s.pendingTxns = 0
+	s.syncCond.Broadcast()
+	s.syncMu.Unlock()
+	return nil
+}

@@ -96,33 +96,8 @@ func (s *Store) Checkpoint() error {
 		return ErrClosed
 	}
 	db := s.current().db
-	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
-	if err != nil {
-		return fmt.Errorf("persist: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName)
-	if _, err := fmt.Fprintf(tmp, "%s%d\n", snapshotSeqPrefix, s.seq); err != nil {
-		tmp.Close()
-		return fmt.Errorf("persist: %w", err)
-	}
-	ids := append([]core.AID(nil), db.Atoms()...)
-	s.u.SortAtoms(ids)
-	for _, id := range ids {
-		if _, err := fmt.Fprintf(tmp, "%s.\n", s.u.AtomString(id)); err != nil {
-			tmp.Close()
-			return fmt.Errorf("persist: %w", err)
-		}
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("persist: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("persist: %w", err)
-	}
-	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName)); err != nil {
-		return fmt.Errorf("persist: %w", err)
+	if err := s.writeSnapshotLocked(db, s.seq); err != nil {
+		return err
 	}
 	if err := s.wal.Truncate(0); err != nil {
 		return fmt.Errorf("persist: %w", err)
@@ -145,6 +120,41 @@ func (s *Store) Checkpoint() error {
 	s.pendingTxns = 0
 	s.syncCond.Broadcast()
 	s.syncMu.Unlock()
+	return nil
+}
+
+// writeSnapshotLocked durably writes db as the snapshot file (temp
+// file + fsync + atomic rename) with seq in the header comment.
+// Callers hold s.mu.
+func (s *Store) writeSnapshotLocked(db *core.Database, seq int) error {
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := fmt.Fprintf(tmp, "%s%d\n", snapshotSeqPrefix, seq); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	ids := append([]core.AID(nil), db.Atoms()...)
+	s.u.SortAtoms(ids)
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(tmp, "%s.\n", s.u.AtomString(id)); err != nil {
+			tmp.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
 	return nil
 }
 

@@ -1,0 +1,67 @@
+package repl_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/persist"
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+// ExampleFollower runs a leader and a read replica in one process:
+// the leader commits transactions, the follower replays them and
+// converges to the identical database.
+func ExampleFollower() {
+	leaderDir, _ := os.MkdirTemp("", "park-leader")
+	defer os.RemoveAll(leaderDir)
+	followerDir, _ := os.MkdirTemp("", "park-follower")
+	defer os.RemoveAll(followerDir)
+
+	// Leader: a normal parkd-style server over a durable store.
+	leaderStore, _ := persist.Open(leaderDir)
+	defer leaderStore.Close()
+	leader := httptest.NewServer(server.New(leaderStore).Handler())
+	defer leader.Close()
+
+	// Commit two transactions on the leader.
+	u := leaderStore.Universe()
+	for _, src := range []string{"+loc(tom, paris).", "+loc(jim, lyon). -loc(tom, paris). +loc(tom, rome)."} {
+		ups, _ := parser.ParseUpdates(u, "example", src)
+		if _, err := leaderStore.Apply(context.Background(), &core.Program{}, ups, nil, core.Options{}); err != nil {
+			fmt.Println("apply:", err)
+			return
+		}
+	}
+
+	// Follower: replicate the leader into a second store.
+	followerStore, _ := persist.Open(followerDir)
+	defer followerStore.Close()
+	follower := repl.NewFollower(followerStore, leader.URL,
+		repl.WithBackoff(10*time.Millisecond, 100*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go follower.Run(ctx)
+
+	// Wait until the follower has applied everything the leader has.
+	for follower.Status().AppliedSeq < leaderStore.Seq() {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fu, db := followerStore.Universe(), followerStore.Snapshot()
+	ids := append([]core.AID(nil), db.Atoms()...)
+	fu.SortAtoms(ids)
+	for _, id := range ids {
+		fmt.Println(fu.AtomString(id))
+	}
+	fmt.Println("lag:", follower.Status().LagSeq())
+	// Output:
+	// loc(jim, lyon)
+	// loc(tom, rome)
+	// lag: 0
+}

@@ -1,0 +1,364 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/persist"
+)
+
+// Follower replays a leader's committed-transaction stream into a
+// local store, keeping it a sequentially consistent prefix of the
+// leader. Run drives the connect/apply/reconnect loop; the local
+// store stays fully readable throughout (queries, snapshots, history)
+// and must not be written by anyone else — the replication stream is
+// its only writer.
+type Follower struct {
+	store  *persist.Store
+	leader string // leader base URL, no trailing slash
+	hc     *http.Client
+
+	// staleAfter bounds the silence the follower tolerates before it
+	// declares the stream dead and reconnects; it must exceed the
+	// leader's heartbeat interval.
+	staleAfter time.Duration
+	// backoffMin/backoffMax bound the jittered exponential reconnect
+	// backoff.
+	backoffMin, backoffMax time.Duration
+	// syncEvery bounds how many applied transactions may precede one
+	// WAL fsync during catch-up (the follower also syncs whenever it
+	// reaches the leader's sequence and on heartbeats).
+	syncEvery int
+	logf      func(format string, args ...any)
+
+	met followerMetrics
+	rng *rand.Rand
+
+	mu sync.Mutex
+	st Status
+	// snapshot bootstrap accumulation state
+	snapActive bool
+	snapSeq    int
+	snapFacts  []string
+	// applied-but-not-yet-fsynced transaction count
+	unsynced int
+}
+
+// Status is a point-in-time view of a follower's replication state.
+type Status struct {
+	// Connected reports whether a stream is currently established.
+	Connected bool
+	// AppliedSeq is the newest global sequence applied locally.
+	AppliedSeq int
+	// LeaderSeq is the newest leader sequence observed (heartbeats
+	// and transaction frames both advance it).
+	LeaderSeq int
+	// LastFrame is the arrival time of the most recent frame.
+	LastFrame time.Time
+	// Reconnects counts stream (re)establishment attempts after the
+	// initial connect.
+	Reconnects int64
+	// TxnsApplied counts transactions applied since construction.
+	TxnsApplied int64
+	// SnapshotLoads counts full snapshot bootstraps performed.
+	SnapshotLoads int64
+}
+
+// LagSeq is the replication lag in transactions (never negative).
+func (st Status) LagSeq() int {
+	if st.LeaderSeq > st.AppliedSeq {
+		return st.LeaderSeq - st.AppliedSeq
+	}
+	return 0
+}
+
+// Option configures NewFollower.
+type Option func(*Follower)
+
+// WithHTTPClient overrides the HTTP client used for the stream.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(f *Follower) {
+		if hc != nil {
+			f.hc = hc
+		}
+	}
+}
+
+// WithStaleAfter sets how long the follower waits for a frame before
+// reconnecting (default 30s; set it above the leader's heartbeat).
+func WithStaleAfter(d time.Duration) Option {
+	return func(f *Follower) {
+		if d > 0 {
+			f.staleAfter = d
+		}
+	}
+}
+
+// WithBackoff bounds the jittered exponential reconnect backoff
+// (defaults 200ms .. 10s).
+func WithBackoff(min, max time.Duration) Option {
+	return func(f *Follower) {
+		if min > 0 && max >= min {
+			f.backoffMin, f.backoffMax = min, max
+		}
+	}
+}
+
+// WithSyncEvery sets the catch-up fsync batch size (default 64).
+func WithSyncEvery(n int) Option {
+	return func(f *Follower) {
+		if n > 0 {
+			f.syncEvery = n
+		}
+	}
+}
+
+// WithLogger directs connection lifecycle messages (connect, fault,
+// backoff) to logf; by default the follower is silent.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(f *Follower) { f.logf = logf }
+}
+
+// NewFollower builds a follower replaying leaderURL into store. Call
+// Run to start replication.
+func NewFollower(store *persist.Store, leaderURL string, opts ...Option) *Follower {
+	f := &Follower{
+		store:      store,
+		leader:     strings.TrimRight(leaderURL, "/"),
+		hc:         http.DefaultClient,
+		staleAfter: 30 * time.Second,
+		backoffMin: 200 * time.Millisecond,
+		backoffMax: 10 * time.Second,
+		syncEvery:  64,
+		logf:       func(string, ...any) {},
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	f.st.AppliedSeq = store.Seq()
+	return f
+}
+
+// Instrument registers the follower's replication metrics in reg.
+// Counters accumulate inline; sampled gauges refresh on
+// RefreshMetrics.
+func (f *Follower) Instrument(reg *metrics.Registry) {
+	f.met.register(reg)
+	f.RefreshMetrics()
+}
+
+// Status returns the current replication status.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// RefreshMetrics samples the status gauges (lag, sequences,
+// connectedness, last-frame age). The server calls this on every
+// /v1/metrics scrape.
+func (f *Follower) RefreshMetrics() {
+	f.met.sample(f.Status())
+}
+
+// Run replicates until ctx is cancelled, reconnecting with jittered
+// exponential backoff after any fault (leader restart, network error,
+// torn stream, sequence gap). It returns ctx.Err() on cancellation —
+// replication itself never gives up.
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.backoffMin
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			f.met.reconnect()
+			f.mu.Lock()
+			f.st.Reconnects++
+			f.mu.Unlock()
+		}
+		frames, err := f.stream(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if frames > 0 {
+			// The connection made progress; treat the fault as fresh.
+			backoff = f.backoffMin
+		}
+		f.logf("repl: stream to %s ended after %d frames (%v); reconnecting in ~%v",
+			f.leader, frames, err, backoff)
+		// Full jitter: sleep uniformly in [backoff/2, backoff).
+		f.mu.Lock()
+		d := backoff/2 + time.Duration(f.rng.Int63n(int64(backoff/2)+1))
+		f.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+		if backoff *= 2; backoff > f.backoffMax {
+			backoff = f.backoffMax
+		}
+	}
+}
+
+// stream runs one connection: resume from the local sequence, apply
+// frames until the stream breaks. It returns the number of frames
+// processed (the caller uses progress to reset backoff).
+func (f *Follower) stream(ctx context.Context) (int, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	from := f.store.Seq()
+	url := f.leader + "/v1/repl/stream?from=" + strconv.Itoa(from)
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("repl: leader returned HTTP %d", resp.StatusCode)
+	}
+	f.setConnected(true)
+	defer f.setConnected(false)
+	f.logf("repl: streaming from %s (resume from seq %d)", f.leader, from)
+
+	// Watchdog: a stream that goes silent past staleAfter is dead
+	// (half-open TCP, wedged proxy); cancel the request to unblock
+	// the read below.
+	watchdog := time.AfterFunc(f.staleAfter, cancel)
+	defer watchdog.Stop()
+
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	frames := 0
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return frames, err
+		}
+		watchdog.Reset(f.staleAfter)
+		frames++
+		f.met.frame(typ, frameHeader+1+len(payload))
+		if err := f.handle(typ, payload); err != nil {
+			return frames, err
+		}
+	}
+}
+
+// handle applies one frame.
+func (f *Follower) handle(typ byte, payload []byte) error {
+	now := time.Now()
+	switch typ {
+	case FrameHeartbeat:
+		var hb Heartbeat
+		if err := json.Unmarshal(payload, &hb); err != nil {
+			return fmt.Errorf("repl: bad heartbeat: %w", err)
+		}
+		f.mu.Lock()
+		if hb.Seq > f.st.LeaderSeq {
+			f.st.LeaderSeq = hb.Seq
+		}
+		f.st.LastFrame = now
+		f.mu.Unlock()
+		// A heartbeat marks an idle point: flush batched durability.
+		return f.syncIfUnsynced()
+
+	case FrameSnapshot:
+		var sc SnapshotChunk
+		if err := json.Unmarshal(payload, &sc); err != nil {
+			return fmt.Errorf("repl: bad snapshot chunk: %w", err)
+		}
+		f.mu.Lock()
+		if !f.snapActive || f.snapSeq != sc.Seq {
+			f.snapActive, f.snapSeq, f.snapFacts = true, sc.Seq, nil
+		}
+		f.snapFacts = append(f.snapFacts, sc.Facts...)
+		f.st.LastFrame = now
+		facts, seq, done := f.snapFacts, f.snapSeq, sc.Done
+		f.mu.Unlock()
+		if !done {
+			return nil
+		}
+		if err := f.store.ResetToSnapshot(seq, facts); err != nil {
+			return err
+		}
+		f.met.snapshotLoad()
+		f.mu.Lock()
+		f.snapActive, f.snapFacts = false, nil
+		f.st.AppliedSeq = seq
+		if seq > f.st.LeaderSeq {
+			f.st.LeaderSeq = seq
+		}
+		f.st.SnapshotLoads++
+		f.unsynced = 0
+		f.mu.Unlock()
+		f.logf("repl: bootstrapped from snapshot at seq %d (%d facts)", seq, len(facts))
+		return nil
+
+	case FrameTxn:
+		var tf TxnFrame
+		if err := json.Unmarshal(payload, &tf); err != nil {
+			return fmt.Errorf("repl: bad txn frame: %w", err)
+		}
+		applied := f.store.Seq()
+		if tf.Seq > applied {
+			if tf.Seq != applied+1 {
+				// The stream skipped transactions (e.g. the leader
+				// dropped subscription events): resume from our real
+				// sequence on a fresh connection.
+				return fmt.Errorf("repl: sequence gap: store at %d, stream sent %d", applied, tf.Seq)
+			}
+			if err := f.store.ApplyReplicated(persist.TxnRecord{Seq: tf.Seq, Added: tf.Added, Removed: tf.Removed}); err != nil {
+				return err
+			}
+			f.met.txnApplied()
+		}
+		f.mu.Lock()
+		f.st.AppliedSeq = f.store.Seq()
+		if tf.Seq > f.st.LeaderSeq {
+			f.st.LeaderSeq = tf.Seq
+		}
+		f.st.TxnsApplied++
+		f.st.LastFrame = now
+		f.unsynced++
+		caughtUp := f.st.AppliedSeq >= f.st.LeaderSeq
+		batchFull := f.unsynced >= f.syncEvery
+		f.mu.Unlock()
+		if caughtUp || batchFull {
+			return f.syncIfUnsynced()
+		}
+		return nil
+	}
+	return fmt.Errorf("repl: unknown frame type %q", typ)
+}
+
+// syncIfUnsynced flushes batched WAL durability if any applied
+// transactions are pending.
+func (f *Follower) syncIfUnsynced() error {
+	f.mu.Lock()
+	n := f.unsynced
+	f.unsynced = 0
+	f.mu.Unlock()
+	if n == 0 {
+		return nil
+	}
+	return f.store.SyncWAL()
+}
+
+func (f *Follower) setConnected(up bool) {
+	f.mu.Lock()
+	f.st.Connected = up
+	f.mu.Unlock()
+}

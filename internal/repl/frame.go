@@ -1,0 +1,104 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types. The full wire protocol is documented in
+// docs/REPLICATION.md; briefly, a stream is a sequence of frames
+//
+//	uint32 length | uint32 crc32(payload) | payload
+//
+// (both header fields little-endian) where payload is one type byte
+// followed by a JSON body. The framing deliberately mirrors the WAL's
+// record discipline: a torn or corrupted frame is detected by the
+// checksum and terminates the stream, and the follower simply
+// reconnects and resumes from its last applied sequence.
+const (
+	// FrameSnapshot carries one chunk of a snapshot bootstrap
+	// (SnapshotChunk). The chunk with Done=true completes the
+	// snapshot; the follower then atomically replaces its state.
+	FrameSnapshot byte = 'S'
+	// FrameTxn carries one committed transaction delta (TxnFrame),
+	// in sequence order.
+	FrameTxn byte = 'T'
+	// FrameHeartbeat carries the leader's current committed sequence
+	// (Heartbeat). Sent immediately on connect and periodically while
+	// idle, so followers can compute lag and detect dead peers.
+	FrameHeartbeat byte = 'H'
+)
+
+const (
+	// frameHeader is payload length + CRC32, both little-endian.
+	frameHeader = 8
+	// maxFrame bounds a single frame (snapshot chunks are split well
+	// below this; the guard is against garbage lengths from a
+	// corrupted stream).
+	maxFrame = 8 << 20
+)
+
+// SnapshotChunk is the JSON body of a FrameSnapshot frame. A snapshot
+// at sequence Seq is shipped as one or more chunks with ascending fact
+// ranges; the last has Done=true.
+type SnapshotChunk struct {
+	Seq   int      `json:"seq"`
+	Facts []string `json:"facts"`
+	Done  bool     `json:"done"`
+}
+
+// TxnFrame is the JSON body of a FrameTxn frame: one committed
+// transaction's fact-level delta, rendered in rule-language syntax
+// exactly as the WAL stores it.
+type TxnFrame struct {
+	Seq     int      `json:"seq"`
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Heartbeat is the JSON body of a FrameHeartbeat frame.
+type Heartbeat struct {
+	Seq int `json:"seq"`
+}
+
+// writeFrame encodes and writes one frame, returning the bytes
+// written.
+func writeFrame(w io.Writer, typ byte, payload any) (int, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, frameHeader+1+len(body))
+	binary.LittleEndian.PutUint32(buf, uint32(1+len(body)))
+	buf[frameHeader] = typ
+	copy(buf[frameHeader+1:], body)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[frameHeader:]))
+	return w.Write(buf)
+}
+
+// readFrame reads one frame, returning its type byte and JSON body. A
+// clean end of stream is io.EOF; a header or checksum violation is an
+// error (the stream is unusable past it — resume from sequence).
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if length == 0 || length > maxFrame {
+		return 0, nil, fmt.Errorf("repl: bad frame length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, fmt.Errorf("repl: frame checksum mismatch")
+	}
+	return payload[0], payload[1:], nil
+}

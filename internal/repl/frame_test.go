@@ -1,0 +1,96 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		typ  byte
+		body any
+	}{
+		{FrameHeartbeat, Heartbeat{Seq: 7}},
+		{FrameTxn, TxnFrame{Seq: 8, Added: []string{"p(a)"}, Removed: []string{"q(b)"}}},
+		{FrameSnapshot, SnapshotChunk{Seq: 3, Facts: []string{"r(c)"}, Done: true}},
+	}
+	for _, f := range frames {
+		if _, err := writeFrame(&buf, f.typ, f.body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, f := range frames {
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != f.typ {
+			t.Fatalf("frame %d: type %q, want %q", i, typ, f.typ)
+		}
+		switch want := f.body.(type) {
+		case TxnFrame:
+			var got TxnFrame
+			mustUnmarshal(t, payload, &got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("frame %d: %+v, want %+v", i, got, want)
+			}
+		}
+	}
+	if _, _, err := readFrame(r); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameChecksumRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, FrameTxn, TxnFrame{Seq: 1, Added: []string{"p(a)"}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-2] ^= 0xff // flip a payload byte
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+}
+
+func TestFrameRejectsBadLength(t *testing.T) {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:]))); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	binary.LittleEndian.PutUint32(hdr[:], 0)
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:]))); err == nil {
+		t.Fatal("zero frame length accepted")
+	}
+}
+
+// TestFrameTornRead pins that a frame cut at any byte boundary
+// surfaces as an error (ErrUnexpectedEOF), never as a bogus frame.
+func TestFrameTornRead(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, FrameTxn, TxnFrame{Seq: 1, Added: []string{"p(a)"}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw[:cut])))
+		if err == nil {
+			t.Fatalf("torn frame (cut at %d/%d) accepted", cut, len(raw))
+		}
+	}
+}
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}

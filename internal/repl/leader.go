@@ -1,0 +1,226 @@
+package repl
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/persist"
+)
+
+// Leader serves a store's committed-transaction sequence to followers
+// over HTTP (GET /v1/repl/stream?from=<seq>). One Leader serves any
+// number of concurrent streams; each stream holds a store
+// subscription and costs the leader nothing on the commit path beyond
+// the existing fan-out. A follower is itself a valid stream source
+// (its store commits replicated transactions through the same
+// notification path), so replicas can be chained.
+type Leader struct {
+	store *persist.Store
+
+	// heartbeat is the idle keepalive interval; every heartbeat also
+	// carries the leader's current sequence so followers measure lag
+	// without extra round trips.
+	heartbeat time.Duration
+	// chunk is the number of facts per snapshot frame.
+	chunk int
+	// buffer is the per-stream subscription depth; a stream that
+	// falls further behind than this is terminated (the follower
+	// resumes from its sequence, served from history).
+	buffer int
+
+	met leaderMetrics
+}
+
+// LeaderOption configures NewLeader.
+type LeaderOption func(*Leader)
+
+// WithHeartbeat sets the stream keepalive interval (default 5s).
+func WithHeartbeat(d time.Duration) LeaderOption {
+	return func(l *Leader) {
+		if d > 0 {
+			l.heartbeat = d
+		}
+	}
+}
+
+// WithSnapshotChunk sets the facts-per-frame chunk size of snapshot
+// bootstraps (default 4096).
+func WithSnapshotChunk(n int) LeaderOption {
+	return func(l *Leader) {
+		if n > 0 {
+			l.chunk = n
+		}
+	}
+}
+
+// WithStreamBuffer sets the per-stream subscription buffer (default
+// 256 transactions).
+func WithStreamBuffer(n int) LeaderOption {
+	return func(l *Leader) {
+		if n > 0 {
+			l.buffer = n
+		}
+	}
+}
+
+// NewLeader wraps a store in a replication stream server.
+func NewLeader(store *persist.Store, opts ...LeaderOption) *Leader {
+	l := &Leader{
+		store:     store,
+		heartbeat: 5 * time.Second,
+		chunk:     4096,
+		buffer:    256,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Instrument registers the leader-side replication metrics in reg.
+func (l *Leader) Instrument(reg *metrics.Registry) {
+	l.met.register(reg)
+}
+
+// ServeHTTP streams the snapshot (when needed) and transaction tail
+// starting after the ?from= sequence, then live commits interleaved
+// with heartbeats, until the client disconnects or falls too far
+// behind.
+func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad 'from' parameter %q", v), http.StatusBadRequest)
+			return
+		}
+		from = n
+	}
+
+	// Take a consistent cut — without the snapshot first (the common
+	// resume case), retaking it with the snapshot when the follower
+	// cannot resume from history: its sequence predates the leader's
+	// last checkpoint, or lies beyond the leader's sequence
+	// (divergence — e.g. the follower outlived a leader restore; the
+	// leader's state wins).
+	resumable := func(c *persist.ReplicaCut) bool { return from >= c.BaseSeq && from <= c.Seq }
+	cut, err := l.store.ReplicaCut(false, l.buffer)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if !resumable(cut) {
+		cut.Cancel()
+		if cut, err = l.store.ReplicaCut(true, l.buffer); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	defer cut.Cancel()
+
+	l.met.streamStart()
+	defer l.met.streamEnd()
+
+	w.Header().Set("Content-Type", "application/x-park-repl")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(typ byte, payload any) error {
+		n, err := writeFrame(w, typ, payload)
+		l.met.frame(typ, n)
+		return err
+	}
+
+	// Tell the follower where the leader is right away: lag is
+	// observable before the first live commit arrives.
+	if send(FrameHeartbeat, Heartbeat{Seq: cut.Seq}) != nil {
+		return
+	}
+	last := from
+	// A commit can land between the two cuts and make the resume
+	// window reach `from` after all; prefer the cheaper history path.
+	if cut.Snapshot != nil && !resumable(cut) {
+		facts := factStrings(l.store.Universe(), cut.Snapshot)
+		for i := 0; ; i += l.chunk {
+			end := min(i+l.chunk, len(facts))
+			done := end == len(facts)
+			if send(FrameSnapshot, SnapshotChunk{Seq: cut.BaseSeq, Facts: facts[i:end], Done: done}) != nil {
+				return
+			}
+			if done {
+				break
+			}
+		}
+		l.met.snapshot()
+		last = cut.BaseSeq
+	}
+	for _, txn := range cut.History {
+		if txn.Seq <= last {
+			continue
+		}
+		if send(FrameTxn, TxnFrame{Seq: txn.Seq, Added: txn.Added, Removed: txn.Removed}) != nil {
+			return
+		}
+		last = txn.Seq
+	}
+	flusher.Flush()
+
+	ticker := time.NewTicker(l.heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case txn := <-cut.Events:
+			// Drain whatever is queued before flushing once.
+			for {
+				if txn.Seq > last {
+					if txn.Seq != last+1 {
+						// The subscription dropped events (stream too
+						// slow): this stream can no longer promise a
+						// dense sequence. Terminate; the follower
+						// resumes from its sequence and is served the
+						// missed window from history.
+						return
+					}
+					if send(FrameTxn, TxnFrame{Seq: txn.Seq, Added: txn.Added, Removed: txn.Removed}) != nil {
+						return
+					}
+					last = txn.Seq
+				}
+				select {
+				case txn = <-cut.Events:
+					continue
+				default:
+				}
+				break
+			}
+			flusher.Flush()
+		case <-ticker.C:
+			if send(FrameHeartbeat, Heartbeat{Seq: l.store.Seq()}) != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// factStrings renders a database as sorted rule-language facts.
+func factStrings(u *core.Universe, d *core.Database) []string {
+	ids := append([]core.AID(nil), d.Atoms()...)
+	u.SortAtoms(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = u.AtomString(id)
+	}
+	return out
+}

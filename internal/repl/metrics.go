@@ -1,0 +1,165 @@
+package repl
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// metricLabel renders a frame type as a metric label value.
+func frameLabel(typ byte) string {
+	switch typ {
+	case FrameSnapshot:
+		return "snapshot"
+	case FrameTxn:
+		return "txn"
+	case FrameHeartbeat:
+		return "heartbeat"
+	}
+	return "unknown"
+}
+
+// leaderMetrics holds the leader-side instruments. All fields are
+// nil-safe (a bare Leader pays only nil checks), matching the
+// convention of persist.storeMetrics.
+type leaderMetrics struct {
+	streams   *metrics.Gauge   // park_repl_streams
+	snapshots *metrics.Counter // park_repl_snapshots_served_total
+	frames    map[byte]*metrics.Counter
+	bytes     *metrics.Counter // park_repl_bytes_sent_total
+}
+
+func (m *leaderMetrics) register(reg *metrics.Registry) {
+	m.streams = reg.Gauge("park_repl_streams",
+		"Replication streams currently connected to this leader.")
+	m.snapshots = reg.Counter("park_repl_snapshots_served_total",
+		"Snapshot bootstraps served to followers that could not resume from history.")
+	m.frames = make(map[byte]*metrics.Counter)
+	for _, typ := range []byte{FrameSnapshot, FrameTxn, FrameHeartbeat} {
+		m.frames[typ] = reg.Counter("park_repl_frames_sent_total",
+			"Replication frames sent to followers, by frame type.",
+			metrics.L("type", frameLabel(typ)))
+	}
+	m.bytes = reg.Counter("park_repl_bytes_sent_total",
+		"Replication stream bytes sent to followers (frames incl. headers).")
+}
+
+func (m *leaderMetrics) streamStart() {
+	if m.streams != nil {
+		m.streams.Inc()
+	}
+}
+
+func (m *leaderMetrics) streamEnd() {
+	if m.streams != nil {
+		m.streams.Dec()
+	}
+}
+
+func (m *leaderMetrics) snapshot() {
+	if m.snapshots != nil {
+		m.snapshots.Inc()
+	}
+}
+
+func (m *leaderMetrics) frame(typ byte, n int) {
+	if m.frames != nil {
+		if c := m.frames[typ]; c != nil {
+			c.Inc()
+		}
+	}
+	if m.bytes != nil {
+		m.bytes.Add(int64(n))
+	}
+}
+
+// followerMetrics holds the follower-side instruments. Counters are
+// bumped inline as frames arrive; the sampled gauges (lag, sequences,
+// connection state, last-frame age) are refreshed by
+// Follower.RefreshMetrics, which /v1/metrics calls at scrape time.
+type followerMetrics struct {
+	reconnects *metrics.Counter // park_repl_follower_reconnects_total
+	applied    *metrics.Counter // park_repl_follower_txns_applied_total
+	snapshots  *metrics.Counter // park_repl_follower_snapshot_loads_total
+	frames     map[byte]*metrics.Counter
+	bytes      *metrics.Counter // park_repl_follower_bytes_received_total
+
+	lagSeq     *metrics.Gauge // park_repl_follower_lag_seq
+	appliedSeq *metrics.Gauge // park_repl_follower_applied_seq
+	leaderSeq  *metrics.Gauge // park_repl_follower_leader_seq
+	connected  *metrics.Gauge // park_repl_follower_connected
+	frameAge   *metrics.Gauge // park_repl_follower_last_frame_age_ms
+}
+
+func (m *followerMetrics) register(reg *metrics.Registry) {
+	m.reconnects = reg.Counter("park_repl_follower_reconnects_total",
+		"Replication stream (re)connect attempts after a fault or leader restart.")
+	m.applied = reg.Counter("park_repl_follower_txns_applied_total",
+		"Leader transactions applied by this follower.")
+	m.snapshots = reg.Counter("park_repl_follower_snapshot_loads_total",
+		"Snapshot bootstraps this follower performed (resume window missed).")
+	m.frames = make(map[byte]*metrics.Counter)
+	for _, typ := range []byte{FrameSnapshot, FrameTxn, FrameHeartbeat} {
+		m.frames[typ] = reg.Counter("park_repl_follower_frames_total",
+			"Replication frames received, by frame type.",
+			metrics.L("type", frameLabel(typ)))
+	}
+	m.bytes = reg.Counter("park_repl_follower_bytes_received_total",
+		"Replication stream payload bytes received.")
+	m.lagSeq = reg.Gauge("park_repl_follower_lag_seq",
+		"Replication lag in transactions: leader sequence minus applied sequence (sampled at scrape time).")
+	m.appliedSeq = reg.Gauge("park_repl_follower_applied_seq",
+		"Newest global transaction sequence applied locally.")
+	m.leaderSeq = reg.Gauge("park_repl_follower_leader_seq",
+		"Newest leader sequence observed (from heartbeats and transaction frames).")
+	m.connected = reg.Gauge("park_repl_follower_connected",
+		"1 while the replication stream is connected, 0 while reconnecting.")
+	m.frameAge = reg.Gauge("park_repl_follower_last_frame_age_ms",
+		"Milliseconds since the last frame arrived (wall-clock lag signal; sampled at scrape time).")
+}
+
+func (m *followerMetrics) reconnect() {
+	if m.reconnects != nil {
+		m.reconnects.Inc()
+	}
+}
+
+func (m *followerMetrics) txnApplied() {
+	if m.applied != nil {
+		m.applied.Inc()
+	}
+}
+
+func (m *followerMetrics) snapshotLoad() {
+	if m.snapshots != nil {
+		m.snapshots.Inc()
+	}
+}
+
+func (m *followerMetrics) frame(typ byte, n int) {
+	if m.frames != nil {
+		if c := m.frames[typ]; c != nil {
+			c.Inc()
+		}
+	}
+	if m.bytes != nil {
+		m.bytes.Add(int64(n))
+	}
+}
+
+func (m *followerMetrics) sample(st Status) {
+	if m.lagSeq == nil {
+		return
+	}
+	m.lagSeq.Set(int64(st.LagSeq()))
+	m.appliedSeq.Set(int64(st.AppliedSeq))
+	m.leaderSeq.Set(int64(st.LeaderSeq))
+	if st.Connected {
+		m.connected.Set(1)
+	} else {
+		m.connected.Set(0)
+	}
+	if !st.LastFrame.IsZero() {
+		m.frameAge.Set(time.Since(st.LastFrame).Milliseconds())
+	}
+}

@@ -1,0 +1,54 @@
+// Package repl implements streaming WAL replication for the PARK
+// store: a leader serves its committed transaction sequence over HTTP
+// and followers replay it, giving horizontal read scaling — every
+// replica answers queries locally from an identical database state.
+//
+// Replication leans on two properties the lower layers already
+// guarantee:
+//
+//   - PARK(P, D, U) is a pure function (the paper's §4 determinism),
+//     so a replica never re-evaluates rules: the leader ships the
+//     fact-level *result* delta it committed, and applying deltas in
+//     sequence order reproduces the leader's state bit for bit.
+//   - Every committed transaction carries a dense, monotone global
+//     sequence number persisted in WAL commit markers and snapshot
+//     headers (internal/persist), so "the state at sequence N" is
+//     well-defined on every node and across restarts.
+//
+// # Protocol shape
+//
+// A follower asks the leader for everything after its last applied
+// sequence: GET /v1/repl/stream?from=N. The leader answers with a
+// framed stream (see frame.go and docs/REPLICATION.md):
+//
+//	heartbeat(seq=S)                  current leader sequence
+//	[snapshot chunks ... done]        only if N is outside the leader's
+//	                                  retained window [BaseSeq, Seq]
+//	txn(N+1), txn(N+2), ...           the tail, then live commits
+//	heartbeat ... txn ... heartbeat   interleaved while connected
+//
+// The consistent cut under the leader's commit lock
+// (persist.ReplicaCut) guarantees the concatenation
+// snapshot+history+live covers the sequence with no gap and no
+// reordering; the follower additionally verifies density (each
+// transaction must be at exactly seq+1) and treats any gap as a signal
+// to reconnect and re-resume. Frames are length- and CRC-prefixed, so
+// a torn stream (proxy buffering, half-closed TCP) is detected rather
+// than misapplied — the same discipline the WAL uses on disk.
+//
+// # Failure model
+//
+// The follower owns reconnection: exponential backoff with jitter,
+// resuming from persist.Store.Seq() each attempt. Leader restarts,
+// network faults and dropped subscriptions (a slow stream whose
+// buffer overflowed) all funnel into the same resume path. Durability
+// on the follower is batched (persist.SyncWAL at catch-up points):
+// losing an un-synced tail in a crash only means re-requesting those
+// transactions.
+//
+// Followers are sequentially consistent prefixes of the leader: a
+// replica's state is always the leader's state at some earlier
+// sequence, never a divergent one. See docs/REPLICATION.md for the
+// full consistency and failure matrix, and docs/OPERATIONS.md for
+// running leader/follower pairs.
+package repl

@@ -153,6 +153,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// state, not an accumulation.
 	s.em.storeFacts.Set(int64(s.store.Len()))
 	s.em.storeWAL.Set(int64(s.store.WALRecords()))
+	if s.follower != nil {
+		// Replication lag, sequences and connectedness likewise.
+		s.follower.RefreshMetrics()
+	}
 	format := r.URL.Query().Get("format")
 	if format == "prometheus" ||
 		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {

@@ -15,7 +15,15 @@
 //	POST /v1/checkpoint    snapshot the store and truncate the WAL
 //	GET  /v1/history       committed transactions since the checkpoint
 //	GET  /v1/watch         SSE stream of committed transactions
+//	GET  /v1/repl/stream   framed replication stream for followers
 //	GET  /v1/metrics       engine/HTTP/store metrics (JSON or Prometheus)
+//
+// A server built with NewReplica runs in read-only follower mode:
+// queries, history, watch and metrics are served from the local
+// replicated store, while the write endpoints (PUT /v1/program,
+// POST /v1/transaction) answer 421 Misdirected Request with an
+// X-Park-Leader header naming the node that does accept writes. See
+// docs/REPLICATION.md for the protocol and consistency model.
 //
 // Every endpoint is instrumented with request counters, latency
 // histograms and an in-flight gauge; /v1/metrics exposes those
@@ -31,21 +39,38 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/persist"
+	"repro/internal/repl"
 	"repro/internal/resolve"
 )
 
 // Server is the HTTP handler for one persistent store. The active
 // program and default strategy are part of the server state.
 type Server struct {
-	store *persist.Store
-	reg   *metrics.Registry
-	em    *engineMetrics
+	store  *persist.Store
+	reg    *metrics.Registry
+	em     *engineMetrics
+	leader *repl.Leader
+
+	// follower is non-nil in read-only replica mode; leaderURL is the
+	// write-endpoint hint returned with 421 responses.
+	follower  *repl.Follower
+	leaderURL string
+
+	// watchKeepalive is the SSE comment-line heartbeat interval for
+	// /v1/watch (default 15s; tests shrink it).
+	watchKeepalive time.Duration
+
+	// streamCtx is cancelled by StopStreams to abort long-lived
+	// streaming responses during graceful shutdown.
+	streamCtx   context.Context
+	stopStreams context.CancelFunc
 
 	mu          sync.RWMutex
 	programSrc  string
@@ -60,13 +85,43 @@ type Server struct {
 func New(store *persist.Store) *Server {
 	reg := metrics.NewRegistry()
 	store.Instrument(reg)
+	leader := repl.NewLeader(store)
+	leader.Instrument(reg)
+	streamCtx, stopStreams := context.WithCancel(context.Background())
 	return &Server{
-		store:       store,
-		reg:         reg,
-		em:          newEngineMetrics(reg),
-		program:     &core.Program{},
-		strategyTag: "inertia",
+		store:          store,
+		reg:            reg,
+		em:             newEngineMetrics(reg),
+		leader:         leader,
+		watchKeepalive: 15 * time.Second,
+		streamCtx:      streamCtx,
+		stopStreams:    stopStreams,
+		program:        &core.Program{},
+		strategyTag:    "inertia",
 	}
+}
+
+// StopStreams aborts the long-lived streaming responses (/v1/watch
+// and /v1/repl/stream). Graceful shutdown should call this (e.g. via
+// http.Server.RegisterOnShutdown) so open streams don't hold
+// Shutdown for its whole grace period; watchers see EOF and
+// followers reconnect and resume by design.
+func (s *Server) StopStreams() { s.stopStreams() }
+
+// NewReplica creates a read-only server over a replicated store. The
+// follower (which the caller starts with follower.Run) is the store's
+// only writer; its replication metrics are registered alongside the
+// server's, and leaderURL is advertised to rejected writers. A
+// replica still serves /v1/repl/stream — its store re-notifies every
+// replicated commit, so replicas can be chained.
+func NewReplica(store *persist.Store, follower *repl.Follower, leaderURL string) *Server {
+	s := New(store)
+	s.follower = follower
+	s.leaderURL = leaderURL
+	if follower != nil {
+		follower.Instrument(s.reg)
+	}
+	return s
 }
 
 // Metrics returns the server's metric registry, for embedding callers
@@ -138,17 +193,46 @@ func strategyFor(tag string, seed int64) (core.Strategy, error) {
 // gauge), including /v1/metrics itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /v1/program", s.instrument("/v1/program", s.handleSetProgram))
+	mux.HandleFunc("PUT /v1/program", s.instrument("/v1/program", s.writable(s.handleSetProgram)))
 	mux.HandleFunc("GET /v1/program", s.instrument("/v1/program", s.handleGetProgram))
-	mux.HandleFunc("POST /v1/transaction", s.instrument("/v1/transaction", s.handleTransaction))
+	mux.HandleFunc("POST /v1/transaction", s.instrument("/v1/transaction", s.writable(s.handleTransaction)))
 	mux.HandleFunc("GET /v1/database", s.instrument("/v1/database", s.handleDatabase))
 	mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
 	mux.HandleFunc("POST /v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/checkpoint", s.instrument("/v1/checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("GET /v1/history", s.instrument("/v1/history", s.handleHistory))
-	mux.HandleFunc("GET /v1/watch", s.instrument("/v1/watch", s.handleWatch))
+	mux.HandleFunc("GET /v1/watch", s.instrument("/v1/watch", s.streaming(s.handleWatch)))
+	mux.HandleFunc("GET /v1/repl/stream", s.instrument("/v1/repl/stream", s.streaming(s.leader.ServeHTTP)))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
 	return mux
+}
+
+// streaming ties a long-lived handler's request context to the
+// server's stream context, so StopStreams aborts it.
+func (s *Server) streaming(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		defer context.AfterFunc(s.streamCtx, cancel)()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// writable gates a mutating handler: on a replica the logical state
+// is owned by the replication stream, so writes are misdirected —
+// answer 421 with the leader's address so clients can retry there.
+func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.follower != nil {
+			if s.leaderURL != "" {
+				w.Header().Set("X-Park-Leader", s.leaderURL)
+			}
+			writeErr(w, http.StatusMisdirectedRequest,
+				fmt.Errorf("read-only replica: send writes to the leader at %s", s.leaderURL))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // --- wire types ---
@@ -392,7 +476,10 @@ func (s *Server) handleDatabase(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleWatch streams committed transactions as server-sent events
-// ("data: {json}\n\n" frames) until the client disconnects. Slow
+// ("data: {json}\n\n" frames) until the client disconnects. While the
+// store is idle it emits an SSE comment line (": keepalive") every
+// watchKeepalive, so intermediaries with idle timeouts don't sever
+// quiet streams and clients can detect dead connections. Slow
 // consumers may miss events (the store drops rather than blocks); use
 // /v1/history for a complete log.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
@@ -407,10 +494,19 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+	keepalive := time.NewTicker(s.watchKeepalive)
+	defer keepalive.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-keepalive.C:
+			// SSE comment line: ignored by event parsers, but keeps
+			// the connection demonstrably alive.
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case txn, ok := <-events:
 			if !ok {
 				return

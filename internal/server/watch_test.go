@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// TestWatchKeepalive pins the SSE heartbeat: an idle /v1/watch stream
+// emits comment lines at the keepalive interval, and real events still
+// come through between them.
+func TestWatchKeepalive(t *testing.T) {
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store)
+	srv.watchKeepalive = 20 * time.Millisecond
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/watch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// With no commits at all, the first lines on the wire must be
+	// keepalive comments.
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, ": keepalive") {
+		t.Fatalf("first idle line = %q, want keepalive comment", line)
+	}
+
+	// An event interleaves with the heartbeats and is still parseable.
+	c := &Client{BaseURL: ts.URL}
+	if _, err := c.Transact(context.Background(), `+p(a).`); err != nil {
+		t.Fatal(err)
+	}
+	sawData := false
+	for i := 0; i < 20 && !sawData; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			if !strings.Contains(line, "p(a)") {
+				t.Fatalf("event line = %q, want p(a)", line)
+			}
+			sawData = true
+		case strings.HasPrefix(line, ": keepalive"), line == "\n":
+		default:
+			t.Fatalf("unexpected line %q", line)
+		}
+	}
+	if !sawData {
+		t.Fatal("no data event seen among keepalives")
+	}
+}
+
+// TestWatchClientSkipsKeepalives pins that the Go client's Watch
+// tolerates comment heartbeats transparently.
+func TestWatchClientSkipsKeepalives(t *testing.T) {
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store)
+	srv.watchKeepalive = 10 * time.Millisecond
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	c := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	events, err := c.Watch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let several keepalives pass before the first real event.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c.Transact(context.Background(), `+q(b).`); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case txn := <-events:
+		if len(txn.Added) != 1 || txn.Added[0] != "q(b)" {
+			t.Fatalf("event = %+v, want +q(b)", txn)
+		}
+	case <-ctx.Done():
+		t.Fatal("no event received through keepalives")
+	}
+}
+
+// TestStopStreamsEndsWatch pins the graceful-shutdown hook: an open
+// SSE stream terminates promptly when StopStreams is called, instead
+// of holding shutdown for the whole grace period.
+func TestStopStreamsEndsWatch(t *testing.T) {
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	srv.StopStreams()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch stream still open after StopStreams")
+	}
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Two-process replication smoke test: start a real parkd leader and a
+# real parkd follower, write through the leader's HTTP API, and
+# assert the follower converges to the identical database with zero
+# reported lag and rejects writes with 421. This exercises the paths
+# an in-process test can't: separate processes, real sockets, flag
+# parsing, and daemon startup/shutdown.
+set -euo pipefail
+
+LEADER_PORT="${LEADER_PORT:-7491}"
+FOLLOWER_PORT="${FOLLOWER_PORT:-7492}"
+WORK="$(mktemp -d)"
+LEADER_URL="http://127.0.0.1:${LEADER_PORT}"
+FOLLOWER_URL="http://127.0.0.1:${FOLLOWER_PORT}"
+
+cleanup() {
+    kill "${LEADER_PID:-}" "${FOLLOWER_PID:-}" 2>/dev/null || true
+    wait "${LEADER_PID:-}" "${FOLLOWER_PID:-}" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/parkd" ./cmd/parkd
+
+cat > "$WORK/rules.park" <<'RULES'
+rule audit: +ev(X) -> +audit(X).
+RULES
+
+"$WORK/parkd" -dir "$WORK/leader" -program "$WORK/rules.park" \
+    -addr "127.0.0.1:${LEADER_PORT}" &
+LEADER_PID=$!
+"$WORK/parkd" -dir "$WORK/follower" -follow "$LEADER_URL" \
+    -addr "127.0.0.1:${FOLLOWER_PORT}" &
+FOLLOWER_PID=$!
+
+wait_http() { # url
+    for _ in $(seq 1 100); do
+        if curl -sf "$1/v1/metrics" > /dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "smoke: $1 did not come up" >&2
+    return 1
+}
+wait_http "$LEADER_URL"
+wait_http "$FOLLOWER_URL"
+
+# Write through the leader: each transaction fires the audit rule.
+for i in 1 2 3 4 5; do
+    curl -sf -X POST "$LEADER_URL/v1/transaction" \
+        -d "{\"updates\": \"+ev(e${i}).\"}" > /dev/null
+done
+
+# The follower must reject writes with 421 and name the leader.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    "$FOLLOWER_URL/v1/transaction" -d '{"updates": "+ev(rogue)."}')
+if [ "$code" != "421" ]; then
+    echo "smoke: follower write returned HTTP $code, want 421" >&2
+    exit 1
+fi
+hint=$(curl -s -D - -o /dev/null -X POST "$FOLLOWER_URL/v1/transaction" \
+    -d '{"updates": "+ev(rogue)."}' | tr -d '\r' | awk -F': ' '/^X-Park-Leader:/{print $2}')
+if [ "$hint" != "$LEADER_URL" ]; then
+    echo "smoke: X-Park-Leader = '$hint', want '$LEADER_URL'" >&2
+    exit 1
+fi
+
+# Convergence: identical database on both nodes, zero lag.
+for _ in $(seq 1 100); do
+    leader_db=$(curl -sf "$LEADER_URL/v1/database")
+    follower_db=$(curl -sf "$FOLLOWER_URL/v1/database")
+    if [ "$leader_db" = "$follower_db" ]; then break; fi
+    sleep 0.1
+done
+if [ "$leader_db" != "$follower_db" ]; then
+    echo "smoke: follower never converged" >&2
+    echo "  leader:   $leader_db" >&2
+    echo "  follower: $follower_db" >&2
+    exit 1
+fi
+case "$leader_db" in
+*'audit(e5)'*) ;;
+*)  echo "smoke: leader database missing rule output: $leader_db" >&2
+    exit 1 ;;
+esac
+
+lag=$(curl -sf "$FOLLOWER_URL/v1/metrics?format=prometheus" |
+    awk '/^park_repl_follower_lag_seq /{print $2}')
+if [ "$lag" != "0" ]; then
+    echo "smoke: park_repl_follower_lag_seq = '$lag', want 0" >&2
+    exit 1
+fi
+
+# Leader restart: the follower must reconnect and apply new commits
+# without intervention.
+kill "$LEADER_PID"
+wait "$LEADER_PID" 2>/dev/null || true
+"$WORK/parkd" -dir "$WORK/leader" -program "$WORK/rules.park" \
+    -addr "127.0.0.1:${LEADER_PORT}" &
+LEADER_PID=$!
+wait_http "$LEADER_URL"
+curl -sf -X POST "$LEADER_URL/v1/transaction" \
+    -d '{"updates": "+ev(after_restart)."}' > /dev/null
+for _ in $(seq 1 200); do
+    follower_db=$(curl -sf "$FOLLOWER_URL/v1/database")
+    case "$follower_db" in
+    *'audit(after_restart)'*) break ;;
+    esac
+    sleep 0.1
+done
+case "$follower_db" in
+*'audit(after_restart)'*) ;;
+*)  echo "smoke: follower did not catch up after leader restart: $follower_db" >&2
+    exit 1 ;;
+esac
+
+echo "smoke: leader/follower pair converged, writes rejected with 421, leader restart survived"

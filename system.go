@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/persist"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -20,6 +21,9 @@ type (
 	Server = server.Server
 	// Client is the Go client for the HTTP API.
 	Client = server.Client
+	// Follower replicates a leader's committed transactions into a
+	// local store (see docs/REPLICATION.md).
+	Follower = repl.Follower
 )
 
 // OpenStore opens (or creates) a durable store directory, recovering
@@ -34,3 +38,17 @@ func RestoreStore(dir string, r io.Reader) error { return persist.Restore(dir, r
 // install a program with SetProgram/SetTriggerProgram and serve
 // Handler().
 func NewServer(store *Store) *Server { return server.New(store) }
+
+// NewFollower builds a replication client that replays the leader at
+// leaderURL into store; start it with Run. The store must have no
+// other writers.
+func NewFollower(store *Store, leaderURL string) *Follower {
+	return repl.NewFollower(store, leaderURL)
+}
+
+// NewReplicaServer wraps a replicated store in the read-only HTTP
+// server: reads are served locally, writes answer 421 with the
+// leader's address.
+func NewReplicaServer(store *Store, follower *Follower, leaderURL string) *Server {
+	return server.NewReplica(store, follower, leaderURL)
+}
