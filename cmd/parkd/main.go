@@ -4,6 +4,7 @@
 //
 //	parkd -dir ./data [-addr :7474] [-program rules.park | -triggers ddl.sql]
 //	      [-strategy inertia] [-follow http://leader:7474] [-pprof]
+//	      [-failpoints] [-probe-interval 3s]
 //	      [-read-timeout 30s] [-write-timeout 0]
 //	      [-idle-timeout 2m] [-shutdown-timeout 10s]
 //
@@ -19,6 +20,14 @@
 // requests with 421 plus an X-Park-Leader hint. -program, -triggers
 // and -strategy are rejected in follower mode — the replicated state
 // is the leader's. See docs/REPLICATION.md and docs/OPERATIONS.md.
+//
+// If the disk fails underneath the store (failed fsync, ENOSPC), parkd
+// degrades to read-only instead of crashing: writes answer 503 with a
+// Retry-After header while a background probe (-probe-interval)
+// retests the disk, and /v1/healthz reports the state; reads, queries
+// and replication streaming keep serving. -failpoints (drills and
+// tests only) lets an operator inject such faults on a live process
+// via /v1/debug/failpoint. See docs/OPERATIONS.md.
 //
 // parkd shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests get -shutdown-timeout to finish, and
@@ -52,6 +61,8 @@ type config struct {
 	follow   string // leader base URL; non-empty selects replica mode
 
 	pprof           bool
+	failpoints      bool          // expose /v1/debug/failpoint (fault drills)
+	probeInterval   time.Duration // degraded-mode disk re-probe cadence
 	readTimeout     time.Duration
 	writeTimeout    time.Duration
 	idleTimeout     time.Duration
@@ -70,7 +81,20 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 			return nil, nil, nil, fmt.Errorf("parkd: -follow is incompatible with -strategy (replicas do not evaluate rules)")
 		}
 	}
-	store, err := persist.Open(cfg.dir)
+	popts := []persist.Option{persist.WithLogf(log.Printf)}
+	if cfg.probeInterval > 0 {
+		popts = append(popts, persist.WithProbeInterval(cfg.probeInterval))
+	}
+	// -failpoints routes all store I/O through a fault-injection
+	// filesystem controllable over /v1/debug/failpoint, for operator
+	// drills and the replication smoke test. Off by default: faults can
+	// only be injected when explicitly armed at startup.
+	var ffs *persist.FaultFS
+	if cfg.failpoints {
+		ffs = persist.NewFaultFS(persist.OSFS())
+		popts = append(popts, persist.WithFS(ffs))
+	}
+	store, err := persist.Open(cfg.dir, popts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -80,9 +104,16 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 	}
 	if cfg.follow != "" {
 		follower := repl.NewFollower(store, cfg.follow, repl.WithLogger(log.Printf))
-		return server.NewReplica(store, follower, cfg.follow), store, follower, nil
+		srv := server.NewReplica(store, follower, cfg.follow)
+		if ffs != nil {
+			srv.EnableFailpoints(ffs)
+		}
+		return srv, store, follower, nil
 	}
 	srv := server.New(store)
+	if ffs != nil {
+		srv.EnableFailpoints(ffs)
+	}
 	if cfg.program != "" && cfg.triggers != "" {
 		return fail(fmt.Errorf("parkd: use only one of -program and -triggers"))
 	}
@@ -173,6 +204,8 @@ func main() {
 	flag.StringVar(&cfg.strategy, "strategy", "inertia", "default conflict resolution strategy")
 	flag.StringVar(&cfg.follow, "follow", "", "leader base URL; run as a read-only replica of that node")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&cfg.failpoints, "failpoints", false, "route store I/O through a fault-injection filesystem controllable via /v1/debug/failpoint (fault drills only)")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", 0, "disk re-probe interval while degraded to read-only (0 uses the store default)")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "max duration for reading a request (0 disables)")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 0, "max duration for writing a response (0 disables; >0 also bounds /v1/watch streams)")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")

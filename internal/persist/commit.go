@@ -11,9 +11,11 @@ import (
 // Apply runs one transaction: PARK(P, current state, updates) under
 // the given strategy and options, durably logs the fact-level delta,
 // and installs the result as the new current state. On error the
-// store is unchanged (a failed fsync poisons the store — see
-// waitDurable). It returns the engine result (whose Output is the
-// new state).
+// store is unchanged. A durability failure (failed WAL append or
+// fsync) degrades the store to read-only — Apply and later writes
+// fail with errors matching ErrDegraded until the background disk
+// probe repairs it (see degrade.go). It returns the engine result
+// (whose Output is the new state).
 //
 // Apply is safe to call from many goroutines. Evaluation runs on an
 // immutable snapshot outside the store lock; if another transaction
@@ -22,6 +24,9 @@ import (
 // commit: one fsync covers every transaction installed since the
 // previous fsync.
 func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, error) {
+	if err := s.degradedErr(); err != nil {
+		return nil, err
+	}
 	if err := s.acquireSlot(ctx); err != nil {
 		return nil, err
 	}
@@ -71,7 +76,8 @@ func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Up
 		_, lsn, err := s.installLocked(base, res.Output, added, removed)
 		s.mu.Unlock()
 		if err != nil {
-			return nil, fmt.Errorf("persist: wal append: %w", err)
+			s.enterDegraded("wal append", err)
+			return nil, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 		}
 		// The state is installed (later transactions already build on
 		// it); acknowledge the caller only once the batch is durable.
@@ -137,7 +143,16 @@ func (s *Store) installLocked(base *dbState, output *core.Database, added, remov
 // logical LSN. The first waiter becomes the group-commit leader: it
 // captures the current batch and syncs once for all of it; followers
 // wait on the condition variable. A failed fsync is sticky — the WAL
-// can no longer promise durability, so every later commit fails too.
+// can no longer promise durability — so it degrades the store to
+// read-only and every commit waiting on it fails with ErrDegraded;
+// the background probe repairs the store and clears the error.
+//
+// The leader syncs whatever handle s.wal holds at sync time. The
+// degraded-mode repair can rotate that handle concurrently (it
+// snapshots the state and swaps in a fresh WAL), so on failure the
+// leader re-checks the handle: an error from the pre-rotation file is
+// stale — the repair's snapshot already covers every appended
+// transaction — and must not poison the repaired store.
 func (s *Store) waitDurable(lsn int64) error {
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
@@ -155,17 +170,29 @@ func (s *Store) waitDurable(lsn int64) error {
 			s.pendingTxns = 0
 			s.syncMu.Unlock()
 
-			err := s.wal.Sync()
+			s.mu.Lock()
+			w := s.wal
+			s.mu.Unlock()
+			err := w.Sync()
+			stale := false
+			if err != nil {
+				s.mu.Lock()
+				stale = s.wal != w
+				s.mu.Unlock()
+			}
 
 			s.syncMu.Lock()
 			s.syncing = false
 			s.met.observeBatch(batch)
-			if err != nil {
-				s.syncErr = err
+			if err != nil && !stale {
+				s.syncErr = fmt.Errorf("%w; %w", err, ErrDegraded)
 			} else if target > s.syncedLSN {
 				s.syncedLSN = target
 			}
 			s.syncCond.Broadcast()
+			if err != nil && !stale {
+				s.enterDegraded("wal sync", err)
+			}
 			continue
 		}
 		s.syncCond.Wait()
@@ -196,13 +223,15 @@ func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates
 	}
 	_, _, err = s.installLocked(base, res.Output, added, removed)
 	if err != nil {
-		return nil, fmt.Errorf("persist: wal append: %w", err)
+		s.enterDegraded("wal append", err)
+		return nil, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
 	if err := s.wal.Sync(); err != nil {
 		s.syncMu.Lock()
-		s.syncErr = err
+		s.syncErr = fmt.Errorf("%w; %w", err, ErrDegraded)
 		s.syncMu.Unlock()
-		return nil, fmt.Errorf("persist: wal sync: %w", err)
+		s.enterDegraded("wal sync", err)
+		return nil, fmt.Errorf("persist: wal sync: %w; %w", err, ErrDegraded)
 	}
 	s.syncMu.Lock()
 	if s.appendedLSN > s.syncedLSN {

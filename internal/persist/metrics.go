@@ -19,6 +19,11 @@ type storeMetrics struct {
 	batchSize *metrics.Histogram // park_store_commit_batch_size
 	queueWait *metrics.Histogram // park_store_commit_queue_wait_seconds
 	lockWait  *metrics.Histogram // park_store_commit_lock_wait_seconds
+
+	degraded      *metrics.Gauge   // park_store_degraded
+	degradeEvents *metrics.Counter // park_store_degrade_events_total
+	probes        *metrics.Counter // park_store_disk_probes_total
+	probeOK       *metrics.Counter // park_store_disk_probe_successes_total
 }
 
 // Instrument registers the store's commit-pipeline metrics in reg and
@@ -35,6 +40,17 @@ func (s *Store) Instrument(reg *metrics.Registry) {
 			"Time transactions waited for admission to the bounded commit queue.", nil),
 		lockWait: reg.Histogram("park_store_commit_lock_wait_seconds",
 			"Time committers waited for the install lock.", nil),
+		degraded: reg.Gauge("park_store_degraded",
+			"1 while the store is in degraded read-only mode after a durability failure, else 0."),
+		degradeEvents: reg.Counter("park_store_degrade_events_total",
+			"Transitions into degraded read-only mode."),
+		probes: reg.Counter("park_store_disk_probes_total",
+			"Disk re-probe attempts made while degraded."),
+		probeOK: reg.Counter("park_store_disk_probe_successes_total",
+			"Disk probes that succeeded and led to a completed repair."),
+	}
+	if s.Health().Degraded {
+		s.met.degraded.Set(1)
 	}
 }
 
@@ -63,5 +79,34 @@ func (m *storeMetrics) observeQueueWait(d time.Duration) {
 func (m *storeMetrics) observeLockWait(d time.Duration) {
 	if m.lockWait != nil {
 		m.lockWait.Observe(d.Seconds())
+	}
+}
+
+// setDegraded flips the degraded gauge.
+func (m *storeMetrics) setDegraded(down bool) {
+	if m.degraded != nil {
+		if down {
+			m.degraded.Set(1)
+		} else {
+			m.degraded.Set(0)
+		}
+	}
+}
+
+func (m *storeMetrics) incDegrade() {
+	if m.degradeEvents != nil {
+		m.degradeEvents.Inc()
+	}
+}
+
+func (m *storeMetrics) incProbe() {
+	if m.probes != nil {
+		m.probes.Inc()
+	}
+}
+
+func (m *storeMetrics) incProbeSuccess() {
+	if m.probeOK != nil {
+		m.probeOK.Inc()
 	}
 }

@@ -80,6 +80,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/parser"
@@ -119,6 +120,9 @@ type dbState struct {
 type Store struct {
 	dir string
 	u   *core.Universe
+	// fs is the filesystem seam (see vfs.go): OSFS in production,
+	// FaultFS under fault injection.
+	fs FS
 
 	// state is the installed current database, read lock-free by
 	// Snapshot/Query/Len/Backup. Replaced (never mutated) under mu.
@@ -131,11 +135,11 @@ type Store struct {
 	// walRecords counts records appended since the last checkpoint.
 	walRecords int
 	closed     bool
-	wal        *os.File
+	wal        File
 	// walErr is sticky: a failed append may leave a partial
 	// transaction in the file, after which further appends could be
-	// misattributed to the next commit marker. All subsequent commits
-	// fail instead.
+	// misattributed to the next commit marker. Subsequent commits fail
+	// until the degraded-mode repair rotates the WAL (degrade.go).
 	walErr error
 
 	// seq is the global transaction sequence: monotonic across
@@ -171,12 +175,32 @@ type Store struct {
 
 	// subsMu guards the transaction subscribers (see Subscribe).
 	subsMu subscribers
+
+	// closing is set at the start of Close so the degraded-mode probe
+	// goroutine stops spawning or probing during shutdown.
+	closing atomic.Bool
+
+	// deg tracks degraded read-only mode (degrade.go). deg.mu is a
+	// leaf lock — enterDegraded may run with mu or syncMu held — so it
+	// must never be held while acquiring any other store lock.
+	deg struct {
+		mu     sync.Mutex
+		down   bool
+		reason string
+		cause  error
+		since  time.Time
+		stop   chan struct{}
+		done   chan struct{}
+	}
 }
 
 // config collects Open options.
 type config struct {
 	serialized bool
 	queueDepth int
+	fs         FS
+	probeEvery time.Duration
+	logf       func(format string, args ...any)
 }
 
 // Option configures Open.
@@ -203,6 +227,38 @@ func WithCommitQueueDepth(n int) Option {
 	}
 }
 
+// WithFS runs the store on the given filesystem implementation
+// instead of the real one. Tests use it to inject a FaultFS; parkd's
+// -failpoints mode does the same in a live process.
+func WithFS(fs FS) Option {
+	return func(c *config) {
+		if fs != nil {
+			c.fs = fs
+		}
+	}
+}
+
+// WithProbeInterval sets how often the degraded store re-tests the
+// disk for recovery (default 3s). Tests shorten it.
+func WithProbeInterval(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.probeEvery = d
+		}
+	}
+}
+
+// WithLogf routes the store's operational log lines (degradation,
+// disk probes, repair, WAL quarantine) to the given printf-style
+// function. By default they are discarded.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(c *config) {
+		if logf != nil {
+			c.logf = logf
+		}
+	}
+}
+
 // TxnRecord is one committed transaction's fact-level delta.
 type TxnRecord struct {
 	// Seq is the global transaction sequence number: monotonic for
@@ -218,59 +274,89 @@ type TxnRecord struct {
 // Open opens (or creates) a store directory, recovering state from
 // the snapshot and the write-ahead log. A torn record at the WAL tail
 // (from a crash mid-append or mid-group-commit) is discarded;
-// everything before it is recovered.
+// everything before it is recovered. Corruption that is not a torn
+// tail — a checksum mismatch on a fully present record, a garbage
+// length, a semantically invalid record — fails Open loudly with an
+// error matching ErrCorrupt: silently dropping it would also drop
+// every transaction behind it. RepairOpen is the explicit escape
+// hatch.
 func Open(dir string, opts ...Option) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+	s, _, err := open(dir, false, opts...)
+	return s, err
+}
+
+// open is the shared Open/RepairOpen implementation. With repair set,
+// a corrupt WAL region is quarantined instead of failing.
+func open(dir string, repair bool, opts ...Option) (*Store, *RepairReport, error) {
+	cfg := config{
+		queueDepth: 64,
+		fs:         OSFS(),
+		probeEvery: 3 * time.Second,
+		logf:       func(string, ...any) {},
 	}
-	cfg := config{queueDepth: 64}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Store{dir: dir, u: core.NewUniverse(), cfg: cfg}
+	if err := cfg.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	s := &Store{dir: dir, u: core.NewUniverse(), cfg: cfg, fs: cfg.fs}
 	s.syncCond = sync.NewCond(&s.syncMu)
 	s.queue = make(chan struct{}, cfg.queueDepth)
 	db := core.NewDatabase()
 
 	snapPath := filepath.Join(dir, snapshotName)
-	if data, err := os.ReadFile(snapPath); err == nil {
+	if data, err := s.fs.ReadFile(snapPath); err == nil {
 		text := string(data)
 		s.baseSeq = parseSnapshotSeq(text)
 		s.seq = s.baseSeq
 		db, err = parser.ParseDatabase(s.u, snapPath, text)
 		if err != nil {
-			return nil, fmt.Errorf("persist: corrupt snapshot: %w", err)
+			return nil, nil, fmt.Errorf("persist: corrupt snapshot: %w", err)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
 
 	s.snapDB = db.Clone()
 
-	walPath := filepath.Join(dir, walName)
-	validLen, records, err := s.replayWAL(walPath, db)
+	walPath := s.walPath()
+	validLen, records, corrupt, err := s.replayWAL(walPath, db)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	var report *RepairReport
+	if corrupt != nil {
+		if !repair {
+			return nil, nil, fmt.Errorf("%w; record framing is lost past it, so any transaction after the corrupt region is unrecoverable — use RepairOpen to quarantine the region and recover the valid prefix (through seq %d)", corrupt, s.seq)
+		}
+		report, err = s.quarantine(walPath, validLen, corrupt)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	wal, err := s.fs.OpenFile(walPath, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
-	// Drop any torn tail so subsequent appends start at a clean
-	// record boundary.
+	// Drop any torn (or quarantined) tail so subsequent appends start
+	// at a clean record boundary.
 	if err := wal.Truncate(validLen); err != nil {
 		wal.Close()
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
 	if _, err := wal.Seek(validLen, io.SeekStart); err != nil {
 		wal.Close()
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
 	s.wal = wal
 	s.walRecords = records
 	s.state.Store(&dbState{db: db, version: 1})
-	return s, nil
+	return s, report, nil
 }
+
+// walPath returns the WAL file's full path.
+func (s *Store) walPath() string { return filepath.Join(s.dir, walName) }
 
 // parseSnapshotSeq reads the global sequence from the snapshot
 // header comment; snapshots from before the header existed yield 0.
@@ -292,36 +378,60 @@ func parseSnapshotSeq(text string) int {
 // replayWAL applies every committed transaction to db and rebuilds
 // the transaction history. Records of an uncommitted trailing
 // transaction (no commit marker — a crash mid-Apply) are discarded
-// along with any torn or corrupt tail; the returned offset is the end
-// of the last commit marker.
-func (s *Store) replayWAL(path string, db *core.Database) (int64, int, error) {
-	data, err := os.ReadFile(path)
+// along with any torn tail; the returned offset is the end of the
+// last commit marker.
+//
+// Torn and corrupt regions are distinguished: a crash tears the log
+// by cutting appended bytes short (an incomplete header, a payload
+// extending past EOF, or a zero length from a pre-allocated page), so
+// anything else — a garbage length, a checksum mismatch on a fully
+// present payload, a structurally valid but semantically invalid
+// record — is real corruption and is reported as a *CorruptError
+// rather than silently treated as a tail. The replayed state is the
+// committed prefix before the corruption either way; the caller
+// decides whether that prefix is acceptable (RepairOpen) or the open
+// must fail (Open).
+func (s *Store) replayWAL(path string, db *core.Database) (int64, int, *CorruptError, error) {
+	data, err := s.fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, 0, nil
+		return 0, 0, nil, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("persist: %w", err)
+		return 0, 0, nil, fmt.Errorf("persist: %w", err)
 	}
 	off := int64(0)
 	committedEnd := int64(0)
 	committedRecords := 0
 	records := 0
+	var corrupt *CorruptError
 	var pending TxnRecord
 	for int(off)+recordHeader <= len(data) {
 		length := binary.LittleEndian.Uint32(data[off:])
 		sum := binary.LittleEndian.Uint32(data[off+4:])
-		if length == 0 || length > maxRecord || int(off)+recordHeader+int(length) > len(data) {
-			break // torn or garbage tail
+		if length == 0 {
+			break // torn tail (zero-filled or cut mid-header)
+		}
+		if length > maxRecord {
+			corrupt = &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("record length %d exceeds maximum %d", length, maxRecord)}
+			break
+		}
+		if int(off)+recordHeader+int(length) > len(data) {
+			break // torn tail: payload cut short by a crash
 		}
 		payload := data[off+recordHeader : off+recordHeader+int64(length)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			break // corrupt tail
+			// The payload is fully present, so this is not a short
+			// write: the bytes themselves are wrong.
+			corrupt = &CorruptError{Path: path, Offset: off,
+				Reason: "record checksum mismatch on fully present payload"}
+			break
 		}
 		commit, err := s.applyRecord(db, payload, &pending)
 		if err != nil {
-			// A structurally valid but semantically bad record means
-			// real corruption, not a torn write.
-			return 0, 0, fmt.Errorf("persist: corrupt WAL record at offset %d: %w", off, err)
+			corrupt = &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("semantically invalid record: %v", err)}
+			break
 		}
 		off += recordHeader + int64(length)
 		records++
@@ -343,12 +453,12 @@ func (s *Store) replayWAL(path string, db *core.Database) (int64, int, error) {
 			length := int64(binary.LittleEndian.Uint32(rep[o:]))
 			payload := rep[o+recordHeader : o+recordHeader+length]
 			if _, err := s.applyRecord(db, payload, &pending); err != nil {
-				return 0, 0, fmt.Errorf("persist: corrupt WAL record at offset %d: %w", o, err)
+				return 0, 0, nil, fmt.Errorf("persist: corrupt WAL record at offset %d: %w", o, err)
 			}
 			o += recordHeader + length
 		}
 	}
-	return committedEnd, committedRecords, nil
+	return committedEnd, committedRecords, corrupt, nil
 }
 
 // applyRecord applies one record to db, tracking the pending

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -215,14 +216,40 @@ func TestCRCCorruptionStopsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s2, err := Open(dir)
+	// A checksum mismatch on a fully present record is corruption, not
+	// a torn tail: Open must refuse rather than silently discard it.
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt WAL = %v, want ErrCorrupt", err)
+	}
+
+	// RepairOpen quarantines the corrupt region and recovers the
+	// committed prefix.
+	s2, report, err := RepairOpen(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	// Only the first record survives.
 	if got := renderDB(s2.Universe(), s2.Snapshot()); got != "p(a)" {
 		t.Fatalf("recovered state = {%s}, want {p(a)}", got)
+	}
+	if report == nil {
+		t.Fatal("RepairOpen returned no repair report")
+	}
+	if report.RecoveredSeq != 1 {
+		t.Fatalf("report.RecoveredSeq = %d, want 1", report.RecoveredSeq)
+	}
+	if report.QuarantinedBytes == 0 {
+		t.Fatal("report quarantined no bytes")
+	}
+	if q, err := os.ReadFile(report.QuarantinedFile); err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	} else if int64(len(q)) != report.QuarantinedBytes {
+		t.Fatalf("quarantine file has %d bytes, report says %d", len(q), report.QuarantinedBytes)
+	}
+
+	// The store is writable again after repair.
+	if err := s2.ApplyUpdates(context.Background(), mustUpdates(t, s2.Universe(), `+p(c).`)); err != nil {
+		t.Fatalf("write after repair: %v", err)
 	}
 }
 

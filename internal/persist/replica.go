@@ -82,6 +82,9 @@ func (s *Store) ReplicaCut(withSnapshot bool, buffer int) (*ReplicaCut, error) {
 // SyncWAL, because a crash that loses the un-synced tail merely makes
 // it re-request those transactions from the leader.
 func (s *Store) ApplyReplicated(txn TxnRecord) error {
+	if err := s.degradedErr(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -113,16 +116,19 @@ func (s *Store) ApplyReplicated(txn TxnRecord) error {
 	}
 	for _, text := range txn.Added {
 		if err := s.appendRecord('+', text); err != nil {
-			return fmt.Errorf("persist: wal append: %w", err)
+			s.enterDegraded("wal append", err)
+			return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 		}
 	}
 	for _, text := range txn.Removed {
 		if err := s.appendRecord('-', text); err != nil {
-			return fmt.Errorf("persist: wal append: %w", err)
+			s.enterDegraded("wal append", err)
+			return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 		}
 	}
 	if err := s.appendCommitMarker(txn.Seq); err != nil {
-		return fmt.Errorf("persist: wal append: %w", err)
+		s.enterDegraded("wal append", err)
+		return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
 	cur := s.current()
 	db := cur.db.Clone()
@@ -170,6 +176,9 @@ func (s *Store) SyncWAL() error {
 func (s *Store) ResetToSnapshot(seq int, facts []string) error {
 	if seq < 0 {
 		return fmt.Errorf("persist: negative snapshot sequence %d", seq)
+	}
+	if err := s.degradedErr(); err != nil {
+		return err
 	}
 	var sb strings.Builder
 	for _, f := range facts {

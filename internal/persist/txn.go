@@ -88,8 +88,14 @@ func (s *Store) Query(q *core.Query, yield func(binding []core.Sym) bool) error 
 // via temp file + rename) and truncates the write-ahead log. The
 // snapshot header records the global sequence, so sequence numbers
 // keep increasing across checkpoints. In-flight group-commit waiters
-// are released: the snapshot made their transactions durable.
+// are released: the snapshot made their transactions durable. A
+// checkpoint I/O failure (disk full, failed fsync) degrades the store
+// to read-only; the on-disk pair stays consistent either way, because
+// replay over the surviving snapshot is idempotent.
 func (s *Store) Checkpoint() error {
+	if err := s.degradedErr(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -97,13 +103,16 @@ func (s *Store) Checkpoint() error {
 	}
 	db := s.current().db
 	if err := s.writeSnapshotLocked(db, s.seq); err != nil {
-		return err
+		s.enterDegraded("checkpoint snapshot", err)
+		return fmt.Errorf("%w; %w", err, ErrDegraded)
 	}
 	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("persist: %w", err)
+		s.enterDegraded("checkpoint wal truncate", err)
+		return fmt.Errorf("persist: %w; %w", err, ErrDegraded)
 	}
 	if _, err := s.wal.Seek(0, 0); err != nil {
-		return fmt.Errorf("persist: %w", err)
+		s.enterDegraded("checkpoint wal seek", err)
+		return fmt.Errorf("persist: %w; %w", err, ErrDegraded)
 	}
 	s.walRecords = 0
 	s.snapDB = db.Clone()
@@ -127,12 +136,12 @@ func (s *Store) Checkpoint() error {
 // file + fsync + atomic rename) with seq in the header comment.
 // Callers hold s.mu.
 func (s *Store) writeSnapshotLocked(db *core.Database, seq int) error {
-	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	tmp, err := s.fs.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName)
+	defer s.fs.Remove(tmpName)
 	if _, err := fmt.Fprintf(tmp, "%s%d\n", snapshotSeqPrefix, seq); err != nil {
 		tmp.Close()
 		return fmt.Errorf("persist: %w", err)
@@ -152,7 +161,7 @@ func (s *Store) writeSnapshotLocked(db *core.Database, seq int) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName)); err != nil {
+	if err := s.fs.Rename(tmpName, filepath.Join(s.dir, snapshotName)); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	return nil
@@ -162,6 +171,11 @@ func (s *Store) writeSnapshotLocked(db *core.Database, seq int) error {
 // ErrClosed. Committers still waiting for group commit are released
 // by the final sync.
 func (s *Store) Close() error {
+	// Stop the degraded-mode probe before taking the store lock: its
+	// repair path acquires s.mu, so waiting for it under the lock
+	// would deadlock.
+	s.closing.Store(true)
+	s.stopProbe()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -1,0 +1,436 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// This file is the store's filesystem seam. Every byte the store
+// reads or writes goes through an FS implementation: production
+// stores use the thin os wrapper returned by OSFS, and tests (plus
+// parkd's -failpoints debug mode) wrap it in a FaultFS that can fail
+// individual operations at named failpoints — fsyncs that error once
+// or stick, ENOSPC on append, short (torn) writes, and so on. The
+// degradation and recovery machinery in degrade.go exists because
+// this seam made those faults reachable in tests.
+
+// FS is the filesystem interface the store runs on. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (os.FileInfo, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// File is the store's view of an open file: append-style writes,
+// durability (Sync), and the truncate/seek pair recovery uses to drop
+// a torn WAL tail.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Name() string
+}
+
+// osFS is the production FS: direct calls into the os package.
+type osFS struct{}
+
+// OSFS returns the production filesystem implementation.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+// ErrInjected is the default error injected by FaultFS failpoints; it
+// stands in for a generic I/O error (EIO) from a failing disk.
+var ErrInjected = errors.New("persist: injected I/O fault")
+
+// ErrDiskFull is an injectable disk-full error; errors.Is matches
+// syscall.ENOSPC, like the real thing.
+var ErrDiskFull = fmt.Errorf("persist: injected fault: %w", syscall.ENOSPC)
+
+// Failpoint describes one armed fault at a named callsite.
+type Failpoint struct {
+	// Err is the error the operation returns (default ErrInjected).
+	Err error
+	// Remaining is how many matching operations fail: n > 0 fails the
+	// next n and then disarms, n < 0 is sticky (fails until cleared).
+	// Zero is normalized to 1 (fail once).
+	Remaining int
+	// ShortWrite, on a write operation, writes this many bytes of the
+	// payload before failing — a torn write. Ignored by other ops.
+	ShortWrite int
+}
+
+// fileTrack records a file's write-tracking state across the life of
+// a FaultFS: its current size and its durable floor (the size at the
+// last successful Sync). The crash harness uses the floor to cut
+// files at offsets a real crash could produce — synced bytes survive,
+// anything past them is fair game.
+type fileTrack struct {
+	size, synced int64
+}
+
+// FaultFS wraps another FS with named failpoints. Operation names are
+// "op:label" where op is one of open, read, append, sync, truncate,
+// create, rename, remove, stat, readdir, mkdir and label is the file's
+// base name (for temp files, the creation pattern — e.g.
+// "snapshot-*.tmp"). A failpoint name may use the wildcard label "*"
+// ("append:*") to match every file, modeling a whole-disk fault such
+// as ENOSPC. Exact names take precedence over wildcards.
+//
+// The store's WAL callsites are append:wal.log, sync:wal.log,
+// truncate:wal.log, open:wal.log and read:wal.log; the snapshot path
+// is create:snapshot-*.tmp, append:snapshot-*.tmp,
+// sync:snapshot-*.tmp and rename:snapshot.park; the degraded-mode
+// disk probe uses create:health-*.probe, append:health-*.probe and
+// sync:health-*.probe.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	points map[string]*Failpoint
+	hits   map[string]int64
+	tracks map[string]*fileTrack
+}
+
+// NewFaultFS wraps inner (OSFS() when nil) with an empty failpoint
+// set.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS()
+	}
+	return &FaultFS{
+		inner:  inner,
+		points: make(map[string]*Failpoint),
+		hits:   make(map[string]int64),
+		tracks: make(map[string]*fileTrack),
+	}
+}
+
+// SetFailpoint arms (or replaces) the failpoint at name.
+func (f *FaultFS) SetFailpoint(name string, fp Failpoint) {
+	if fp.Err == nil {
+		fp.Err = ErrInjected
+	}
+	if fp.Remaining == 0 {
+		fp.Remaining = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.points[name] = &fp
+}
+
+// Fail arms a sticky failpoint: every matching operation fails with
+// err until Clear.
+func (f *FaultFS) Fail(name string, err error) {
+	f.SetFailpoint(name, Failpoint{Err: err, Remaining: -1})
+}
+
+// FailOnce arms a one-shot failpoint: the next matching operation
+// fails with err, later ones succeed.
+func (f *FaultFS) FailOnce(name string, err error) {
+	f.SetFailpoint(name, Failpoint{Err: err, Remaining: 1})
+}
+
+// Clear disarms the failpoint at name (no-op if not armed).
+func (f *FaultFS) Clear(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.points, name)
+}
+
+// ClearAll disarms every failpoint.
+func (f *FaultFS) ClearAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.points = make(map[string]*Failpoint)
+}
+
+// Active returns a copy of the currently armed failpoints.
+func (f *FaultFS) Active() map[string]Failpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]Failpoint, len(f.points))
+	for name, fp := range f.points {
+		out[name] = *fp
+	}
+	return out
+}
+
+// Hits returns how many times each callsite has executed (whether or
+// not a fault fired), keyed by operation name. The fault harness uses
+// it to confirm its schedules actually reach every callsite.
+func (f *FaultFS) Hits() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.hits))
+	for name, n := range f.hits {
+		out[name] = n
+	}
+	return out
+}
+
+// Size returns the tracked size of the file with the given label (its
+// base name), or 0 if never opened through this FS.
+func (f *FaultFS) Size(label string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tr := f.tracks[label]; tr != nil {
+		return tr.size
+	}
+	return 0
+}
+
+// SyncedSize returns the durable floor of the file with the given
+// label: its size at the last successful Sync (0 before any). A
+// simulated crash may cut the file anywhere at or past this offset —
+// cutting below it would "lose" data the store was told is durable,
+// which no real crash does.
+func (f *FaultFS) SyncedSize(label string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tr := f.tracks[label]; tr != nil {
+		return tr.synced
+	}
+	return 0
+}
+
+// check records a callsite hit and reports the armed fault, if any:
+// the injected error and (for writes) how many payload bytes to let
+// through first.
+func (f *FaultFS) check(op, label string) (err error, short int) {
+	name := op + ":" + label
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hits[name]++
+	fp := f.points[name]
+	if fp == nil {
+		fp = f.points[op+":*"]
+	}
+	if fp == nil {
+		return nil, 0
+	}
+	if fp.Remaining > 0 {
+		fp.Remaining--
+		if fp.Remaining == 0 {
+			// Disarm; the map entry may be shared with a wildcard name,
+			// so find and delete whichever key holds this pointer.
+			for k, v := range f.points {
+				if v == fp {
+					delete(f.points, k)
+				}
+			}
+		}
+	}
+	return fp.Err, fp.ShortWrite
+}
+
+// track returns (creating) the write-tracking record for label,
+// resetting it to the given size (a freshly opened file's on-disk
+// length).
+func (f *FaultFS) track(label string, size int64) *fileTrack {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tr := &fileTrack{size: size, synced: 0}
+	f.tracks[label] = tr
+	return tr
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err, _ := f.check("mkdir", filepath.Base(path)); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err, _ := f.check("read", filepath.Base(name)); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.check("rename", filepath.Base(newpath)); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err, _ := f.check("remove", filepath.Base(name)); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if err, _ := f.check("stat", filepath.Base(name)); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err, _ := f.check("readdir", filepath.Base(name)); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	label := filepath.Base(name)
+	if err, _ := f.check("open", label); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if flag&os.O_TRUNC == 0 {
+		if fi, err := f.inner.Stat(name); err == nil {
+			size = fi.Size()
+		}
+	}
+	return &faultFile{fs: f, f: file, label: label, track: f.track(label, size), pos: 0, size: size}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	// Temp files are labeled by their creation pattern ("snapshot-*.tmp"),
+	// not the randomized final name, so failpoints stay addressable.
+	if err, _ := f.check("create", pattern); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, label: pattern, track: f.track(pattern, 0)}, nil
+}
+
+// faultFile routes per-file operations through the FaultFS failpoints
+// and maintains the size / durable-floor bookkeeping.
+type faultFile struct {
+	fs    *FaultFS
+	f     File
+	label string
+	track *fileTrack
+
+	mu        sync.Mutex
+	pos, size int64
+}
+
+func (w *faultFile) Name() string { return w.f.Name() }
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	err, short := w.fs.check("append", w.label)
+	if err != nil && short > 0 && short < len(p) {
+		// Torn write: a prefix of the payload reaches the disk before
+		// the error surfaces.
+		n, werr := w.f.Write(p[:short])
+		w.advance(n)
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, werr := w.f.Write(p)
+	w.advance(n)
+	return n, werr
+}
+
+// advance accounts n written bytes at the current position.
+func (w *faultFile) advance(n int) {
+	if n <= 0 {
+		return
+	}
+	w.mu.Lock()
+	w.pos += int64(n)
+	if w.pos > w.size {
+		w.size = w.pos
+	}
+	size := w.size
+	w.mu.Unlock()
+	w.fs.mu.Lock()
+	w.track.size = size
+	w.fs.mu.Unlock()
+}
+
+func (w *faultFile) Sync() error {
+	if err, _ := w.fs.check("sync", w.label); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	size := w.size
+	w.mu.Unlock()
+	w.fs.mu.Lock()
+	w.track.synced = size
+	w.fs.mu.Unlock()
+	return nil
+}
+
+func (w *faultFile) Truncate(size int64) error {
+	if err, _ := w.fs.check("truncate", w.label); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(size); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.size = size
+	w.mu.Unlock()
+	w.fs.mu.Lock()
+	w.track.size = size
+	if w.track.synced > size {
+		w.track.synced = size
+	}
+	w.fs.mu.Unlock()
+	return nil
+}
+
+func (w *faultFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := w.f.Seek(offset, whence)
+	if err == nil {
+		w.mu.Lock()
+		w.pos = pos
+		w.mu.Unlock()
+	}
+	return pos, err
+}
+
+func (w *faultFile) Close() error {
+	w.fs.check("close", w.label)
+	return w.f.Close()
+}

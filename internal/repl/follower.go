@@ -65,6 +65,13 @@ type Status struct {
 	LeaderSeq int
 	// LastFrame is the arrival time of the most recent frame.
 	LastFrame time.Time
+	// Stale reports that no frame (heartbeat or transaction) has
+	// arrived within the follower's staleness bound (WithStaleAfter):
+	// the replica's data may lag the leader by more than the bound.
+	// Computed at Status() time.
+	Stale bool
+	// StaleAfter is the staleness bound Stale was judged against.
+	StaleAfter time.Duration
 	// Reconnects counts stream (re)establishment attempts after the
 	// initial connect.
 	Reconnects int64
@@ -158,11 +165,16 @@ func (f *Follower) Instrument(reg *metrics.Registry) {
 	f.RefreshMetrics()
 }
 
-// Status returns the current replication status.
+// Status returns the current replication status. Staleness is judged
+// at call time: a follower is stale when no frame has arrived within
+// its staleAfter bound (including before the first frame).
 func (f *Follower) Status() Status {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.st
+	st := f.st
+	st.StaleAfter = f.staleAfter
+	st.Stale = st.LastFrame.IsZero() || time.Since(st.LastFrame) > f.staleAfter
+	return st
 }
 
 // RefreshMetrics samples the status gauges (lag, sequences,

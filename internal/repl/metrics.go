@@ -89,6 +89,7 @@ type followerMetrics struct {
 	leaderSeq  *metrics.Gauge // park_repl_follower_leader_seq
 	connected  *metrics.Gauge // park_repl_follower_connected
 	frameAge   *metrics.Gauge // park_repl_follower_last_frame_age_ms
+	stale      *metrics.Gauge // park_repl_follower_stale
 }
 
 func (m *followerMetrics) register(reg *metrics.Registry) {
@@ -116,6 +117,8 @@ func (m *followerMetrics) register(reg *metrics.Registry) {
 		"1 while the replication stream is connected, 0 while reconnecting.")
 	m.frameAge = reg.Gauge("park_repl_follower_last_frame_age_ms",
 		"Milliseconds since the last frame arrived (wall-clock lag signal; sampled at scrape time).")
+	m.stale = reg.Gauge("park_repl_follower_stale",
+		"1 when no frame or heartbeat has arrived within the follower's staleness bound, else 0 (sampled at scrape time).")
 }
 
 func (m *followerMetrics) reconnect() {
@@ -161,5 +164,12 @@ func (m *followerMetrics) sample(st Status) {
 	}
 	if !st.LastFrame.IsZero() {
 		m.frameAge.Set(time.Since(st.LastFrame).Milliseconds())
+	}
+	if m.stale != nil {
+		if st.Stale {
+			m.stale.Set(1)
+		} else {
+			m.stale.Set(0)
+		}
 	}
 }

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/repl"
+)
+
+// newFaultyServer starts a server over a store whose filesystem is
+// fault-injectable, with a fast disk re-probe so heal tests don't
+// wait.
+func newFaultyServer(t *testing.T) (*httptest.Server, *Client, *Server, *persist.FaultFS, string) {
+	t.Helper()
+	dir := t.TempDir()
+	ffs := persist.NewFaultFS(persist.OSFS())
+	store, err := persist.Open(dir,
+		persist.WithFS(ffs),
+		persist.WithProbeInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store)
+	srv.EnableFailpoints(ffs)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, &Client{BaseURL: ts.URL}, srv, ffs, dir
+}
+
+// postJSON posts a JSON body and returns the raw response (caller
+// closes it).
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// awaitWrites polls until a transaction succeeds (the probe healed the
+// store) or the deadline passes.
+func awaitWrites(t *testing.T, c *Client, updates string) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Transact(ctx, updates); err == nil {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("store did not heal: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDegradedStoreServesReadsAnd503sWrites is the end-to-end
+// acceptance path for disk-fault degradation: a sticky fsync failure
+// turns writes into 503 + Retry-After while reads, the replication
+// stream, metrics and healthz keep working; clearing the fault lets
+// the background probe restore writes with no restart; and no acked
+// transaction is lost across a subsequent clean reopen.
+func TestDegradedStoreServesReadsAnd503sWrites(t *testing.T) {
+	ts, c, _, ffs, dir := newFaultyServer(t)
+	ctx := context.Background()
+
+	if _, err := c.Transact(ctx, "+p(a)."); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.Fail("sync:wal.log", persist.ErrInjected)
+	resp := postJSON(t, ts.URL+"/v1/transaction", TransactionRequest{Updates: "+p(b)."})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded write: HTTP %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil || eresp.Error == "" {
+		t.Fatalf("503 body = %+v (%v), want an error message", eresp, err)
+	}
+
+	// Reads still serve while degraded.
+	facts, err := c.Database(ctx)
+	if err != nil {
+		t.Fatalf("read while degraded: %v", err)
+	}
+	if len(facts) == 0 || facts[0] != "p(a)" {
+		t.Fatalf("database while degraded = %v", facts)
+	}
+
+	// The replication stream still serves: a follower resuming from 0
+	// gets bytes immediately.
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(sctx, http.MethodGet, ts.URL+"/v1/repl/stream?from=0", nil)
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("repl stream while degraded: %v", err)
+	}
+	if sresp.StatusCode != http.StatusOK {
+		sresp.Body.Close()
+		t.Fatalf("repl stream while degraded: HTTP %d", sresp.StatusCode)
+	}
+	one := make([]byte, 1)
+	if _, err := sresp.Body.Read(one); err != nil {
+		t.Fatalf("repl stream produced no bytes while degraded: %v", err)
+	}
+	sresp.Body.Close()
+
+	// The degradation is visible: park_store_degraded = 1 and healthz
+	// answers 503 with a degraded body.
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snapValue(snap, "park_store_degraded"); v != 1 {
+		t.Fatalf("park_store_degraded = %d, want 1", v)
+	}
+	hresp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable || !health.Degraded {
+		t.Fatalf("healthz while degraded: HTTP %d, body %+v", hresp.StatusCode, health)
+	}
+	if health.Status != "degraded" || health.Reason == "" || health.Since == "" {
+		t.Fatalf("healthz degraded body incomplete: %+v", health)
+	}
+
+	// Heal the disk; the background probe restores writes without a
+	// restart.
+	ffs.ClearAll()
+	awaitWrites(t, c, "+p(c).")
+	hresp2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var healed HealthResponse
+	if err := json.NewDecoder(hresp2.Body).Decode(&healed); err != nil {
+		t.Fatal(err)
+	}
+	hresp2.Body.Close()
+	if hresp2.StatusCode != http.StatusOK || healed.Degraded || healed.Status != "ok" {
+		t.Fatalf("healthz after heal: HTTP %d, body %+v", hresp2.StatusCode, healed)
+	}
+	snap, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snapValue(snap, "park_store_degraded"); v != 0 {
+		t.Fatalf("park_store_degraded after heal = %d, want 0", v)
+	}
+	if v, _ := snapValue(snap, "park_store_degrade_events_total"); v < 1 {
+		t.Fatalf("park_store_degrade_events_total = %d, want >= 1", v)
+	}
+
+	// No acked transaction is lost: a clean reopen of the same
+	// directory sees every fact a 200 acknowledged.
+	ts.Close()
+	reopened, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got := strings.Join(factStrings(reopened.Universe(), reopened.Snapshot()), " ")
+	for _, want := range []string{"p(a)", "p(c)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("reopened database %q is missing acked fact %s", got, want)
+		}
+	}
+}
+
+// TestCheckpointWhileDegraded asserts the checkpoint endpoint gets the
+// same 503 + Retry-After mapping as transactions.
+func TestCheckpointWhileDegraded(t *testing.T) {
+	ts, c, _, ffs, _ := newFaultyServer(t)
+	ctx := context.Background()
+	if _, err := c.Transact(ctx, "+p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Fail("sync:wal.log", persist.ErrInjected)
+	if resp := postJSON(t, ts.URL+"/v1/transaction", TransactionRequest{Updates: "+x."}); true {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("poisoning write: HTTP %d, want 503", resp.StatusCode)
+		}
+	}
+	resp := postJSON(t, ts.URL+"/v1/checkpoint", struct{}{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("checkpoint while degraded: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("checkpoint 503 is missing Retry-After")
+	}
+	ffs.ClearAll()
+	awaitWrites(t, c, "+p(b).")
+	if err := c.Checkpoint(ctx); err != nil {
+		t.Fatalf("checkpoint after heal: %v", err)
+	}
+}
+
+// TestHealthzHealthyLeader asserts the happy-path healthz shape.
+func TestHealthzHealthyLeader(t *testing.T) {
+	c, _ := newTestServer(t)
+	resp, err := http.Get(c.BaseURL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Degraded {
+		t.Fatalf("healthz: HTTP %d, body %+v", resp.StatusCode, health)
+	}
+	if health.Role != "leader" || health.Replication != nil {
+		t.Fatalf("healthz leader body: %+v", health)
+	}
+	if health.ProbeSeconds <= 0 {
+		t.Fatalf("healthz probeSeconds = %v, want > 0", health.ProbeSeconds)
+	}
+}
+
+// TestReplicaRejectionBody asserts the 421 body carries the leader
+// URL and the replica's staleness alongside the legacy error field,
+// and that healthz reports the replica role with a replication
+// section.
+func TestReplicaRejectionBody(t *testing.T) {
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	const leaderURL = "http://leader.example:7070"
+	// The follower is never run: no frames ever arrive, so the replica
+	// is stale by definition.
+	f := repl.NewFollower(store, leaderURL, repl.WithStaleAfter(time.Second))
+	srv := NewReplica(store, f, leaderURL)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/v1/transaction", TransactionRequest{Updates: "+p."})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("replica write: HTTP %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Park-Leader"); got != leaderURL {
+		t.Fatalf("X-Park-Leader = %q, want %q", got, leaderURL)
+	}
+	var rej ReplicaRejection
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rej.Error, leaderURL) {
+		t.Fatalf("421 error %q does not name the leader", rej.Error)
+	}
+	if rej.Leader != leaderURL || !rej.Stale || rej.StaleAfterSeconds != 1 {
+		t.Fatalf("421 body = %+v", rej)
+	}
+
+	hresp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Role != "replica" || health.Replication == nil || !health.Replication.Stale {
+		t.Fatalf("replica healthz = %+v", health)
+	}
+}
+
+// TestFailpointDebugEndpoints exercises the /v1/debug/failpoint
+// admin surface end to end: arm over HTTP, observe the 503, list,
+// clear, heal. It also asserts the endpoints are absent on a server
+// without EnableFailpoints.
+func TestFailpointDebugEndpoints(t *testing.T) {
+	ts, c, _, _, _ := newFaultyServer(t)
+	ctx := context.Background()
+	if _, err := c.Transact(ctx, "+p(a)."); err != nil {
+		t.Fatal(err)
+	}
+
+	arm := postJSON(t, ts.URL+"/v1/debug/failpoint", FailpointRequest{Name: "sync:wal.log"})
+	defer arm.Body.Close()
+	if arm.StatusCode != http.StatusOK {
+		t.Fatalf("arm failpoint: HTTP %d", arm.StatusCode)
+	}
+	var listed FailpointsResponse
+	if err := json.NewDecoder(arm.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed.Active) != 1 || listed.Active[0].Name != "sync:wal.log" || listed.Active[0].Remaining != -1 {
+		t.Fatalf("armed failpoints = %+v", listed)
+	}
+
+	wr := postJSON(t, ts.URL+"/v1/transaction", TransactionRequest{Updates: "+p(b)."})
+	wr.Body.Close()
+	if wr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write with armed failpoint: HTTP %d, want 503", wr.StatusCode)
+	}
+
+	get, err := http.Get(ts.URL + "/v1/debug/failpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var again FailpointsResponse
+	if err := json.NewDecoder(get.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Active) != 1 {
+		t.Fatalf("GET failpoints = %+v", again)
+	}
+
+	clear := postJSON(t, ts.URL+"/v1/debug/failpoint", FailpointRequest{Action: "clear-all"})
+	defer clear.Body.Close()
+	var cleared FailpointsResponse
+	if err := json.NewDecoder(clear.Body).Decode(&cleared); err != nil {
+		t.Fatal(err)
+	}
+	if len(cleared.Active) != 0 {
+		t.Fatalf("failpoints after clear-all = %+v", cleared)
+	}
+	awaitWrites(t, c, "+p(c).")
+
+	bad := postJSON(t, ts.URL+"/v1/debug/failpoint", FailpointRequest{Name: "sync:wal.log", Error: "eio"})
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad error kind: HTTP %d, want 400", bad.StatusCode)
+	}
+
+	// A server without EnableFailpoints must not expose the surface.
+	plain, _ := newTestServer(t)
+	resp, err := http.Get(plain.BaseURL + "/v1/debug/failpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("debug endpoint on plain server: HTTP %d, want 404", resp.StatusCode)
+	}
+}

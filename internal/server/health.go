@@ -1,0 +1,197 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// This file is the server's durability-health surface: the /v1/healthz
+// readiness endpoint, the Retry-After/503 mapping for a store degraded
+// to read-only after a disk fault, and the /v1/debug/failpoint
+// endpoints that drive the persist fault-injection seam in a live
+// process (enabled explicitly via EnableFailpoints — e.g. parkd
+// -failpoints — and absent otherwise).
+
+// HealthResponse is the /v1/healthz body. Status is "ok" or
+// "degraded"; the HTTP status mirrors it (200 / 503), so load
+// balancers can use the endpoint as a write-readiness probe without
+// parsing the body. A degraded store still serves reads, so read-only
+// routing may keep a degraded node in rotation.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Degraded mirrors park_store_degraded: true while the store is in
+	// read-only mode after a durability failure.
+	Degraded bool `json:"degraded"`
+	// Reason and Cause describe the failing operation while degraded.
+	Reason string `json:"reason,omitempty"`
+	Cause  string `json:"cause,omitempty"`
+	// Since is when the store degraded (RFC 3339).
+	Since string `json:"since,omitempty"`
+	// ProbeSeconds is the disk re-probe interval: a useful Retry-After
+	// hint for clients that want to poll.
+	ProbeSeconds float64 `json:"probeSeconds"`
+	// Role is "leader" or "replica".
+	Role string `json:"role"`
+	// Replication reports follower staleness in replica mode.
+	Replication *ReplicationHealth `json:"replication,omitempty"`
+}
+
+// ReplicationHealth is the replica section of /v1/healthz.
+type ReplicationHealth struct {
+	Connected  bool `json:"connected"`
+	Stale      bool `json:"stale"`
+	AppliedSeq int  `json:"appliedSeq"`
+	LeaderSeq  int  `json:"leaderSeq"`
+	LagSeq     int  `json:"lagSeq"`
+	// LastFrameAgeSeconds is the silence on the replication stream; 0
+	// when no frame has arrived yet.
+	LastFrameAgeSeconds float64 `json:"lastFrameAgeSeconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.store.Health()
+	resp := HealthResponse{
+		Status:       "ok",
+		Degraded:     h.Degraded,
+		ProbeSeconds: h.ProbeEvery.Seconds(),
+		Role:         "leader",
+	}
+	status := http.StatusOK
+	if h.Degraded {
+		resp.Status = "degraded"
+		resp.Reason = h.Reason
+		resp.Cause = h.Cause
+		resp.Since = h.Since.Format(time.RFC3339)
+		status = http.StatusServiceUnavailable
+		s.setRetryAfter(w)
+	}
+	if s.follower != nil {
+		resp.Role = "replica"
+		st := s.follower.Status()
+		rh := &ReplicationHealth{
+			Connected:  st.Connected,
+			Stale:      st.Stale,
+			AppliedSeq: st.AppliedSeq,
+			LeaderSeq:  st.LeaderSeq,
+			LagSeq:     st.LagSeq(),
+		}
+		if !st.LastFrame.IsZero() {
+			rh.LastFrameAgeSeconds = time.Since(st.LastFrame).Seconds()
+		}
+		resp.Replication = rh
+	}
+	writeJSON(w, status, resp)
+}
+
+// setRetryAfter advertises the store's disk re-probe interval as the
+// earliest moment a degraded-mode 503 is worth retrying.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int(s.store.Health().ProbeEvery / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// EnableFailpoints exposes the given fault-injection filesystem over
+// POST/GET /v1/debug/failpoint. The store must have been opened with
+// persist.WithFS(ffs). Call before Handler; intended for tests and
+// operator drills (parkd -failpoints), never for regular production
+// serving.
+func (s *Server) EnableFailpoints(ffs *persist.FaultFS) { s.faultFS = ffs }
+
+// FailpointRequest arms or clears one failpoint.
+type FailpointRequest struct {
+	// Name is the callsite, e.g. "sync:wal.log" or "append:*".
+	Name string `json:"name,omitempty"`
+	// Action: "fail" (sticky), "fail-once", "clear", "clear-all".
+	// Default "fail".
+	Action string `json:"action,omitempty"`
+	// Error: "io" (default) or "enospc".
+	Error string `json:"error,omitempty"`
+	// ShortWrite lets this many payload bytes through before a write
+	// fails (a torn write).
+	ShortWrite int `json:"shortWrite,omitempty"`
+	// Remaining overrides the failure count (<0 sticky).
+	Remaining int `json:"remaining,omitempty"`
+}
+
+// FailpointInfo describes one armed failpoint.
+type FailpointInfo struct {
+	Name       string `json:"name"`
+	Error      string `json:"error"`
+	Remaining  int    `json:"remaining"`
+	ShortWrite int    `json:"shortWrite,omitempty"`
+}
+
+// FailpointsResponse lists the armed failpoints.
+type FailpointsResponse struct {
+	Active []FailpointInfo `json:"active"`
+}
+
+func (s *Server) handleSetFailpoint(w http.ResponseWriter, r *http.Request) {
+	var req FailpointRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	switch req.Action {
+	case "clear-all":
+		s.faultFS.ClearAll()
+	case "clear":
+		if req.Name == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("clear needs a failpoint name"))
+			return
+		}
+		s.faultFS.Clear(req.Name)
+	case "", "fail", "fail-once":
+		if req.Name == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("failpoint name is required"))
+			return
+		}
+		fp := persist.Failpoint{ShortWrite: req.ShortWrite}
+		switch req.Error {
+		case "", "io":
+			fp.Err = persist.ErrInjected
+		case "enospc":
+			fp.Err = persist.ErrDiskFull
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown error kind %q (want io or enospc)", req.Error))
+			return
+		}
+		switch {
+		case req.Remaining != 0:
+			fp.Remaining = req.Remaining
+		case req.Action == "fail-once":
+			fp.Remaining = 1
+		default:
+			fp.Remaining = -1
+		}
+		s.faultFS.SetFailpoint(req.Name, fp)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown action %q", req.Action))
+		return
+	}
+	s.handleGetFailpoints(w, r)
+}
+
+func (s *Server) handleGetFailpoints(w http.ResponseWriter, r *http.Request) {
+	resp := FailpointsResponse{Active: []FailpointInfo{}}
+	for name, fp := range s.faultFS.Active() {
+		kind := "io"
+		if errors.Is(fp.Err, persist.ErrDiskFull) {
+			kind = "enospc"
+		}
+		resp.Active = append(resp.Active, FailpointInfo{
+			Name:       name,
+			Error:      kind,
+			Remaining:  fp.Remaining,
+			ShortWrite: fp.ShortWrite,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -17,6 +17,13 @@
 //	GET  /v1/watch         SSE stream of committed transactions
 //	GET  /v1/repl/stream   framed replication stream for followers
 //	GET  /v1/metrics       engine/HTTP/store metrics (JSON or Prometheus)
+//	GET  /v1/healthz       write-readiness: 200 healthy, 503 degraded
+//
+// A store that loses durability (failed fsync, full disk) degrades to
+// read-only: the write endpoints answer 503 Service Unavailable with a
+// Retry-After header while a background probe retests the disk, and
+// /v1/healthz reports the degradation; reads, queries and replication
+// streaming keep serving throughout. See docs/OPERATIONS.md.
 //
 // A server built with NewReplica runs in read-only follower mode:
 // queries, history, watch and metrics are served from the local
@@ -62,6 +69,10 @@ type Server struct {
 	// write-endpoint hint returned with 421 responses.
 	follower  *repl.Follower
 	leaderURL string
+
+	// faultFS is non-nil when EnableFailpoints has armed the
+	// /v1/debug/failpoint endpoints (tests and operator drills only).
+	faultFS *persist.FaultFS
 
 	// watchKeepalive is the SSE comment-line heartbeat interval for
 	// /v1/watch (default 15s; tests shrink it).
@@ -204,6 +215,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/watch", s.instrument("/v1/watch", s.streaming(s.handleWatch)))
 	mux.HandleFunc("GET /v1/repl/stream", s.instrument("/v1/repl/stream", s.streaming(s.leader.ServeHTTP)))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
+	if s.faultFS != nil {
+		mux.HandleFunc("POST /v1/debug/failpoint", s.instrument("/v1/debug/failpoint", s.handleSetFailpoint))
+		mux.HandleFunc("GET /v1/debug/failpoint", s.instrument("/v1/debug/failpoint", s.handleGetFailpoints))
+	}
 	return mux
 }
 
@@ -218,17 +234,53 @@ func (s *Server) streaming(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// ReplicaRejection is the 421 body a replica returns for write
+// requests. Error stays first and unchanged in shape so existing
+// clients that decode ErrorResponse keep working; the extra fields
+// tell a redirecting client where the leader is and how fresh this
+// replica's data was when it said no.
+type ReplicaRejection struct {
+	Error  string `json:"error"`
+	Leader string `json:"leader,omitempty"`
+	// Stale mirrors park_repl_follower_stale: no frame has arrived
+	// within the follower's staleness bound, so local reads may lag
+	// the leader arbitrarily.
+	Stale bool `json:"stale"`
+	// StaleAfterSeconds is the bound Stale was judged against.
+	StaleAfterSeconds float64 `json:"staleAfterSeconds"`
+	// AppliedSeq is the newest leader transaction applied locally.
+	AppliedSeq int `json:"appliedSeq"`
+	// LagSeq is the known replication lag in transactions.
+	LagSeq int `json:"lagSeq"`
+	// LastFrameAgeSeconds is the silence on the replication stream; 0
+	// when no frame has arrived yet.
+	LastFrameAgeSeconds float64 `json:"lastFrameAgeSeconds,omitempty"`
+}
+
 // writable gates a mutating handler: on a replica the logical state
 // is owned by the replication stream, so writes are misdirected —
-// answer 421 with the leader's address so clients can retry there.
+// answer 421 with the leader's address (header and body) plus the
+// replica's staleness so clients can retry at the leader and judge
+// what they just read here.
 func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.follower != nil {
 			if s.leaderURL != "" {
 				w.Header().Set("X-Park-Leader", s.leaderURL)
 			}
-			writeErr(w, http.StatusMisdirectedRequest,
-				fmt.Errorf("read-only replica: send writes to the leader at %s", s.leaderURL))
+			st := s.follower.Status()
+			resp := ReplicaRejection{
+				Error:             fmt.Sprintf("read-only replica: send writes to the leader at %s", s.leaderURL),
+				Leader:            s.leaderURL,
+				Stale:             st.Stale,
+				StaleAfterSeconds: st.StaleAfter.Seconds(),
+				AppliedSeq:        st.AppliedSeq,
+				LagSeq:            st.LagSeq(),
+			}
+			if !st.LastFrame.IsZero() {
+				resp.LastFrameAgeSeconds = time.Since(st.LastFrame).Seconds()
+			}
+			writeJSON(w, http.StatusMisdirectedRequest, resp)
 			return
 		}
 		h(w, r)
@@ -447,6 +499,12 @@ func (s *Server) writeApplyErr(w http.ResponseWriter, err error) {
 		writeErr(w, statusClientClosedRequest, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, persist.ErrDegraded):
+		// The store lost durability (failed fsync, disk full) and is
+		// read-only while a background probe retests the disk; advertise
+		// the probe interval as the retry horizon.
+		s.setRetryAfter(w)
+		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, persist.ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, err)
 	default:
@@ -593,6 +651,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if err := s.store.Checkpoint(); err != nil {
+		if errors.Is(err, persist.ErrDegraded) {
+			s.setRetryAfter(w)
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		if errors.Is(err, persist.ErrClosed) {
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
