@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	park "repro"
+	"repro/internal/flight"
+	"repro/internal/parser"
+	"repro/internal/persist"
+)
+
+// B14 — flight-recorder overhead: transaction throughput of the
+// durable store with the recorder off (trace buffer 0), on with the
+// default configuration (recording every transaction, none of them
+// slow), and on with the slow path always hit (threshold below every
+// transaction, so each trace is also retained in the slow window and
+// name resolution plus ring insertion happen on the retention path).
+// The workload is the B12 cheap-evaluation commit loop, where fsync
+// dominates; the recorder's per-event appends and post-commit name
+// resolution must disappear into that cost. Target: always-on
+// recording costs at most a few percent of throughput.
+func runB14(quick bool) error {
+	txnsPerClient := 50
+	clientCounts := []int{1, 8}
+	if quick {
+		txnsPerClient = 20
+	}
+	modes := []string{"off", "on", "slow-hit"}
+	w := table()
+	fmt.Fprintln(w, "recorder\tclients\ttxns\ttotal\ttxn/s\tp50\tp99")
+	rates := map[string]float64{}
+	for _, mode := range modes {
+		for _, clients := range clientCounts {
+			r, err := runB14Once(mode, clients, txnsPerClient)
+			if err != nil {
+				return fmt.Errorf("%s/%d clients: %w", mode, clients, err)
+			}
+			rates[fmt.Sprintf("%s-%d", mode, clients)] = r.rate
+			fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.0f\t%v\t%v\n",
+				mode, clients, clients*txnsPerClient,
+				r.elapsed.Round(time.Millisecond), r.rate,
+				r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond))
+		}
+	}
+	w.Flush()
+	max := clientCounts[len(clientCounts)-1]
+	overhead := func(mode string) float64 {
+		return 1 - rates[fmt.Sprintf("%s-%d", mode, max)]/rates[fmt.Sprintf("off-%d", max)]
+	}
+	worst := overhead("on")
+	if o := overhead("slow-hit"); o > worst {
+		worst = o
+	}
+	// Sub-second cells are noisy (a single straggling fsync moves a
+	// cell several percent); before declaring the recorder expensive,
+	// re-measure the deciding pair best-of-three, like B12 does.
+	for attempt := 0; worst > 0.05 && attempt < 3; attempt++ {
+		off, err := runB14Once("off", max, txnsPerClient)
+		if err != nil {
+			return err
+		}
+		worstAgain := 0.0
+		for _, mode := range []string{"on", "slow-hit"} {
+			on, err := runB14Once(mode, max, txnsPerClient)
+			if err != nil {
+				return err
+			}
+			if o := 1 - on.rate/off.rate; o > worstAgain {
+				worstAgain = o
+			}
+		}
+		if worstAgain < worst {
+			worst = worstAgain
+		}
+	}
+	fmt.Printf("shape check: worst-case recorder overhead at %d clients is %.1f%%\n", max, worst*100)
+	if worst > 0.15 {
+		return fmt.Errorf("flight recorder costs %.0f%% of throughput at %d clients; recording must be cheap enough to leave on", worst*100, max)
+	}
+	return nil
+}
+
+// runB14Once drives one cell of the B14 table: the B12 workload
+// (clients goroutines, each committing txnsPerClient cheap
+// rule-firing transactions) against a store whose flight recorder is
+// configured per mode.
+func runB14Once(mode string, clients, txnsPerClient int) (*b12Result, error) {
+	dir, err := os.MkdirTemp("", "parkbench-b14-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	var opts []persist.Option
+	switch mode {
+	case "off":
+		opts = append(opts, persist.WithTraceBuffer(0))
+	case "on":
+		// The defaults: last-64 window, 250ms slow threshold (never hit
+		// by this workload).
+	case "slow-hit":
+		// A negative threshold marks every transaction slow, forcing the
+		// slow-retention path on each commit.
+		opts = append(opts, persist.WithSlowThreshold(-time.Nanosecond))
+	default:
+		return nil, fmt.Errorf("unknown B14 mode %q", mode)
+	}
+	store, err := persist.Open(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	u := store.Universe()
+	prog, err := parser.ParseProgram(u, "", `
+rule log:   +ev(X) -> +audit(X).
+rule unlog: -ev(X) -> -audit(X).
+`)
+	if err != nil {
+		return nil, err
+	}
+	updates := make([][][]park.Update, clients)
+	for c := 0; c < clients; c++ {
+		updates[c] = make([][]park.Update, txnsPerClient)
+		for i := 0; i < txnsPerClient; i++ {
+			text := fmt.Sprintf("+ev(c%d_i%d).\n", c, i)
+			if i > 0 {
+				text += fmt.Sprintf("-ev(c%d_i%d).\n", c, i-1)
+			}
+			ups, err := parser.ParseUpdates(u, "", text)
+			if err != nil {
+				return nil, err
+			}
+			updates[c][i] = ups
+		}
+	}
+	lats := make([][]time.Duration, clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	ctx := flight.WithTraceID(context.Background(), "bench-b14")
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < txnsPerClient; i++ {
+				t0 := time.Now()
+				if _, err := store.Apply(ctx, prog, updates[c][i], nil, park.Options{}); err != nil {
+					errs <- err
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	// The recorder must actually have been exercised (or off).
+	ring := store.Flight()
+	switch {
+	case mode == "off" && ring != nil:
+		return nil, fmt.Errorf("trace buffer 0 left the recorder on")
+	case mode != "off" && (ring == nil || ring.Get(store.Seq()) == nil):
+		return nil, fmt.Errorf("no trace recorded for the last transaction")
+	case mode == "slow-hit" && len(ring.Slow()) == 0:
+		return nil, fmt.Errorf("slow window empty despite always-slow threshold")
+	}
+	all := make([]time.Duration, 0, clients*txnsPerClient)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+	return &b12Result{
+		elapsed: elapsed,
+		rate:    float64(len(all)) / elapsed.Seconds(),
+		p50:     q(0.50),
+		p99:     q(0.99),
+	}, nil
+}

@@ -44,6 +44,7 @@ func main() {
 		{"B11", "full-system transaction throughput (durable store)", runB11},
 		{"B12", "concurrent commit pipeline: group commit vs serialized", runB12},
 		{"B13", "read-replica scaling: throughput and lag vs follower count", runB13},
+		{"B14", "flight-recorder overhead: off vs on vs always-slow", runB14},
 	}
 	failed := 0
 	for _, b := range benches {

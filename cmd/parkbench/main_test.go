@@ -21,6 +21,7 @@ func TestAllBenchExperimentsQuick(t *testing.T) {
 		"B10": runB10,
 		"B11": runB11,
 		"B12": runB12,
+		"B14": runB14,
 	}
 	for id, run := range runs {
 		id, run := id, run

@@ -5,6 +5,7 @@
 //
 //	parkcli run -program rules.park -db data.park [-updates u.park] [flags]
 //	parkcli check -program rules.park
+//	parkcli txn trace <seq> [-url http://localhost:7474] [-json]
 //	parkcli repl
 //
 // Flags for run:
@@ -39,6 +40,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:])
+	case "txn":
+		err = cmdTxn(os.Args[2:])
 	case "repl":
 		err = cmdRepl(os.Args[2:])
 	case "help", "-h", "--help":
@@ -66,5 +69,8 @@ commands:
         run a conjunctive query against a database file
   watch -url http://localhost:7474
         stream committed transactions from a running parkd
+  txn   trace <seq> | slow | list  [-url U] [-json]
+        inspect the flight recorder: one txn's paper-style trace, the
+        slow-transaction window, or the recent-trace window
   repl  interactive session`)
 }

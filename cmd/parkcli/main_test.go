@@ -285,3 +285,77 @@ func TestCmdQueryJSON(t *testing.T) {
 		t.Fatal("unknown format accepted")
 	}
 }
+
+func TestCmdTxn(t *testing.T) {
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := server.New(store)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := &server.Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	if _, err := c.SetProgram(ctx, `rule a priority 1: p -> +q. rule b priority 2: p -> -q.`, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Transact(ctx, "+p."); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := txnTrace(ctx, c, 1, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "txn 1 (trace ") || !strings.Contains(out.String(), "conflict on q:") {
+		t.Fatalf("text trace:\n%s", out.String())
+	}
+	out.Reset()
+	if err := txnTrace(ctx, c, 1, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"traceId"`) {
+		t.Fatalf("json trace:\n%s", out.String())
+	}
+	if err := txnTrace(ctx, c, 99, false, &out); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+
+	recent, err := c.RecentTxns(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := txnList(recent, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SEQ") || !strings.Contains(out.String(), "local") {
+		t.Fatalf("txn list table:\n%s", out.String())
+	}
+
+	// The dispatcher paths: bad subcommand and bad seq.
+	if err := cmdTxn(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := cmdTxn([]string{"bogus"}); err == nil {
+		t.Fatal("bogus subcommand accepted")
+	}
+	if err := cmdTxn([]string{"trace", "-url", ts.URL, "nope"}); err == nil {
+		t.Fatal("bad seq accepted")
+	}
+	if err := cmdTxn([]string{"trace", "-url", ts.URL, "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Flags after the sequence parse too.
+	if err := cmdTxn([]string{"trace", "1", "-url", ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTxn([]string{"slow", "-url", ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTxn([]string{"list", "-url", ts.URL, "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/server"
+)
+
+// cmdTxn inspects the flight recorder of a running parkd:
+//
+//	parkcli txn trace [-url U] [-json] <seq>
+//	parkcli txn slow  [-url U]
+//	parkcli txn list  [-url U]
+func cmdTxn(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: parkcli txn trace|slow|list [flags]")
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("txn "+sub, flag.ExitOnError)
+	url := fs.String("url", "http://localhost:7474", "parkd base URL")
+	asJSON := fs.Bool("json", false, "print the raw JSON instead of the text rendering")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := &server.Client{BaseURL: *url}
+	ctx := context.Background()
+	switch sub {
+	case "trace":
+		// Accept flags on either side of the sequence (flag parsing
+		// stops at the first positional, so re-parse the remainder).
+		rest := fs.Args()
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: parkcli txn trace [-url U] [-json] <seq>")
+		}
+		if len(rest) > 1 {
+			if err := fs.Parse(rest[1:]); err != nil {
+				return err
+			}
+			if fs.NArg() != 0 {
+				return fmt.Errorf("usage: parkcli txn trace [-url U] [-json] <seq>")
+			}
+		}
+		seq, err := strconv.Atoi(rest[0])
+		if err != nil || seq < 1 {
+			return fmt.Errorf("bad transaction sequence %q", rest[0])
+		}
+		c = &server.Client{BaseURL: *url}
+		return txnTrace(ctx, c, seq, *asJSON, os.Stdout)
+	case "slow":
+		resp, err := c.SlowTxns(ctx)
+		if err != nil {
+			return err
+		}
+		return txnList(resp, *asJSON, os.Stdout)
+	case "list":
+		resp, err := c.RecentTxns(ctx)
+		if err != nil {
+			return err
+		}
+		return txnList(resp, *asJSON, os.Stdout)
+	default:
+		return fmt.Errorf("unknown txn subcommand %q (want trace, slow or list)", sub)
+	}
+}
+
+// txnTrace prints one transaction's flight trace.
+func txnTrace(ctx context.Context, c *server.Client, seq int, asJSON bool, w io.Writer) error {
+	if asJSON {
+		tr, err := c.TxnTrace(ctx, seq)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tr)
+	}
+	text, err := c.TxnTraceText(ctx, seq)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, text)
+	return nil
+}
+
+// txnList prints a trace-summary table (txn slow / txn list).
+func txnList(resp *server.TxnsResponse, asJSON bool, w io.Writer) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+	if len(resp.Transactions) == 0 {
+		fmt.Fprintf(w, "no traces retained (slow threshold %.3fs)\n", resp.SlowThresholdSeconds)
+		return nil
+	}
+	fmt.Fprintf(w, "%6s  %-20s  %-6s  %9s  %6s  %5s  %9s\n",
+		"SEQ", "TRACE", "ORIGIN", "WALL", "PHASES", "STEPS", "CONFLICTS")
+	for _, t := range resp.Transactions {
+		slowMark := ""
+		if t.Slow {
+			slowMark = " (slow)"
+		}
+		fmt.Fprintf(w, "%6d  %-20s  %-6s  %8.3fs  %6d  %5d  %9d%s\n",
+			t.Seq, t.TraceID, t.Origin, t.WallSeconds, t.Phases, t.Steps, t.Conflicts, slowMark)
+	}
+	return nil
+}

@@ -5,6 +5,8 @@
 //	parkd -dir ./data [-addr :7474] [-program rules.park | -triggers ddl.sql]
 //	      [-strategy inertia] [-follow http://leader:7474] [-pprof]
 //	      [-failpoints] [-probe-interval 3s]
+//	      [-log-format text|json] [-log-level info]
+//	      [-trace-buffer 64] [-slow-txn 250ms]
 //	      [-read-timeout 30s] [-write-timeout 0]
 //	      [-idle-timeout 2m] [-shutdown-timeout 10s]
 //
@@ -12,6 +14,16 @@
 // survives restarts. See internal/server for the JSON API and
 // docs/OBSERVABILITY.md for the metrics (/v1/metrics) and profiling
 // (-pprof) surfaces.
+//
+// parkd logs structured records (log/slog) to stderr: one access-log
+// line per request carrying its X-Park-Trace-Id, plus commit, degrade
+// and replication events from the store. -log-format selects the
+// text or JSON rendering and -log-level the minimum severity
+// (per-transaction commit records are logged at debug). The
+// transaction flight recorder retains the last -trace-buffer traces
+// (0 disables recording) plus any transaction slower than -slow-txn;
+// fetch them with GET /v1/txns/{seq}/trace or `parkcli txn trace`.
+// See docs/OBSERVABILITY.md.
 //
 // With -follow, parkd runs as a read-only replica of the leader at
 // the given base URL: it bootstraps from the leader's snapshot,
@@ -40,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -47,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/persist"
 	"repro/internal/repl"
 	"repro/internal/server"
@@ -63,10 +77,34 @@ type config struct {
 	pprof           bool
 	failpoints      bool          // expose /v1/debug/failpoint (fault drills)
 	probeInterval   time.Duration // degraded-mode disk re-probe cadence
+	traceBuffer     int           // flight-recorder window (traces; 0 disables)
+	slowTxn         time.Duration // slow-transaction trace threshold (0 = store default)
 	readTimeout     time.Duration
 	writeTimeout    time.Duration
 	idleTimeout     time.Duration
 	shutdownTimeout time.Duration
+
+	// logger receives the structured process log; nil (as in tests)
+	// falls back to slog.Default().
+	logger *slog.Logger
+}
+
+// buildLogger constructs the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }
 
 // setup opens the store and builds the configured server. The caller
@@ -81,7 +119,19 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 			return nil, nil, nil, fmt.Errorf("parkd: -follow is incompatible with -strategy (replicas do not evaluate rules)")
 		}
 	}
-	popts := []persist.Option{persist.WithLogf(log.Printf)}
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	// The store logs through slog only; the legacy printf sink would
+	// duplicate the degrade/recover events the slogger already carries.
+	popts := []persist.Option{
+		persist.WithSlog(logger),
+		persist.WithTraceBuffer(cfg.traceBuffer),
+	}
+	if cfg.slowTxn != 0 {
+		popts = append(popts, persist.WithSlowThreshold(cfg.slowTxn))
+	}
 	if cfg.probeInterval > 0 {
 		popts = append(popts, persist.WithProbeInterval(cfg.probeInterval))
 	}
@@ -105,12 +155,14 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 	if cfg.follow != "" {
 		follower := repl.NewFollower(store, cfg.follow, repl.WithLogger(log.Printf))
 		srv := server.NewReplica(store, follower, cfg.follow)
+		srv.SetLogger(logger)
 		if ffs != nil {
 			srv.EnableFailpoints(ffs)
 		}
 		return srv, store, follower, nil
 	}
 	srv := server.New(store)
+	srv.SetLogger(logger)
 	if ffs != nil {
 		srv.EnableFailpoints(ffs)
 	}
@@ -206,6 +258,10 @@ func main() {
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.BoolVar(&cfg.failpoints, "failpoints", false, "route store I/O through a fault-injection filesystem controllable via /v1/debug/failpoint (fault drills only)")
 	flag.DurationVar(&cfg.probeInterval, "probe-interval", 0, "disk re-probe interval while degraded to read-only (0 uses the store default)")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", flight.DefaultRecent, "flight-recorder window: retain traces of the last N transactions (0 disables recording)")
+	flag.DurationVar(&cfg.slowTxn, "slow-txn", flight.DefaultSlowThreshold, "retain the trace of any transaction slower than this, beyond the -trace-buffer window")
+	logFormat := flag.String("log-format", "text", "structured log rendering: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log severity: debug, info, warn or error (per-txn commit records log at debug)")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "max duration for reading a request (0 disables)")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 0, "max duration for writing a response (0 disables; >0 also bounds /v1/watch streams)")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
@@ -215,6 +271,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "parkd: -dir is required")
 		os.Exit(2)
 	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parkd: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.logger = logger
+	// Route the remaining log.Printf call sites (and the follower's
+	// lifecycle log) through the same structured handler.
+	slog.SetDefault(logger)
 	srv, store, follower, err := setup(cfg)
 	if err != nil {
 		log.Fatalf("parkd: %v", err)

@@ -250,6 +250,9 @@ func (e *Engine) Run(ctx context.Context, d *Database, updates []Update) (*Resul
 	if ta, ok := tracer.(interpAttacher); ok {
 		ta.SetInterp(rs.in)
 	}
+	if pa, ok := tracer.(programAttacher); ok {
+		pa.SetProgram(progU)
+	}
 	e.run = rs
 	start := time.Now()
 	defer func() {

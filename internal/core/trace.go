@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -74,12 +75,16 @@ func (t *TextTracer) StepApplied(phase, step int, added []MarkedAtom) {
 	fmt.Fprintf(t.W, "  step %d: %s\n", step, t.interpString())
 }
 
-// Inconsistency implements Tracer.
+// Inconsistency implements Tracer. The atoms arrive ordered by atom
+// id, which depends on interning order — the same program traced in a
+// freshly parsed universe and in a WAL-replayed one would render the
+// set in different orders. Sorting by name keeps golden traces stable.
 func (t *TextTracer) Inconsistency(phase, step int, atoms []AID) {
 	names := make([]string, len(atoms))
 	for i, a := range atoms {
 		names[i] = t.U.AtomString(a)
 	}
+	sort.Strings(names)
 	fmt.Fprintf(t.W, "  step %d would be inconsistent on {%s}\n", step, strings.Join(names, ", "))
 }
 
@@ -128,6 +133,12 @@ func (t *TextTracer) SetInterp(in *Interp) { t.In = in }
 // interpAttacher is implemented by tracers that want access to the
 // live interpretation (e.g. TextTracer).
 type interpAttacher interface{ SetInterp(*Interp) }
+
+// programAttacher is implemented by tracers that want access to P_U —
+// the program extended with the transaction's update rules — whose
+// rule indexes Conflict and Grounding values refer to. The engine
+// calls it once per Run, before any other tracer method.
+type programAttacher interface{ SetProgram(*Program) }
 
 // CollectingTracer records every event for later inspection; used by
 // tests and by strategies that need history.

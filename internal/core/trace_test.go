@@ -95,3 +95,28 @@ func TestTextTracerGraphI1(t *testing.T) {
 		t.Fatalf("I2 line missing from trace:\n%s", sb.String())
 	}
 }
+
+// TestTextTracerInconsistencySorted pins the determinism fix for the
+// inconsistency rendering: the engine hands Inconsistency atoms ordered
+// by atom id, which is interning order — a WAL-replayed universe and a
+// freshly parsed one can intern the same atoms in different orders. The
+// tracer must sort by name so the rendered line is stable either way.
+func TestTextTracerInconsistencySorted(t *testing.T) {
+	u := core.NewUniverse()
+	// Intern in reverse alphabetical order so id order != name order.
+	var ids []core.AID
+	for _, name := range []string{"zeta", "mid", "alpha"} {
+		id, err := u.InternAtom(u.Syms.Intern(name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	var sb strings.Builder
+	tr := &core.TextTracer{W: &sb, U: u}
+	tr.Inconsistency(2, 3, ids)
+	want := "  step 3 would be inconsistent on {alpha, mid, zeta}\n"
+	if sb.String() != want {
+		t.Fatalf("rendered %q, want %q", sb.String(), want)
+	}
+}

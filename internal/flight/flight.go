@@ -1,0 +1,168 @@
+// Package flight is the transaction flight recorder: it adapts the
+// engine's core.Tracer callbacks into a compact, structured record of
+// how one PARK evaluation ran — the phases of Γ steps, the
+// inconsistencies that interrupted them, the conflict triples and
+// their SELECT decisions, the groundings that were blocked — and keeps
+// a bounded window of those records in memory so "what did transaction
+// N do, and why was it slow?" can be answered on a live server after
+// the fact.
+//
+// The paper defines PARK behaviorally: the result database is the
+// fixpoint of the Δ operator over bi-structures, and everything an
+// operator would ask about (why did rule X fire? why was this
+// insertion dropped?) is a question about the run, not the result.
+// Aggregate metrics (internal/metrics) lose exactly that information;
+// the flight recorder retains it per transaction at bounded cost.
+//
+// Three pieces:
+//
+//   - Recorder implements core.Tracer. During the run it appends raw
+//     events holding atom ids, not strings — the hot path does no
+//     name resolution and no formatting. Finish resolves names and
+//     produces an immutable, JSON-marshalable Trace.
+//   - Trace is the resolved record. Text renders it in the style of
+//     the paper's worked examples (the same vocabulary TextTracer
+//     uses interactively).
+//   - Ring retains the last K traces plus every trace slower than a
+//     threshold, indexed by transaction sequence, behind one short
+//     mutex. internal/persist owns a Ring and inserts on commit;
+//     internal/server serves it as /v1/txns.
+//
+// The package also carries the per-request trace-ID plumbing
+// (NewTraceID, WithTraceID, TraceID): the HTTP layer stamps each
+// request, persist stamps the committed transaction, and replication
+// ships the ID to followers, so one identifier correlates the access
+// log, the commit log, the flight trace and the follower's applied
+// log.
+package flight
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event kinds, in the order the engine emits them.
+const (
+	// KindPhase marks the start of an inflationary phase (a restart
+	// from the unmarked kernel D, for phases after the first).
+	KindPhase = "phase"
+	// KindStep is one consistent Γ step with the marked atoms it added.
+	KindStep = "step"
+	// KindInconsistency is a Γ step that would mark some atom both +
+	// and -; conflict resolution follows.
+	KindInconsistency = "inconsistency"
+	// KindConflict is one resolved conflict triple with its SELECT
+	// decision and the groundings newly blocked by it.
+	KindConflict = "conflict"
+	// KindPhaseEnd closes a phase: either the ω fixpoint was reached or
+	// the phase was interrupted by an inconsistency (fixpoint=false).
+	KindPhaseEnd = "phase-end"
+)
+
+// Event is one resolved engine event. Exactly the fields meaningful
+// for its Kind are set; everything else is omitted from the JSON.
+type Event struct {
+	Kind  string `json:"kind"`
+	Phase int    `json:"phase"`
+	// Step is the Γ step within the phase (steps and inconsistencies).
+	Step int `json:"step,omitempty"`
+	// Added lists the marked atoms a step added, rendered like the
+	// paper ("+q(a)", "-p(b)"), in derivation order.
+	Added []string `json:"added,omitempty"`
+	// Atoms lists the atoms an inconsistent step would have marked both
+	// ways, sorted by name.
+	Atoms []string `json:"atoms,omitempty"`
+	// Atom is the conflicted atom of a conflict event.
+	Atom string `json:"atom,omitempty"`
+	// Decision is the SELECT outcome ("insert" or "delete").
+	Decision string `json:"decision,omitempty"`
+	// Ins and Del are the conflict triple's requesting groundings,
+	// rendered like the paper: (rule, [X <- a]).
+	Ins []string `json:"ins,omitempty"`
+	Del []string `json:"del,omitempty"`
+	// Blocked lists the groundings newly added to the blocked set B by
+	// this conflict's resolution.
+	Blocked []string `json:"blocked,omitempty"`
+	// Steps is the phase's applied step count (phase-end only).
+	Steps int `json:"steps,omitempty"`
+	// Fixpoint reports whether the phase reached ω (phase-end only).
+	Fixpoint bool `json:"fixpoint,omitempty"`
+}
+
+// Trace is the flight record of one committed transaction. It is
+// immutable once published to a Ring; consumers share the pointer.
+type Trace struct {
+	// Seq is the transaction's global sequence number.
+	Seq int `json:"seq"`
+	// TraceID is the request-scoped correlation ID that committed this
+	// transaction (empty when the caller provided none).
+	TraceID string `json:"traceId,omitempty"`
+	// Origin is "local" for transactions evaluated by this process and
+	// "leader" for traces shipped over a replication stream.
+	Origin string `json:"origin,omitempty"`
+	// WallSeconds is the engine wall-clock time of the evaluation.
+	WallSeconds float64 `json:"wallSeconds"`
+	// Slow reports that the trace met the ring's slow threshold (set at
+	// insertion; shipped traces keep the leader's verdict).
+	Slow bool `json:"slow,omitempty"`
+	// Phases, Steps and Conflicts are run totals; they stay accurate
+	// even when Events was truncated.
+	Phases    int `json:"phases"`
+	Steps     int `json:"steps"`
+	Conflicts int `json:"conflicts"`
+	// DroppedEvents counts events beyond the recorder's cap that were
+	// counted but not retained.
+	DroppedEvents int `json:"droppedEvents,omitempty"`
+	// Events is the resolved event stream, in engine order.
+	Events []Event `json:"events"`
+}
+
+// Text renders the trace in the style of the paper's worked examples,
+// matching the vocabulary of core.TextTracer: one line per phase
+// start, step, inconsistency, conflict and blocked grounding.
+func (t *Trace) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "txn %d", t.Seq)
+	switch {
+	case t.TraceID != "" && t.Origin != "" && t.Origin != "local":
+		fmt.Fprintf(&sb, " (trace %s, %s)", t.TraceID, t.Origin)
+	case t.TraceID != "":
+		fmt.Fprintf(&sb, " (trace %s)", t.TraceID)
+	case t.Origin != "" && t.Origin != "local":
+		fmt.Fprintf(&sb, " (%s)", t.Origin)
+	}
+	fmt.Fprintf(&sb, ": %d phase(s), %d step(s), %d conflict(s), %.3fms",
+		t.Phases, t.Steps, t.Conflicts, t.WallSeconds*1000)
+	if t.Slow {
+		sb.WriteString(" [slow]")
+	}
+	sb.WriteByte('\n')
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KindPhase:
+			fmt.Fprintf(&sb, "phase %d: restart from the unmarked kernel D\n", e.Phase)
+		case KindStep:
+			fmt.Fprintf(&sb, "  step %d: %s\n", e.Step, strings.Join(e.Added, ", "))
+		case KindInconsistency:
+			fmt.Fprintf(&sb, "  step %d would be inconsistent on {%s}\n",
+				e.Step, strings.Join(e.Atoms, ", "))
+		case KindConflict:
+			fmt.Fprintf(&sb, "  conflict on %s: ins {%s} vs del {%s} -> %s\n",
+				e.Atom, strings.Join(e.Ins, " "), strings.Join(e.Del, " "), e.Decision)
+			for _, g := range e.Blocked {
+				fmt.Fprintf(&sb, "    block %s\n", g)
+			}
+		case KindPhaseEnd:
+			if e.Fixpoint {
+				fmt.Fprintf(&sb, "phase %d: fixpoint after %d step(s)\n", e.Phase, e.Steps)
+			} else {
+				fmt.Fprintf(&sb, "phase %d: interrupted after %d step(s); blocked set grew, restarting\n",
+					e.Phase, e.Steps)
+			}
+		}
+	}
+	if t.DroppedEvents > 0 {
+		fmt.Fprintf(&sb, "(%d further event(s) dropped by the recorder's event cap)\n", t.DroppedEvents)
+	}
+	return sb.String()
+}

@@ -1,0 +1,220 @@
+package flight
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// The §5 inertia example: three phases, two conflicts on q, final
+// database {p, a, b}. Mirrors the golden TextTracer test in core.
+const sec5Program = `
+	rule r1 priority 1: p -> +a.
+	rule r2 priority 2: p -> +q.
+	rule r3 priority 3: a -> +b.
+	rule r4 priority 4: a -> -q.
+	rule r5 priority 5: b -> +q.
+`
+
+// recordRun evaluates program over facts with a Recorder attached and
+// returns the finished trace.
+func recordRun(t *testing.T, program, facts string, opts core.Options) *Trace {
+	t.Helper()
+	u := core.NewUniverse()
+	prog, err := parser.ParseProgram(u, "", program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := parser.ParseDatabase(u, "", facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(u)
+	opts.Tracer = rec
+	eng, err := core.NewEngine(u, prog, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Finish(1, "t-0001", res.RunStats.Wall.Seconds())
+}
+
+func TestRecorderSec5(t *testing.T) {
+	tr := recordRun(t, sec5Program, `p.`, core.Options{})
+	if tr.Phases != 3 || tr.Conflicts != 2 {
+		t.Fatalf("got %d phases, %d conflicts; want 3 and 2", tr.Phases, tr.Conflicts)
+	}
+	if tr.Seq != 1 || tr.TraceID != "t-0001" || tr.Origin != "local" {
+		t.Fatalf("bad header fields: %+v", tr)
+	}
+	var conflicts, phaseEnds int
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case KindConflict:
+			conflicts++
+			if e.Atom != "q" || e.Decision != "delete" {
+				t.Fatalf("conflict event = %+v; want atom q decided delete", e)
+			}
+			if len(e.Blocked) != 1 {
+				t.Fatalf("conflict blocked %v; want exactly one grounding", e.Blocked)
+			}
+		case KindPhaseEnd:
+			phaseEnds++
+			if e.Phase == 3 && !e.Fixpoint {
+				t.Fatalf("phase 3 should end in fixpoint: %+v", e)
+			}
+		}
+	}
+	if conflicts != 2 || phaseEnds != 3 {
+		t.Fatalf("event stream has %d conflicts, %d phase ends; want 2 and 3", conflicts, phaseEnds)
+	}
+	// The blocked groundings must carry resolved rule labels: the first
+	// conflict blocks r2, the second r5 (P_U was attached by the
+	// engine's program-attacher hook).
+	text := tr.Text()
+	for _, want := range []string{
+		"txn 1 (trace t-0001): 3 phase(s),",
+		"block (r2)",
+		"block (r5)",
+		"conflict on q:",
+		"phase 3: fixpoint after 2 step(s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+	// The trace must round-trip through JSON (the API serves it raw).
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Phases != tr.Phases || len(back.Events) != len(tr.Events) {
+		t.Fatalf("JSON round trip changed the trace: %+v vs %+v", back, tr)
+	}
+}
+
+func TestRecorderEventCap(t *testing.T) {
+	u := core.NewUniverse()
+	prog, err := parser.ParseProgram(u, "", sec5Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := parser.ParseDatabase(u, "", `p.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(u)
+	rec.SetEventCap(3)
+	eng, err := core.NewEngine(u, prog, nil, core.Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish(1, "", res.RunStats.Wall.Seconds())
+	if len(tr.Events) != 3 {
+		t.Fatalf("retained %d events; cap was 3", len(tr.Events))
+	}
+	if tr.DroppedEvents == 0 {
+		t.Fatal("expected dropped events past the cap")
+	}
+	// Totals stay exact even when events were dropped.
+	if tr.Phases != 3 || tr.Conflicts != 2 {
+		t.Fatalf("truncation corrupted totals: %d phases, %d conflicts", tr.Phases, tr.Conflicts)
+	}
+	if !strings.Contains(tr.Text(), "dropped by the recorder's event cap") {
+		t.Fatal("text rendering does not mention truncation")
+	}
+}
+
+func TestRingRetentionAndLookup(t *testing.T) {
+	r := NewRing(3, 10*time.Millisecond)
+	mk := func(seq int, wall float64) *Trace {
+		return &Trace{Seq: seq, WallSeconds: wall}
+	}
+	for seq := 1; seq <= 5; seq++ {
+		r.Insert(mk(seq, 0.001)) // all fast
+	}
+	if got := r.Get(1); got != nil {
+		t.Fatalf("seq 1 should have been evicted, got %+v", got)
+	}
+	if got := r.Get(5); got == nil || got.Seq != 5 {
+		t.Fatalf("seq 5 missing: %+v", got)
+	}
+	recent := r.Recent()
+	if len(recent) != 3 || recent[0].Seq != 5 || recent[2].Seq != 3 {
+		t.Fatalf("recent window wrong: %+v", recent)
+	}
+	if len(r.Slow()) != 0 {
+		t.Fatalf("no trace was slow, got %+v", r.Slow())
+	}
+
+	// A slow trace survives eviction from the recent window.
+	r.Insert(mk(6, 0.5))
+	for seq := 7; seq <= 12; seq++ {
+		r.Insert(mk(seq, 0.001))
+	}
+	if got := r.Get(6); got == nil || !got.Slow {
+		t.Fatalf("slow trace 6 evicted or unmarked: %+v", got)
+	}
+	slow := r.Slow()
+	if len(slow) != 1 || slow[0].Seq != 6 {
+		t.Fatalf("slow window wrong: %+v", slow)
+	}
+	if r.Inserted() != 12 {
+		t.Fatalf("inserted = %d, want 12", r.Inserted())
+	}
+
+	// Re-inserting the same sequence replaces the entry (replication
+	// overlap), and a negative threshold marks everything slow.
+	r2 := NewRing(2, -1)
+	r2.Insert(mk(1, 0))
+	if got := r2.Get(1); got == nil || !got.Slow {
+		t.Fatalf("negative threshold should mark every trace slow: %+v", got)
+	}
+	repl := mk(1, 0)
+	repl.TraceID = "replaced"
+	r2.Insert(repl)
+	if got := r2.Get(1); got == nil || got.TraceID != "replaced" {
+		t.Fatalf("same-seq insert did not replace: %+v", got)
+	}
+	if len(r2.Recent()) != 1 {
+		t.Fatalf("replacement duplicated the entry: %+v", r2.Recent())
+	}
+}
+
+func TestTraceIDHelpers(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatalf("trace IDs collided: %s", a)
+	}
+	if !ValidTraceID(a) || !ValidTraceID(b) {
+		t.Fatalf("generated IDs must validate: %s %s", a, b)
+	}
+	for _, bad := range []string{"", strings.Repeat("x", 65), "with space", "nl\n", "semi;colon"} {
+		if ValidTraceID(bad) {
+			t.Fatalf("ValidTraceID(%q) = true", bad)
+		}
+	}
+	ctx := WithTraceID(context.Background(), a)
+	if got := TraceID(ctx); got != a {
+		t.Fatalf("TraceID round trip: got %q want %q", got, a)
+	}
+	if got := TraceID(context.Background()); got != "" {
+		t.Fatalf("empty context yielded trace ID %q", got)
+	}
+}

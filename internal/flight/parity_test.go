@@ -1,0 +1,61 @@
+package flight
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestParallelTraceParity checks that the recorder sees the identical
+// event stream under the parallel evaluator as under the sequential
+// one: parallel Γ steps fold their chunks in submission order, so the
+// semantics — and therefore the trace — must not depend on the shard
+// count. Run with -race this also exercises the recorder under the
+// parallel evaluator's worker pool.
+func TestParallelTraceParity(t *testing.T) {
+	// A cyclic graph: transitive closure derives path(X, X) around the
+	// ring, which r3 wants deleted while r2 keeps deriving it — a
+	// conflict on every node, resolved by inertia, with restarts. Rich
+	// enough that a scheduling difference would show up in the stream.
+	const program = `
+		rule r1 priority 1: edge(X, Y) -> +path(X, Y).
+		rule r2 priority 2: path(X, Y), edge(Y, Z) -> +path(X, Z).
+		rule r3 priority 3: path(X, X) -> -path(X, X).
+	`
+	var facts strings.Builder
+	const n = 8
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&facts, "edge(n%d, n%d).\n", i, (i+1)%n)
+	}
+
+	sequential := recordRun(t, program, facts.String(), core.Options{})
+	parallel := recordRun(t, program, facts.String(), core.Options{Parallel: 4})
+
+	if sequential.Conflicts == 0 {
+		t.Fatal("workload produced no conflicts; parity check is vacuous")
+	}
+	if sequential.Phases != parallel.Phases ||
+		sequential.Steps != parallel.Steps ||
+		sequential.Conflicts != parallel.Conflicts {
+		t.Fatalf("totals diverge: sequential %d/%d/%d, parallel %d/%d/%d (phases/steps/conflicts)",
+			sequential.Phases, sequential.Steps, sequential.Conflicts,
+			parallel.Phases, parallel.Steps, parallel.Conflicts)
+	}
+	if !reflect.DeepEqual(sequential.Events, parallel.Events) {
+		limit := len(sequential.Events)
+		if len(parallel.Events) < limit {
+			limit = len(parallel.Events)
+		}
+		for i := 0; i < limit; i++ {
+			if !reflect.DeepEqual(sequential.Events[i], parallel.Events[i]) {
+				t.Fatalf("event %d diverges:\nsequential: %+v\nparallel:   %+v",
+					i, sequential.Events[i], parallel.Events[i])
+			}
+		}
+		t.Fatalf("event streams differ in length: %d vs %d",
+			len(sequential.Events), len(parallel.Events))
+	}
+}

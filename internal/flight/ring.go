@@ -1,0 +1,160 @@
+package flight
+
+import (
+	"sync"
+	"time"
+)
+
+// Default retention parameters; cmd/parkd exposes them as -trace-buffer
+// and -slow-txn.
+const (
+	// DefaultRecent is the default last-K window.
+	DefaultRecent = 64
+	// DefaultSlowThreshold marks traces at least this slow for the
+	// separate slow window.
+	DefaultSlowThreshold = 250 * time.Millisecond
+)
+
+// entry wraps an indexed trace with a reference count: a trace can sit
+// in the recent window and the slow window at once, and leaves the
+// index only when evicted from both.
+type entry struct {
+	t    *Trace
+	refs int
+}
+
+// Ring retains a bounded window of transaction traces: the most recent
+// K, plus — separately, so a burst of fast transactions cannot flush
+// the interesting ones — the most recent K traces that met the slow
+// threshold. Lookups are by global transaction sequence. All methods
+// are safe for concurrent use; the critical sections are a few map and
+// slice operations, never name resolution or rendering (the inserted
+// traces are already resolved), so insertion stays cheap on the commit
+// path.
+type Ring struct {
+	mu     sync.Mutex
+	cap    int
+	thresh time.Duration
+	recent []*Trace // oldest first, len <= cap
+	slow   []*Trace // oldest first, len <= cap
+	index  map[int]*entry
+	seen   int64 // traces ever inserted
+}
+
+// NewRing builds a ring keeping the last k traces and the last k slow
+// traces (k < 1 selects DefaultRecent). A thresh of 0 selects
+// DefaultSlowThreshold; a negative thresh marks every trace slow
+// (useful in tests and drills).
+func NewRing(k int, thresh time.Duration) *Ring {
+	if k < 1 {
+		k = DefaultRecent
+	}
+	if thresh == 0 {
+		thresh = DefaultSlowThreshold
+	}
+	return &Ring{cap: k, thresh: thresh, index: make(map[int]*entry)}
+}
+
+// SlowThreshold returns the ring's slow-trace threshold.
+func (r *Ring) SlowThreshold() time.Duration { return r.thresh }
+
+// Cap returns the per-window retention bound K.
+func (r *Ring) Cap() int { return r.cap }
+
+// Inserted returns how many traces have ever been inserted.
+func (r *Ring) Inserted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Insert publishes a trace, evicting the oldest entries past the
+// retention bounds. It stamps t.Slow when the wall time meets the
+// threshold; a trace already marked slow (one shipped from a leader
+// with a different threshold) stays slow. The trace must not be
+// mutated after insertion.
+func (r *Ring) Insert(t *Trace) {
+	if t == nil {
+		return
+	}
+	slow := t.Slow || r.thresh < 0 || t.WallSeconds >= r.thresh.Seconds()
+	t.Slow = slow
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	// Replace a same-sequence trace in place (idempotent replication
+	// overlap): drop the old entry entirely, then insert fresh.
+	if old, ok := r.index[t.Seq]; ok {
+		r.recent = remove(r.recent, old.t)
+		r.slow = remove(r.slow, old.t)
+		delete(r.index, t.Seq)
+	}
+	e := &entry{t: t}
+	r.index[t.Seq] = e
+	r.recent = r.push(r.recent, e)
+	if slow {
+		r.slow = r.push(r.slow, e)
+	}
+}
+
+// push appends e.t to w, evicting the oldest entry when w is full;
+// callers hold r.mu.
+func (r *Ring) push(w []*Trace, e *entry) []*Trace {
+	if len(w) >= r.cap {
+		evicted := w[0]
+		copy(w, w[1:])
+		w = w[:len(w)-1]
+		if old := r.index[evicted.Seq]; old != nil && old.t == evicted {
+			old.refs--
+			if old.refs <= 0 {
+				delete(r.index, evicted.Seq)
+			}
+		}
+	}
+	e.refs++
+	return append(w, e.t)
+}
+
+// remove deletes t from w preserving order; callers hold r.mu.
+func remove(w []*Trace, t *Trace) []*Trace {
+	for i, x := range w {
+		if x == t {
+			return append(w[:i], w[i+1:]...)
+		}
+	}
+	return w
+}
+
+// Get returns the trace for the transaction at seq, or nil when it was
+// never recorded or has been evicted.
+func (r *Ring) Get(seq int) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.index[seq]; ok {
+		return e.t
+	}
+	return nil
+}
+
+// Recent returns the retained recent traces, newest first.
+func (r *Ring) Recent() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return reversed(r.recent)
+}
+
+// Slow returns the retained slow traces, newest first.
+func (r *Ring) Slow() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return reversed(r.slow)
+}
+
+func reversed(w []*Trace) []*Trace {
+	out := make([]*Trace, len(w))
+	for i, t := range w {
+		out[len(w)-1-i] = t
+	}
+	return out
+}

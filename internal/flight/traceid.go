@@ -1,0 +1,67 @@
+package flight
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Trace IDs correlate one request across the stack: the HTTP layer
+// assigns (or propagates) an X-Park-Trace-Id header, stores it in the
+// request context, persist stamps it onto the committed TxnRecord and
+// the flight trace, and replication ships it to followers. An ID is an
+// opaque token; the only structure callers may rely on is the
+// ValidTraceID character set.
+
+type traceIDKey struct{}
+
+var traceSeq atomic.Uint64
+
+// NewTraceID returns a fresh 16-hex-character random trace ID. If the
+// system randomness source fails it falls back to a process-local
+// counter — uniqueness within the process is all the recorder needs.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := traceSeq.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceID returns the context's trace ID, or "" when none was set.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// ValidTraceID reports whether id is safe to propagate: non-empty, at
+// most 64 characters, and drawn from [A-Za-z0-9._-]. The HTTP layer
+// regenerates anything else rather than echoing arbitrary client bytes
+// into logs and replication frames.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

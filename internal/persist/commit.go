@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 )
 
 // Apply runs one transaction: PARK(P, current state, updates) under
@@ -35,12 +36,23 @@ func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Up
 		return s.applySerialized(ctx, prog, updates, strategy, opts)
 	}
 
+	traceID := flight.TraceID(ctx)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		base := s.current()
-		eng, err := core.NewEngine(s.u, prog, strategy, opts)
+		// Attach a fresh flight recorder per attempt (a retry re-runs
+		// the evaluation, so the previous attempt's events are stale).
+		// A caller-supplied tracer wins: the engine takes one tracer,
+		// and explicit tracing is rarer and more deliberate.
+		attemptOpts := opts
+		var rec *flight.Recorder
+		if s.flight != nil && opts.Tracer == nil {
+			rec = flight.NewRecorder(s.u)
+			attemptOpts.Tracer = rec
+		}
+		eng, err := core.NewEngine(s.u, prog, strategy, attemptOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -73,12 +85,13 @@ func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Up
 			s.mu.Unlock()
 			return res, nil
 		}
-		_, lsn, err := s.installLocked(base, res.Output, added, removed)
+		txn, lsn, err := s.installLocked(base, res.Output, added, removed, traceID)
 		s.mu.Unlock()
 		if err != nil {
 			s.enterDegraded("wal append", err)
 			return nil, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 		}
+		s.recordTrace(rec, txn, res)
 		// The state is installed (later transactions already build on
 		// it); acknowledge the caller only once the batch is durable.
 		if err := s.waitDurable(lsn); err != nil {
@@ -86,6 +99,25 @@ func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Up
 		}
 		return res, nil
 	}
+}
+
+// recordTrace publishes the attempt's flight trace (if recording was
+// on) and emits the structured commit record. It runs after the
+// install, outside every store lock: name resolution and the ring
+// insert are off the commit-ordering critical path.
+func (s *Store) recordTrace(rec *flight.Recorder, txn TxnRecord, res *core.Result) {
+	wall := res.RunStats.Wall
+	if rec != nil && s.flight != nil {
+		s.flight.Insert(rec.Finish(txn.Seq, txn.TraceID, wall.Seconds()))
+	}
+	s.cfg.slogger.Debug("txn committed",
+		"seq", txn.Seq,
+		"traceId", txn.TraceID,
+		"wallMs", float64(wall.Microseconds())/1000,
+		"added", len(txn.Added),
+		"removed", len(txn.Removed),
+		"phases", res.RunStats.Restarts+1,
+	)
 }
 
 // splitDiff computes the fact-level delta old -> new.
@@ -104,8 +136,8 @@ func splitDiff(before, after *core.Database) (added, removed []core.AID) {
 // records the transaction in history, and installs the new state.
 // Callers hold s.mu. The returned LSN is the logical position the
 // caller must wait on for durability.
-func (s *Store) installLocked(base *dbState, output *core.Database, added, removed []core.AID) (TxnRecord, int64, error) {
-	txn := TxnRecord{Seq: s.seq + 1}
+func (s *Store) installLocked(base *dbState, output *core.Database, added, removed []core.AID, traceID string) (TxnRecord, int64, error) {
+	txn := TxnRecord{Seq: s.seq + 1, TraceID: traceID}
 	for _, id := range added {
 		text := s.u.AtomString(id)
 		txn.Added = append(txn.Added, text)
@@ -209,6 +241,11 @@ func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates
 		return nil, ErrClosed
 	}
 	base := s.current()
+	var rec *flight.Recorder
+	if s.flight != nil && opts.Tracer == nil {
+		rec = flight.NewRecorder(s.u)
+		opts.Tracer = rec
+	}
 	eng, err := core.NewEngine(s.u, prog, strategy, opts)
 	if err != nil {
 		return nil, err
@@ -221,11 +258,12 @@ func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates
 	if len(added)+len(removed) == 0 {
 		return res, nil
 	}
-	_, _, err = s.installLocked(base, res.Output, added, removed)
+	txn, _, err := s.installLocked(base, res.Output, added, removed, flight.TraceID(ctx))
 	if err != nil {
 		s.enterDegraded("wal append", err)
 		return nil, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
+	s.recordTrace(rec, txn, res)
 	if err := s.wal.Sync(); err != nil {
 		s.syncMu.Lock()
 		s.syncErr = fmt.Errorf("%w; %w", err, ErrDegraded)

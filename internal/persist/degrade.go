@@ -104,6 +104,8 @@ func (s *Store) enterDegraded(reason string, cause error) {
 	s.met.incDegrade()
 	s.cfg.logf("persist: store degraded to read-only (%s: %v); probing disk every %v",
 		reason, cause, s.cfg.probeEvery)
+	s.cfg.slogger.Warn("store degraded to read-only",
+		"reason", reason, "cause", cause.Error(), "probeEvery", s.cfg.probeEvery)
 	go s.probeLoop(stop, done)
 }
 
@@ -119,6 +121,8 @@ func (s *Store) exitDegraded() {
 		s.met.setDegraded(false)
 		s.cfg.logf("persist: disk recovered after %v; write availability restored",
 			time.Since(since).Round(time.Millisecond))
+		s.cfg.slogger.Info("disk recovered; write availability restored",
+			"degradedFor", time.Since(since).Round(time.Millisecond))
 	}
 }
 
@@ -143,6 +147,7 @@ func (s *Store) probeLoop(stop, done chan struct{}) {
 		s.met.incProbe()
 		if err := s.probeDisk(); err != nil {
 			s.cfg.logf("persist: disk probe failed: %v", err)
+			s.cfg.slogger.Debug("disk probe failed", "cause", err.Error())
 			continue
 		}
 		if err := s.repair(); err != nil {
@@ -150,6 +155,7 @@ func (s *Store) probeLoop(stop, done chan struct{}) {
 				return
 			}
 			s.cfg.logf("persist: repair after disk probe failed: %v", err)
+			s.cfg.slogger.Debug("repair after disk probe failed", "cause", err.Error())
 			continue
 		}
 		s.met.incProbeSuccess()
@@ -225,6 +231,7 @@ func (s *Store) repair() error {
 	s.syncCond.Broadcast()
 	s.syncMu.Unlock()
 	s.cfg.logf("persist: repaired store at seq %d (snapshot rewritten, WAL rotated)", s.seq)
+	s.cfg.slogger.Info("store repaired", "seq", s.seq)
 	return nil
 }
 

@@ -74,6 +74,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -83,6 +84,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/parser"
 )
 
@@ -170,6 +172,12 @@ type Store struct {
 	// queue is the bounded commit-queue semaphore (backpressure).
 	queue chan struct{}
 
+	// flight is the transaction flight recorder's retention ring (last
+	// K traces + slow traces); nil when disabled via WithTraceBuffer(0).
+	// The commit path records through it but never blocks on it beyond
+	// its short insert mutex.
+	flight *flight.Ring
+
 	cfg config
 	met storeMetrics
 
@@ -196,11 +204,14 @@ type Store struct {
 
 // config collects Open options.
 type config struct {
-	serialized bool
-	queueDepth int
-	fs         FS
-	probeEvery time.Duration
-	logf       func(format string, args ...any)
+	serialized  bool
+	queueDepth  int
+	fs          FS
+	probeEvery  time.Duration
+	logf        func(format string, args ...any)
+	slogger     *slog.Logger
+	traceBuffer int
+	slowThresh  time.Duration
 }
 
 // Option configures Open.
@@ -259,12 +270,54 @@ func WithLogf(logf func(format string, args ...any)) Option {
 	}
 }
 
+// WithSlog routes the store's structured log records (commit events at
+// Debug, degradation and recovery at Warn/Info) to the given logger.
+// By default they are discarded. WithLogf and WithSlog are independent
+// sinks; configure one, not both, unless double logging is intended.
+func WithSlog(l *slog.Logger) Option {
+	return func(c *config) {
+		if l != nil {
+			c.slogger = l
+		}
+	}
+}
+
+// WithTraceBuffer sets K for the flight-recorder ring: the store keeps
+// the last K transaction traces plus the last K slow ones (see
+// internal/flight). 0 disables trace recording entirely; negative
+// values are ignored. Default flight.DefaultRecent.
+func WithTraceBuffer(k int) Option {
+	return func(c *config) {
+		if k >= 0 {
+			c.traceBuffer = k
+		}
+	}
+}
+
+// WithSlowThreshold sets the wall-clock duration at which a
+// transaction's trace is retained in the slow window regardless of
+// recency. A negative threshold marks every trace slow (drills and
+// tests). Default flight.DefaultSlowThreshold.
+func WithSlowThreshold(d time.Duration) Option {
+	return func(c *config) {
+		if d != 0 {
+			c.slowThresh = d
+		}
+	}
+}
+
 // TxnRecord is one committed transaction's fact-level delta.
 type TxnRecord struct {
 	// Seq is the global transaction sequence number: monotonic for
 	// the lifetime of the store directory, across checkpoints and
 	// restarts.
 	Seq int
+	// TraceID is the request-scoped correlation ID under which the
+	// transaction committed (empty when the caller supplied none).
+	// Replication ships it so a follower's applied-transaction log
+	// correlates with the leader's request log. It is not persisted in
+	// the WAL: recovery yields records with empty trace IDs.
+	TraceID string `json:"traceId,omitempty"`
 	// Added and Removed render the delta atoms in rule-language
 	// syntax.
 	Added   []string
@@ -289,10 +342,12 @@ func Open(dir string, opts ...Option) (*Store, error) {
 // a corrupt WAL region is quarantined instead of failing.
 func open(dir string, repair bool, opts ...Option) (*Store, *RepairReport, error) {
 	cfg := config{
-		queueDepth: 64,
-		fs:         OSFS(),
-		probeEvery: 3 * time.Second,
-		logf:       func(string, ...any) {},
+		queueDepth:  64,
+		fs:          OSFS(),
+		probeEvery:  3 * time.Second,
+		logf:        func(string, ...any) {},
+		slogger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		traceBuffer: flight.DefaultRecent,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -301,6 +356,9 @@ func open(dir string, repair bool, opts ...Option) (*Store, *RepairReport, error
 		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
 	s := &Store{dir: dir, u: core.NewUniverse(), cfg: cfg, fs: cfg.fs}
+	if cfg.traceBuffer > 0 {
+		s.flight = flight.NewRing(cfg.traceBuffer, cfg.slowThresh)
+	}
 	s.syncCond = sync.NewCond(&s.syncMu)
 	s.queue = make(chan struct{}, cfg.queueDepth)
 	db := core.NewDatabase()
@@ -537,6 +595,11 @@ func (s *Store) internAtomText(text string) (core.AID, error) {
 	}
 	return db.Atoms()[0], nil
 }
+
+// Flight returns the store's flight-recorder ring, or nil when trace
+// recording is disabled (WithTraceBuffer(0)). The ring is safe for
+// concurrent use; the server layer reads it directly.
+func (s *Store) Flight() *flight.Ring { return s.flight }
 
 // Universe returns the store's symbol universe. Programs evaluated
 // against the store must be parsed into this universe; the universe

@@ -138,7 +138,7 @@ func (s *Store) ApplyReplicated(txn TxnRecord) error {
 	for _, id := range remIDs {
 		db.Remove(id)
 	}
-	rec := TxnRecord{Seq: txn.Seq}
+	rec := TxnRecord{Seq: txn.Seq, TraceID: txn.TraceID}
 	rec.Added = append(rec.Added, txn.Added...)
 	rec.Removed = append(rec.Removed, txn.Removed...)
 	s.seq = txn.Seq
@@ -149,6 +149,14 @@ func (s *Store) ApplyReplicated(txn TxnRecord) error {
 	s.appendedLSN++
 	s.pendingTxns++
 	s.syncMu.Unlock()
+	// The trace ID is the leader's: one identifier follows the
+	// transaction from the originating request to every replica's log.
+	s.cfg.slogger.Debug("replicated txn applied",
+		"seq", rec.Seq,
+		"traceId", rec.TraceID,
+		"added", len(rec.Added),
+		"removed", len(rec.Removed),
+	)
 	return nil
 }
 

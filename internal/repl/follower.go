@@ -332,10 +332,20 @@ func (f *Follower) handle(typ byte, payload []byte) error {
 				// sequence on a fresh connection.
 				return fmt.Errorf("repl: sequence gap: store at %d, stream sent %d", applied, tf.Seq)
 			}
-			if err := f.store.ApplyReplicated(persist.TxnRecord{Seq: tf.Seq, Added: tf.Added, Removed: tf.Removed}); err != nil {
+			if err := f.store.ApplyReplicated(persist.TxnRecord{Seq: tf.Seq, TraceID: tf.TraceID, Added: tf.Added, Removed: tf.Removed}); err != nil {
 				return err
 			}
 			f.met.txnApplied()
+			// Adopt the leader's flight trace so /v1/txns answers on the
+			// replica too. The leader ships it only while the trace is in
+			// its own ring; origin marks that the evaluation happened
+			// there.
+			if tf.Trace != nil {
+				if ring := f.store.Flight(); ring != nil {
+					tf.Trace.Origin = "leader"
+					ring.Insert(tf.Trace)
+				}
+			}
 		}
 		f.mu.Lock()
 		f.st.AppliedSeq = f.store.Seq()

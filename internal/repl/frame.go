@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"repro/internal/flight"
 )
 
 // Frame types. The full wire protocol is documented in
@@ -53,11 +55,18 @@ type SnapshotChunk struct {
 
 // TxnFrame is the JSON body of a FrameTxn frame: one committed
 // transaction's fact-level delta, rendered in rule-language syntax
-// exactly as the WAL stores it.
+// exactly as the WAL stores it. TraceID carries the correlation ID of
+// the originating request so a follower's applied-transaction log
+// lines up with the leader's access log; Trace, when present, is the
+// leader's flight record of the evaluation (the follower serves it
+// from its own /v1/txns API). Both fields are optional — old leaders
+// simply omit them, old followers ignore them.
 type TxnFrame struct {
-	Seq     int      `json:"seq"`
-	Added   []string `json:"added,omitempty"`
-	Removed []string `json:"removed,omitempty"`
+	Seq     int           `json:"seq"`
+	TraceID string        `json:"traceId,omitempty"`
+	Added   []string      `json:"added,omitempty"`
+	Removed []string      `json:"removed,omitempty"`
+	Trace   *flight.Trace `json:"trace,omitempty"`
 }
 
 // Heartbeat is the JSON body of a FrameHeartbeat frame.

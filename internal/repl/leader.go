@@ -167,7 +167,7 @@ func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if txn.Seq <= last {
 			continue
 		}
-		if send(FrameTxn, TxnFrame{Seq: txn.Seq, Added: txn.Added, Removed: txn.Removed}) != nil {
+		if send(FrameTxn, l.txnFrame(txn)) != nil {
 			return
 		}
 		last = txn.Seq
@@ -192,7 +192,7 @@ func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 						// missed window from history.
 						return
 					}
-					if send(FrameTxn, TxnFrame{Seq: txn.Seq, Added: txn.Added, Removed: txn.Removed}) != nil {
+					if send(FrameTxn, l.txnFrame(txn)) != nil {
 						return
 					}
 					last = txn.Seq
@@ -212,6 +212,21 @@ func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// txnFrame builds the wire frame for one committed transaction,
+// carrying the originating trace ID and — when the transaction is
+// still inside the leader's flight ring — its full flight trace, so
+// the follower can answer /v1/txns/{seq}/trace for replicated
+// transactions too. A transaction already evicted from the ring ships
+// without a trace; correlation by trace ID still works through the
+// logs.
+func (l *Leader) txnFrame(txn persist.TxnRecord) TxnFrame {
+	f := TxnFrame{Seq: txn.Seq, TraceID: txn.TraceID, Added: txn.Added, Removed: txn.Removed}
+	if ring := l.store.Flight(); ring != nil {
+		f.Trace = ring.Get(txn.Seq)
+	}
+	return f
 }
 
 // factStrings renders a database as sorted rule-language facts.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/parser"
 	"repro/internal/persist"
 	"repro/internal/repl"
@@ -452,5 +453,47 @@ func TestLeaderRejectsBadFrom(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
 		}
+	}
+}
+
+// TestTracePropagation checks the flight-recorder fields ride the
+// stream: the follower's history keeps the leader's trace IDs, and its
+// flight ring serves the leader-evaluated traces (origin "leader").
+func TestTracePropagation(t *testing.T) {
+	leaderStore := openStore(t)
+	ts := httptest.NewServer(server.New(leaderStore).Handler())
+	defer ts.Close()
+
+	ctx := flight.WithTraceID(context.Background(), "req-42")
+	ups, err := parser.ParseUpdates(leaderStore.Universe(), "test", "+p(a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaderStore.Apply(ctx, &core.Program{}, ups, nil, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	apply(t, leaderStore, "+p(b).") // no trace ID on this one
+
+	followerStore := openStore(t)
+	f := fastFollower(followerStore, ts.URL)
+	runFollower(t, f)
+	waitFor(t, 5*time.Second, "catch-up", func() bool {
+		return followerStore.Seq() == leaderStore.Seq()
+	})
+
+	hist := followerStore.History()
+	if len(hist) != 2 || hist[0].TraceID != "req-42" || hist[1].TraceID != "" {
+		t.Fatalf("follower history trace IDs wrong: %+v", hist)
+	}
+	tr := followerStore.Flight().Get(hist[0].Seq)
+	if tr == nil {
+		t.Fatal("follower has no flight trace for the replicated transaction")
+	}
+	if tr.TraceID != "req-42" || tr.Origin != "leader" {
+		t.Fatalf("follower trace = %+v; want traceId req-42, origin leader", tr)
+	}
+	// The leader's own copy stays marked local.
+	if lt := leaderStore.Flight().Get(hist[0].Seq); lt == nil || lt.Origin != "local" {
+		t.Fatalf("leader trace = %+v; want origin local", lt)
 	}
 }

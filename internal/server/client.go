@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/flight"
 	"repro/internal/metrics"
 )
 
@@ -190,6 +191,69 @@ func (c *Client) Watch(ctx context.Context) (<-chan TxnInfo, error) {
 		}
 	}()
 	return out, nil
+}
+
+// RecentTxns lists the flight recorder's recent-trace window.
+func (c *Client) RecentTxns(ctx context.Context) (*TxnsResponse, error) {
+	var resp TxnsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/txns", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SlowTxns lists the retained traces that met the slow threshold.
+func (c *Client) SlowTxns(ctx context.Context) (*TxnsResponse, error) {
+	var resp TxnsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/txns/slow", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// TxnTrace fetches the full flight trace of one transaction.
+func (c *Client) TxnTrace(ctx context.Context, seq int) (*flight.Trace, error) {
+	var resp flight.Trace
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/txns/%d/trace", seq), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// TxnTraceText fetches one transaction's trace in the paper-style
+// text rendering.
+func (c *Client) TxnTraceText(ctx context.Context, seq int) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/txns/%d/trace?format=text", c.BaseURL, seq), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return "", fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return "", fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	return string(data), nil
+}
+
+// Version fetches the server's build provenance and uptime.
+func (c *Client) Version(ctx context.Context) (*VersionResponse, error) {
+	var resp VersionResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/version", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Checkpoint snapshots the store.

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/metrics"
+)
+
+// This file is the HTTP face of the transaction flight recorder
+// (internal/flight) plus the request-correlation middleware: every
+// request gets an X-Park-Trace-Id (propagated when the client sent a
+// valid one, assigned otherwise), the ID rides the request context
+// into the store's commit path, and /v1/txns serves the recorded
+// traces back out.
+
+// SetLogger directs the server's structured access log to l. By
+// default access logging is discarded; cmd/parkd wires its process
+// logger here.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.logger = l
+	}
+}
+
+// traceHeader is the request/response header carrying the correlation
+// ID.
+const traceHeader = "X-Park-Trace-Id"
+
+// traced is the outermost middleware: it assigns or propagates the
+// trace ID, echoes it on the response, stores it in the request
+// context (flight.TraceID), and emits one structured access-log
+// record per request. A client-supplied ID is accepted only when it
+// passes flight.ValidTraceID — anything else is replaced, so
+// arbitrary client bytes never reach logs or replication frames.
+func (s *Server) traced(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(traceHeader)
+		if !flight.ValidTraceID(id) {
+			id = flight.NewTraceID()
+		}
+		w.Header().Set(traceHeader, id)
+		r = r.WithContext(flight.WithTraceID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		s.logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"traceId", id,
+			"durMs", float64(time.Since(start).Microseconds())/1000,
+		)
+	})
+}
+
+// TxnTraceSummary is one retained trace's header, as listed by
+// GET /v1/txns and /v1/txns/slow.
+type TxnTraceSummary struct {
+	Seq         int     `json:"seq"`
+	TraceID     string  `json:"traceId,omitempty"`
+	Origin      string  `json:"origin,omitempty"`
+	WallSeconds float64 `json:"wallSeconds"`
+	Slow        bool    `json:"slow,omitempty"`
+	Phases      int     `json:"phases"`
+	Steps       int     `json:"steps"`
+	Conflicts   int     `json:"conflicts"`
+}
+
+// TxnsResponse lists retained traces, newest first.
+type TxnsResponse struct {
+	// SlowThresholdSeconds is the ring's slow-trace threshold.
+	SlowThresholdSeconds float64           `json:"slowThresholdSeconds"`
+	Transactions         []TxnTraceSummary `json:"transactions"`
+}
+
+func summarize(traces []*flight.Trace) []TxnTraceSummary {
+	out := make([]TxnTraceSummary, len(traces))
+	for i, t := range traces {
+		out[i] = TxnTraceSummary{
+			Seq:         t.Seq,
+			TraceID:     t.TraceID,
+			Origin:      t.Origin,
+			WallSeconds: t.WallSeconds,
+			Slow:        t.Slow,
+			Phases:      t.Phases,
+			Steps:       t.Steps,
+			Conflicts:   t.Conflicts,
+		}
+	}
+	return out
+}
+
+// ring returns the store's flight ring or writes the 404 explaining
+// that recording is off.
+func (s *Server) ring(w http.ResponseWriter) *flight.Ring {
+	ring := s.store.Flight()
+	if ring == nil {
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("flight recording is disabled (trace buffer 0)"))
+	}
+	return ring
+}
+
+// handleTxns serves GET /v1/txns: the recent-trace window.
+func (s *Server) handleTxns(w http.ResponseWriter, r *http.Request) {
+	ring := s.ring(w)
+	if ring == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, TxnsResponse{
+		SlowThresholdSeconds: ring.SlowThreshold().Seconds(),
+		Transactions:         summarize(ring.Recent()),
+	})
+}
+
+// handleSlowTxns serves GET /v1/txns/slow: every retained trace that
+// met the slow threshold.
+func (s *Server) handleSlowTxns(w http.ResponseWriter, r *http.Request) {
+	ring := s.ring(w)
+	if ring == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, TxnsResponse{
+		SlowThresholdSeconds: ring.SlowThreshold().Seconds(),
+		Transactions:         summarize(ring.Slow()),
+	})
+}
+
+// handleTxnTrace serves GET /v1/txns/{seq}/trace: the full flight
+// record of one transaction, as JSON or (?format=text) in the paper's
+// step-by-step rendering.
+func (s *Server) handleTxnTrace(w http.ResponseWriter, r *http.Request) {
+	ring := s.ring(w)
+	if ring == nil {
+		return
+	}
+	seq, err := strconv.Atoi(r.PathValue("seq"))
+	if err != nil || seq < 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad transaction sequence %q", r.PathValue("seq")))
+		return
+	}
+	tr := ring.Get(seq)
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf(
+			"no trace retained for txn %d (outside the last-%d window and not slow, or committed before this process started)",
+			seq, ring.Cap()))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, tr)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tr.Text())
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown trace format %q (want json or text)", format))
+	}
+}
+
+// VersionResponse reports build provenance and process uptime
+// (GET /v1/version).
+type VersionResponse struct {
+	// Module is the main module path; Version its module version
+	// ("(devel)" for source builds).
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Revision and RevisionTime identify the VCS commit when the build
+	// embedded one; Dirty reports uncommitted changes at build time.
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revisionTime,omitempty"`
+	Dirty        bool   `json:"dirty,omitempty"`
+	// UptimeSeconds is the time since the server object was created.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// buildVersion extracts build provenance from the binary itself.
+func buildVersion() VersionResponse {
+	v := VersionResponse{Module: "unknown", Version: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.Module = info.Main.Path
+	v.Version = info.Main.Version
+	v.GoVersion = info.GoVersion
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			v.Revision = kv.Value
+		case "vcs.time":
+			v.RevisionTime = kv.Value
+		case "vcs.modified":
+			v.Dirty = kv.Value == "true"
+		}
+	}
+	return v
+}
+
+// registerBuildInfo publishes park_build_info: the conventional
+// constant-1 gauge whose labels carry the build provenance, so
+// dashboards can join any other series against the running version.
+func registerBuildInfo(reg *metrics.Registry) {
+	v := buildVersion()
+	reg.Gauge("park_build_info",
+		"Build provenance of the running binary (constant 1; the labels are the data).",
+		metrics.L("module", v.Module),
+		metrics.L("version", v.Version),
+		metrics.L("goversion", v.GoVersion),
+		metrics.L("revision", v.Revision),
+	).Set(1)
+}
+
+// handleVersion serves GET /v1/version.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	v := buildVersion()
+	v.UptimeSeconds = time.Since(s.start).Seconds()
+	writeJSON(w, http.StatusOK, v)
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+func TestTraceEndpoints(t *testing.T) {
+	c, _ := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.SetProgram(ctx, `
+		rule r1 priority 1: p -> +a.
+		rule r2 priority 2: p -> +q.
+		rule r3 priority 3: a -> -q.
+	`, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Transact(ctx, `+p.`); err != nil {
+		t.Fatal(err)
+	}
+
+	txns, err := c.RecentTxns(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns.Transactions) != 1 {
+		t.Fatalf("recent window = %+v, want one entry", txns.Transactions)
+	}
+	sum := txns.Transactions[0]
+	if sum.Seq != 1 || sum.Conflicts != 1 || sum.TraceID == "" || sum.Origin != "local" {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	tr, err := c.TxnTrace(ctx, sum.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != sum.TraceID || tr.Conflicts != 1 || len(tr.Events) == 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+
+	text, err := c.TxnTraceText(ctx, sum.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"txn 1 (trace " + sum.TraceID, "conflict on q:", "block (r2)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text trace missing %q:\n%s", want, text)
+		}
+	}
+
+	// Nothing was slow; the endpoint answers with an empty list.
+	slow, err := c.SlowTxns(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Transactions) != 0 || slow.SlowThresholdSeconds <= 0 {
+		t.Fatalf("slow = %+v", slow)
+	}
+
+	// Unknown sequence: a 404 with an explanatory body.
+	if _, err := c.TxnTrace(ctx, 999); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("missing trace error = %v, want HTTP 404", err)
+	}
+}
+
+func TestTraceEndpointsDisabled(t *testing.T) {
+	store, err := persist.Open(t.TempDir(), persist.WithTraceBuffer(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ts := httptest.NewServer(New(store).Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+	if _, err := c.RecentTxns(context.Background()); err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("disabled-recorder error = %v", err)
+	}
+}
+
+func TestTraceIDMiddleware(t *testing.T) {
+	var logBuf bytes.Buffer
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store)
+	srv.SetLogger(slog.New(slog.NewTextHandler(&logBuf, nil)))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// A valid client-supplied ID is propagated and echoed.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/database", nil)
+	req.Header.Set("X-Park-Trace-Id", "client-id-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Park-Trace-Id"); got != "client-id-1" {
+		t.Fatalf("echoed trace ID = %q, want client-id-1", got)
+	}
+	if !strings.Contains(logBuf.String(), "traceId=client-id-1") {
+		t.Fatalf("access log missing trace ID:\n%s", logBuf.String())
+	}
+
+	// An invalid ID (log-injection shape) is replaced, not echoed.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/database", nil)
+	req.Header.Set("X-Park-Trace-Id", "bad id;{}")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get("X-Park-Trace-Id")
+	if got == "" || strings.Contains(got, " ") {
+		t.Fatalf("invalid client ID echoed back as %q", got)
+	}
+
+	// No header at all: the server assigns one.
+	resp, err = http.Get(ts.URL + "/v1/database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Park-Trace-Id") == "" {
+		t.Fatal("no trace ID assigned")
+	}
+
+	// The transaction's trace carries the request's ID end to end.
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/transaction",
+		strings.NewReader(`{"updates": "+p(a)."}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Park-Trace-Id", "txn-trace-9")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tr, err := c.TxnTrace(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != "txn-trace-9" {
+		t.Fatalf("trace ID = %q, want txn-trace-9", tr.TraceID)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	v, err := c.Version(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Module == "" || v.GoVersion == "" {
+		t.Fatalf("version = %+v", v)
+	}
+	if v.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %f", v.UptimeSeconds)
+	}
+	// The build-info and uptime metrics exist.
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"park_build_info{", "park_uptime_seconds"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %s:\n%s", want, text[:min(len(text), 2000)])
+		}
+	}
+}

@@ -35,6 +35,7 @@ type engineMetrics struct {
 	storeFacts *metrics.Gauge
 	storeWAL   *metrics.Gauge
 	inFlight   *metrics.Gauge
+	uptime     *metrics.Gauge
 }
 
 // newEngineMetrics registers the engine and store instruments.
@@ -80,6 +81,8 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 			"Write-ahead-log records appended since the last checkpoint (sampled at scrape time)."),
 		inFlight: reg.Gauge("park_http_in_flight",
 			"HTTP requests currently being served."),
+		uptime: reg.Gauge("park_uptime_seconds",
+			"Whole seconds since this server started (sampled at scrape time)."),
 	}
 }
 
@@ -153,6 +156,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// state, not an accumulation.
 	s.em.storeFacts.Set(int64(s.store.Len()))
 	s.em.storeWAL.Set(int64(s.store.WALRecords()))
+	s.em.uptime.Set(int64(time.Since(s.start).Seconds()))
 	if s.follower != nil {
 		// Replication lag, sequences and connectedness likewise.
 		s.follower.RefreshMetrics()

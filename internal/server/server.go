@@ -14,10 +14,19 @@
 //	POST /v1/analyze       static analysis of the active program
 //	POST /v1/checkpoint    snapshot the store and truncate the WAL
 //	GET  /v1/history       committed transactions since the checkpoint
+//	GET  /v1/txns          flight-recorder trace summaries (recent window)
+//	GET  /v1/txns/slow     retained traces over the slow threshold
+//	GET  /v1/txns/{seq}/trace   full trace of one transaction (?format=text)
 //	GET  /v1/watch         SSE stream of committed transactions
 //	GET  /v1/repl/stream   framed replication stream for followers
 //	GET  /v1/metrics       engine/HTTP/store metrics (JSON or Prometheus)
+//	GET  /v1/version       build provenance and uptime
 //	GET  /v1/healthz       write-readiness: 200 healthy, 503 degraded
+//
+// Every request is stamped with an X-Park-Trace-Id (propagated from
+// the client when valid, assigned otherwise) that correlates the
+// access log, the store's commit log, the flight trace and — across
+// replication — the follower's applied-transaction log.
 //
 // A store that loses durability (failed fsync, full disk) degrades to
 // read-only: the write endpoints answer 503 Service Unavailable with a
@@ -43,6 +52,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -83,6 +94,12 @@ type Server struct {
 	streamCtx   context.Context
 	stopStreams context.CancelFunc
 
+	// logger receives the structured access log (one record per
+	// request, with the trace ID); discarded unless SetLogger is
+	// called. start anchors the uptime gauge and /v1/version.
+	logger *slog.Logger
+	start  time.Time
+
 	mu          sync.RWMutex
 	programSrc  string
 	program     *core.Program
@@ -99,7 +116,7 @@ func New(store *persist.Store) *Server {
 	leader := repl.NewLeader(store)
 	leader.Instrument(reg)
 	streamCtx, stopStreams := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		store:          store,
 		reg:            reg,
 		em:             newEngineMetrics(reg),
@@ -109,7 +126,11 @@ func New(store *persist.Store) *Server {
 		stopStreams:    stopStreams,
 		program:        &core.Program{},
 		strategyTag:    "inertia",
+		logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+		start:          time.Now(),
 	}
+	registerBuildInfo(reg)
+	return s
 }
 
 // StopStreams aborts the long-lived streaming responses (/v1/watch
@@ -212,6 +233,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/checkpoint", s.instrument("/v1/checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("GET /v1/history", s.instrument("/v1/history", s.handleHistory))
+	mux.HandleFunc("GET /v1/txns", s.instrument("/v1/txns", s.handleTxns))
+	mux.HandleFunc("GET /v1/txns/slow", s.instrument("/v1/txns/slow", s.handleSlowTxns))
+	mux.HandleFunc("GET /v1/txns/{seq}/trace", s.instrument("/v1/txns/trace", s.handleTxnTrace))
+	mux.HandleFunc("GET /v1/version", s.instrument("/v1/version", s.handleVersion))
 	mux.HandleFunc("GET /v1/watch", s.instrument("/v1/watch", s.streaming(s.handleWatch)))
 	mux.HandleFunc("GET /v1/repl/stream", s.instrument("/v1/repl/stream", s.streaming(s.leader.ServeHTTP)))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
@@ -220,7 +245,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /v1/debug/failpoint", s.instrument("/v1/debug/failpoint", s.handleSetFailpoint))
 		mux.HandleFunc("GET /v1/debug/failpoint", s.instrument("/v1/debug/failpoint", s.handleGetFailpoints))
 	}
-	return mux
+	return s.traced(mux)
 }
 
 // streaming ties a long-lived handler's request context to the

@@ -29,8 +29,12 @@ RULES
 "$WORK/parkd" -dir "$WORK/leader" -program "$WORK/rules.park" \
     -addr "127.0.0.1:${LEADER_PORT}" &
 LEADER_PID=$!
+# The follower runs at debug level with stderr captured: the trace
+# correlation check below greps its log for a leader-originated trace
+# ID (per-transaction records log at debug).
 "$WORK/parkd" -dir "$WORK/follower" -follow "$LEADER_URL" \
-    -addr "127.0.0.1:${FOLLOWER_PORT}" &
+    -log-level debug \
+    -addr "127.0.0.1:${FOLLOWER_PORT}" 2> "$WORK/follower.log" &
 FOLLOWER_PID=$!
 
 wait_http() { # url
@@ -89,6 +93,46 @@ if [ "$lag" != "0" ]; then
     echo "smoke: park_repl_follower_lag_seq = '$lag', want 0" >&2
     exit 1
 fi
+
+# Trace correlation: a write tagged with a client trace ID must be
+# readable from the flight recorder on BOTH nodes, and the follower
+# must log the leader-originated ID so one grep spans the fleet.
+TRACE_ID="smoke-trace-$$"
+curl -sf -X POST "$LEADER_URL/v1/transaction" \
+    -H "X-Park-Trace-Id: ${TRACE_ID}" \
+    -d '{"updates": "+ev(traced)."}' > /dev/null
+tseq=$(curl -sf "$LEADER_URL/v1/txns" | grep -o '"seq":[0-9]*' | head -1 | cut -d: -f2)
+leader_trace=$(curl -sf "$LEADER_URL/v1/txns/${tseq}/trace?format=text")
+case "$leader_trace" in
+*"trace ${TRACE_ID}"*) ;;
+*)  echo "smoke: leader trace for txn $tseq missing ID ${TRACE_ID}:" >&2
+    echo "$leader_trace" >&2
+    exit 1 ;;
+esac
+follower_trace=""
+for _ in $(seq 1 100); do
+    follower_trace=$(curl -s "$FOLLOWER_URL/v1/txns/${tseq}/trace?format=text" || true)
+    case "$follower_trace" in
+    *"trace ${TRACE_ID}"*) break ;;
+    esac
+    sleep 0.1
+done
+case "$follower_trace" in
+*"trace ${TRACE_ID}, leader"*) ;;
+*)  echo "smoke: follower trace for txn $tseq missing leader-adopted ID:" >&2
+    echo "$follower_trace" >&2
+    exit 1 ;;
+esac
+for _ in $(seq 1 100); do
+    if grep -q "traceId=${TRACE_ID}" "$WORK/follower.log"; then break; fi
+    sleep 0.1
+done
+if ! grep -q "traceId=${TRACE_ID}" "$WORK/follower.log"; then
+    echo "smoke: follower log never recorded traceId=${TRACE_ID}:" >&2
+    tail -20 "$WORK/follower.log" >&2
+    exit 1
+fi
+echo "smoke: trace ${TRACE_ID} correlated across leader API, follower recorder and follower log"
 
 # Leader restart: the follower must reconnect and apply new commits
 # without intervention.
