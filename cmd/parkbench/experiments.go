@@ -6,7 +6,6 @@ import (
 	"math"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"text/tabwriter"
@@ -674,7 +673,7 @@ rule unlog: -ev(X) -> -audit(X).
 			updates[c][i] = ups
 		}
 	}
-	lats := make([][]time.Duration, clients)
+	lats := metrics.NewDurations(clients * txnsPerClient)
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -688,7 +687,7 @@ rule unlog: -ev(X) -> -audit(X).
 					errs <- err
 					return
 				}
-				lats[c] = append(lats[c], time.Since(t0))
+				lats.Observe(time.Since(t0))
 				// Mixed load: a lock-free read between writes.
 				if i%2 == 0 {
 					_ = store.Len()
@@ -708,17 +707,11 @@ rule unlog: -ev(X) -> -audit(X).
 	if want := 2 * clients; store.Len() != want {
 		return nil, fmt.Errorf("store has %d facts, want %d", store.Len(), want)
 	}
-	all := make([]time.Duration, 0, clients*txnsPerClient)
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
 	return &b12Result{
 		elapsed: elapsed,
-		rate:    float64(len(all)) / elapsed.Seconds(),
-		p50:     q(0.50),
-		p99:     q(0.99),
+		rate:    float64(lats.Count()) / elapsed.Seconds(),
+		p50:     lats.Quantile(0.50),
+		p99:     lats.Quantile(0.99),
 		fsyncs:  reg.Counter("park_store_fsyncs_total", "").Value(),
 		retries: reg.Counter("park_store_commit_retries_total", "").Value(),
 	}, nil

@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
 	park "repro"
 	"repro/internal/flight"
+	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/persist"
 )
@@ -137,7 +137,7 @@ rule unlog: -ev(X) -> -audit(X).
 			updates[c][i] = ups
 		}
 	}
-	lats := make([][]time.Duration, clients)
+	lats := metrics.NewDurations(clients * txnsPerClient)
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
 	ctx := flight.WithTraceID(context.Background(), "bench-b14")
@@ -152,7 +152,7 @@ rule unlog: -ev(X) -> -audit(X).
 					errs <- err
 					return
 				}
-				lats[c] = append(lats[c], time.Since(t0))
+				lats.Observe(time.Since(t0))
 			}
 		}(c)
 	}
@@ -172,16 +172,10 @@ rule unlog: -ev(X) -> -audit(X).
 	case mode == "slow-hit" && len(ring.Slow()) == 0:
 		return nil, fmt.Errorf("slow window empty despite always-slow threshold")
 	}
-	all := make([]time.Duration, 0, clients*txnsPerClient)
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
 	return &b12Result{
 		elapsed: elapsed,
-		rate:    float64(len(all)) / elapsed.Seconds(),
-		p50:     q(0.50),
-		p99:     q(0.99),
+		rate:    float64(lats.Count()) / elapsed.Seconds(),
+		p50:     lats.Quantile(0.50),
+		p99:     lats.Quantile(0.99),
 	}, nil
 }

@@ -1,0 +1,325 @@
+// Command parkload is the open-loop load generator for parkd: it
+// replays declarative scenarios (built-in families or scenarios/*.json
+// files) against a server at a fixed arrival rate and emits a
+// machine-readable report with throughput, latency quantiles, error
+// counts, server-side counter deltas and per-endpoint CPU attribution.
+//
+// Unlike parkbench (closed-loop microbenchmarks of the engine and
+// store), parkload measures the system the way clients experience it:
+// arrivals come on a timetable whether or not the server keeps up, and
+// latency includes the queueing that builds when it doesn't. See
+// docs/BENCHMARKING.md for the methodology and docs/SCENARIOS.md for
+// the scenario families.
+//
+// Usage:
+//
+//	go run ./cmd/parkload -all -out BENCH_PR6.json   # full suite, self-spawned leader
+//	go run ./cmd/parkload -scenario mixed-rw         # one scenario
+//	go run ./cmd/parkload -all -quick                # scaled-down smoke run
+//	go run ./cmd/parkload -addr http://host:7474     # drive a running parkd
+//	go run ./cmd/parkload -dir scenarios             # scenario files instead of built-ins
+//	go run ./cmd/parkload -dump scenarios            # write built-ins as JSON files
+//	go run ./cmd/parkload -check BENCH_PR6.json      # validate a report
+//	go run ./cmd/parkload -list                      # list scenarios
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/persist"
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "drive a running server at this base URL instead of self-spawning")
+		followers = flag.Int("followers", 0, "read replicas to spawn alongside the self-spawned leader")
+		all       = flag.Bool("all", false, "run every scenario")
+		scenario  = flag.String("scenario", "", "comma-separated scenario names to run")
+		dir       = flag.String("dir", "", "load scenarios from *.json files in this directory instead of the built-ins")
+		out       = flag.String("out", "", "write the report JSON here (default stdout)")
+		quick     = flag.Bool("quick", false, "scale scenarios down for a smoke run (results not comparable)")
+		label     = flag.String("label", "", "label recorded in the report (e.g. pr6)")
+		rate      = flag.Float64("rate", 0, "override every selected scenario's arrival rate (ops/s)")
+		duration  = flag.String("duration", "", "override every selected scenario's measured window")
+		list      = flag.Bool("list", false, "list scenarios and exit")
+		dump      = flag.String("dump", "", "write the built-in scenarios as JSON files into this directory and exit")
+		check     = flag.String("check", "", "validate a report file against the parkload/v1 schema and exit")
+	)
+	flag.Parse()
+	if err := run(*addr, *followers, *all, *scenario, *dir, *out, *label,
+		*rate, *duration, *quick, *list, *dump, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "parkload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, followers int, all bool, scenario, dir, out, label string,
+	rate float64, duration string, quick, list bool, dump, check string) error {
+	if check != "" {
+		return runCheck(check)
+	}
+	if dump != "" {
+		return runDump(dump)
+	}
+
+	scenarios, err := loadScenarios(dir)
+	if err != nil {
+		return err
+	}
+	if list {
+		for _, sc := range scenarios {
+			fmt.Printf("%-16s %-10s rate=%-5.0f duration=%-4s %s\n",
+				sc.Name, sc.Family, sc.Rate, sc.Duration, sc.Description)
+		}
+		return nil
+	}
+
+	selected, err := selectScenarios(scenarios, all, scenario)
+	if err != nil {
+		return err
+	}
+	for i := range selected {
+		if quick {
+			selected[i] = load.QuickCopy(selected[i])
+		}
+		if rate > 0 {
+			selected[i].Rate = rate
+		}
+		if duration != "" {
+			selected[i].Duration = duration
+		}
+		if err := selected[i].Validate(); err != nil {
+			return err
+		}
+	}
+
+	ctx := context.Background()
+	report := &load.Report{
+		Schema:    load.ReportSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Label:     label,
+		Quick:     quick,
+	}
+	for _, sc := range selected {
+		fmt.Fprintf(os.Stderr, "=== %s (%s)\n", sc.Name, sc.Family)
+		res, err := runScenario(ctx, addr, followers, &sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  %s\n", oneLine(res))
+		report.Scenarios = append(report.Scenarios, *res)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := load.ValidateReport(data); err != nil {
+		return fmt.Errorf("generated report failed validation: %w", err)
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", out, len(report.Scenarios))
+	return nil
+}
+
+// runScenario drives one scenario, spawning a fresh in-process leader
+// (plus followers) unless addr targets a running server. A fresh
+// server per scenario keeps universes independent — constants minted
+// by one family never bloat the next one's joins.
+func runScenario(ctx context.Context, addr string, followers int, sc *load.Scenario) (*load.ScenarioResult, error) {
+	base := addr
+	var cleanup func()
+	if base == "" {
+		var err error
+		base, cleanup, err = spawnCluster(ctx, followers)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+	}
+	r := &load.Runner{
+		Client:     &server.Client{BaseURL: base},
+		ProfileURL: base,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	return r.Run(ctx, sc)
+}
+
+// spawnCluster starts an in-process leader — API plus the pprof
+// profile handler on one listener, like parkd -pprof — and optionally
+// read replicas following it, so the leader also carries replication
+// fan-out while under load.
+func spawnCluster(ctx context.Context, followers int) (baseURL string, cleanup func(), err error) {
+	ctx, cancel := context.WithCancel(ctx)
+	var cleanups []func()
+	cleanup = func() {
+		cancel()
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	defer func() {
+		if err != nil {
+			cleanup()
+		}
+	}()
+
+	newNode := func(build func(store *persist.Store) http.Handler) (string, error) {
+		nodeDir, err := os.MkdirTemp("", "parkload-*")
+		if err != nil {
+			return "", err
+		}
+		cleanups = append(cleanups, func() { os.RemoveAll(nodeDir) })
+		store, err := persist.Open(nodeDir)
+		if err != nil {
+			return "", err
+		}
+		cleanups = append(cleanups, func() { store.Close() })
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		hs := &http.Server{Handler: build(store)}
+		cleanups = append(cleanups, func() { hs.Close() })
+		go hs.Serve(ln)
+		return "http://" + ln.Addr().String(), nil
+	}
+
+	leaderURL, err := newNode(func(store *persist.Store) http.Handler {
+		srv := server.New(store)
+		cleanups = append(cleanups, srv.StopStreams)
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.Handler())
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		return mux
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	for i := 0; i < followers; i++ {
+		_, err := newNode(func(store *persist.Store) http.Handler {
+			f := repl.NewFollower(store, leaderURL,
+				repl.WithBackoff(5*time.Millisecond, 100*time.Millisecond))
+			go f.Run(ctx)
+			srv := server.NewReplica(store, f, leaderURL)
+			cleanups = append(cleanups, srv.StopStreams)
+			return srv.Handler()
+		})
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	return leaderURL, cleanup, nil
+}
+
+// loadScenarios returns the built-in suite, or the *.json files of a
+// directory when -dir is set.
+func loadScenarios(dir string) ([]load.Scenario, error) {
+	if dir == "" {
+		return load.DefaultScenarios(), nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no *.json scenario files in %s", dir)
+	}
+	sort.Strings(paths)
+	var out []load.Scenario
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := load.ParseScenario(p, data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *sc)
+	}
+	return out, nil
+}
+
+// selectScenarios applies -all / -scenario.
+func selectScenarios(scenarios []load.Scenario, all bool, names string) ([]load.Scenario, error) {
+	if all || names == "" {
+		return scenarios, nil
+	}
+	var out []load.Scenario
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		sc := load.ScenarioByName(scenarios, name)
+		if sc == nil {
+			return nil, fmt.Errorf("unknown scenario %q (use -list)", name)
+		}
+		out = append(out, *sc)
+	}
+	return out, nil
+}
+
+// runCheck validates a report file (the CI gate).
+func runCheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	r, err := load.ValidateReport(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid %s report — %d scenarios, families: %s\n",
+		path, r.Schema, len(r.Scenarios), strings.Join(r.Families(), ", "))
+	return nil
+}
+
+// runDump writes the built-in scenarios as one JSON file each, the
+// canonical serialized form committed under scenarios/.
+func runDump(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sc := range load.DefaultScenarios() {
+		data, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, sc.Name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+// oneLine renders a result for the progress log.
+func oneLine(r *load.ScenarioResult) string {
+	return fmt.Sprintf("offered %.0f/s achieved %.0f/s  p50 %.1fms p95 %.1fms p99 %.1fms  errors %d",
+		r.OfferedRate, r.AchievedRate, r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Errors)
+}

@@ -1,0 +1,66 @@
+package load
+
+import (
+	"context"
+	"time"
+)
+
+// Pacer is the open-loop arrival timetable: op i is due at
+// Start + i/rate, regardless of how long earlier ops take. This is
+// the defining difference from a closed loop, where the next op waits
+// for the previous response and a slow server quietly lowers the
+// offered rate (coordinated omission).
+type Pacer struct {
+	Start    time.Time
+	Interval time.Duration
+}
+
+// NewPacer builds a timetable at the given rate (ops/second).
+func NewPacer(start time.Time, rate float64) Pacer {
+	return Pacer{Start: start, Interval: time.Duration(float64(time.Second) / rate)}
+}
+
+// ScheduleFor returns the timetable slot of op i.
+func (p Pacer) ScheduleFor(i int64) time.Time {
+	return p.Start.Add(time.Duration(i) * p.Interval)
+}
+
+// Arrivals calls emit(i, scheduled) for every timetable slot inside
+// the window, sleeping until each slot is due. It never waits for the
+// work an emit dispatches — if the consumer lags, arrivals keep
+// coming on schedule. Returns the number of slots emitted. Stops
+// early if ctx is cancelled.
+func (p Pacer) Arrivals(ctx context.Context, window time.Duration, emit func(i int64, scheduled time.Time)) int64 {
+	end := p.Start.Add(window)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var i int64
+	for {
+		sched := p.ScheduleFor(i)
+		if !sched.Before(end) {
+			return i
+		}
+		if wait := time.Until(sched); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return i
+			case <-timer.C:
+			}
+		} else {
+			// Behind schedule (e.g. the goroutine was descheduled):
+			// emit immediately — the op's latency clock already
+			// started at its slot time.
+			select {
+			case <-ctx.Done():
+				return i
+			default:
+			}
+		}
+		emit(i, sched)
+		i++
+	}
+}

@@ -1,0 +1,101 @@
+package load
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPacerSchedule: the timetable is start + i/rate, independent of
+// anything the consumer does.
+func TestPacerSchedule(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := NewPacer(start, 100) // 10ms apart
+	if got := p.ScheduleFor(0); !got.Equal(start) {
+		t.Fatalf("slot 0 = %v", got)
+	}
+	if got := p.ScheduleFor(50); !got.Equal(start.Add(500 * time.Millisecond)) {
+		t.Fatalf("slot 50 = %v", got)
+	}
+}
+
+// TestPacerHoldsRate: the arrival loop emits the scheduled number of
+// slots for the window within tolerance, and the emitted schedule
+// matches the timetable exactly.
+func TestPacerHoldsRate(t *testing.T) {
+	const rate, window = 500.0, 400 * time.Millisecond
+	p := NewPacer(time.Now(), rate)
+	var scheds []time.Time
+	n := p.Arrivals(context.Background(), window, func(i int64, sched time.Time) {
+		scheds = append(scheds, sched)
+	})
+	want := int64(rate * window.Seconds())
+	if n < want-2 || n > want+2 {
+		t.Fatalf("emitted %d arrivals, want ~%d", n, want)
+	}
+	for i, s := range scheds {
+		if !s.Equal(p.ScheduleFor(int64(i))) {
+			t.Fatalf("arrival %d scheduled at %v, want %v", i, s, p.ScheduleFor(int64(i)))
+		}
+	}
+}
+
+// TestPacerOpenLoopUnderSlowConsumer is the open-loop property: even
+// when each emitted op takes far longer than the inter-arrival gap,
+// arrivals keep coming on the timetable instead of slowing to the
+// consumer's pace (which is what a closed loop would do).
+func TestPacerOpenLoopUnderSlowConsumer(t *testing.T) {
+	const rate, window = 200.0, 500 * time.Millisecond
+	p := NewPacer(time.Now(), rate)
+	jobs := make(chan time.Time, 1024)
+	var wg sync.WaitGroup
+	// Two workers, each op takes 50ms: the consumers complete at most
+	// ~2*(window/50ms) = 20 ops while ~100 arrive.
+	var mu sync.Mutex
+	var completed int
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				time.Sleep(50 * time.Millisecond)
+				mu.Lock()
+				completed++
+				mu.Unlock()
+			}
+		}()
+	}
+	n := p.Arrivals(context.Background(), window, func(i int64, sched time.Time) {
+		jobs <- sched
+	})
+	// Snapshot completions at the end of the window, before the
+	// drain: this is what a closed loop would have offered.
+	mu.Lock()
+	inWindow := completed
+	mu.Unlock()
+	close(jobs)
+	wg.Wait()
+	want := int64(rate * window.Seconds()) // 100
+	if n < want-5 || n > want+5 {
+		t.Fatalf("open loop offered %d arrivals, want ~%d despite slow consumers", n, want)
+	}
+	if inWindow >= int(n)/2 {
+		t.Fatalf("consumers kept up (%d of %d in window) — the stub is not slow enough to prove the property",
+			inWindow, n)
+	}
+}
+
+// TestPacerCancel: cancellation stops the arrival loop early.
+func TestPacerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPacer(time.Now(), 100)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	n := p.Arrivals(ctx, 10*time.Second, func(int64, time.Time) {})
+	if n > 30 {
+		t.Fatalf("cancelled pacer emitted %d arrivals", n)
+	}
+}

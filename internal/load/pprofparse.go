@@ -1,0 +1,284 @@
+package load
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file parses just enough of the pprof profile.proto wire format
+// to attribute CPU time to goroutine labels — stdlib only, no
+// dependency on the profile library. The server's instrument
+// middleware tags every request's goroutines with an "endpoint" pprof
+// label (internal/server/metrics.go); a CPU profile collected during a
+// load run therefore carries, per sample, the endpoint whose request
+// was running. Summing sample values by label yields per-endpoint CPU
+// seconds.
+//
+// Wire shapes used (field numbers from profile.proto):
+//
+//	Profile:   sample_type=1 (ValueType), sample=2 (Sample),
+//	           string_table=6 (string)
+//	ValueType: type=1, unit=2 (string-table indices)
+//	Sample:    value=2 (repeated int64, usually packed), label=3 (Label)
+//	Label:     key=1, str=2 (string-table indices)
+//
+// Everything else is skipped by wire type. The parser buffers raw
+// sample messages and resolves them after the whole string table is
+// read, since protobuf imposes no field order.
+
+// CPUByLabel is per-endpoint CPU attribution from one profile.
+type CPUByLabel struct {
+	// Total is the profile's summed CPU time.
+	Total time.Duration
+	// ByValue maps each label value (e.g. "/v1/transaction") to its
+	// CPU time; samples with no matching label are under "(other)".
+	ByValue map[string]time.Duration
+}
+
+// ParseCPUByLabel parses a (possibly gzipped) CPU profile in
+// profile.proto format and sums CPU nanoseconds by the given label
+// key.
+func ParseCPUByLabel(data []byte, labelKey string) (*CPUByLabel, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("pprof: %v", err)
+		}
+		data, err = io.ReadAll(io.LimitReader(zr, 256<<20))
+		if err != nil {
+			return nil, fmt.Errorf("pprof: %v", err)
+		}
+	}
+
+	var (
+		strTable    []string
+		sampleTypes [][2]uint64 // (type idx, unit idx)
+		rawSamples  [][]byte
+	)
+	r := &protoReader{buf: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case field == 1 && wire == 2: // sample_type
+			msg, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			st, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, st)
+		case field == 2 && wire == 2: // sample
+			msg, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			rawSamples = append(rawSamples, msg)
+		case field == 6 && wire == 2: // string_table
+			s, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strTable = append(strTable, string(s))
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strTable)) {
+			return strTable[i]
+		}
+		return ""
+	}
+	// A CPU profile's value columns are [samples/count, cpu/nanoseconds];
+	// pick the cpu column explicitly and fall back to the last one.
+	valueIdx := len(sampleTypes) - 1
+	for i, st := range sampleTypes {
+		if str(st[0]) == "cpu" || str(st[1]) == "nanoseconds" {
+			valueIdx = i
+			break
+		}
+	}
+	if valueIdx < 0 {
+		return nil, errors.New("pprof: profile has no sample types")
+	}
+
+	out := &CPUByLabel{ByValue: map[string]time.Duration{}}
+	for _, raw := range rawSamples {
+		values, labels, err := parseSample(raw)
+		if err != nil {
+			return nil, err
+		}
+		if valueIdx >= len(values) {
+			continue
+		}
+		d := time.Duration(values[valueIdx])
+		out.Total += d
+		key := "(other)"
+		for _, l := range labels {
+			if str(l[0]) == labelKey {
+				key = str(l[1])
+				break
+			}
+		}
+		out.ByValue[key] += d
+	}
+	return out, nil
+}
+
+// parseValueType reads a ValueType message: (type, unit) indices.
+func parseValueType(msg []byte) ([2]uint64, error) {
+	var vt [2]uint64
+	r := &protoReader{buf: msg}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch {
+		case field == 1 && wire == 0:
+			vt[0], err = r.varint()
+		case field == 2 && wire == 0:
+			vt[1], err = r.varint()
+		default:
+			err = r.skip(wire)
+		}
+		if err != nil {
+			return vt, err
+		}
+	}
+	return vt, nil
+}
+
+// parseSample reads a Sample message: the value column vector and the
+// (key, str) index pairs of its labels.
+func parseSample(msg []byte) (values []int64, labels [][2]uint64, err error) {
+	r := &protoReader{buf: msg}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case field == 2 && wire == 2: // packed values
+			packed, err := r.bytes()
+			if err != nil {
+				return nil, nil, err
+			}
+			pr := &protoReader{buf: packed}
+			for !pr.done() {
+				v, err := pr.varint()
+				if err != nil {
+					return nil, nil, err
+				}
+				values = append(values, int64(v))
+			}
+		case field == 2 && wire == 0: // unpacked value
+			v, err := r.varint()
+			if err != nil {
+				return nil, nil, err
+			}
+			values = append(values, int64(v))
+		case field == 3 && wire == 2: // label
+			msg, err := r.bytes()
+			if err != nil {
+				return nil, nil, err
+			}
+			l, err := parseValueType(msg) // Label shares the (1,2) index shape
+			if err != nil {
+				return nil, nil, err
+			}
+			labels = append(labels, l)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return values, labels, nil
+}
+
+// protoReader is a minimal protobuf wire-format cursor.
+type protoReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *protoReader) done() bool { return r.pos >= len(r.buf) }
+
+// varint reads one base-128 varint.
+func (r *protoReader) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.pos >= len(r.buf) {
+			return 0, errors.New("pprof: truncated varint")
+		}
+		b := r.buf[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("pprof: varint too long")
+}
+
+// tag reads a field tag, returning (field number, wire type).
+func (r *protoReader) tag() (int, int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytes reads one length-delimited payload.
+func (r *protoReader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		return nil, errors.New("pprof: truncated length-delimited field")
+	}
+	out := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
+// skip advances past one field of the given wire type.
+func (r *protoReader) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := r.varint()
+		return err
+	case 1: // fixed64
+		if len(r.buf)-r.pos < 8 {
+			return errors.New("pprof: truncated fixed64")
+		}
+		r.pos += 8
+		return nil
+	case 2:
+		_, err := r.bytes()
+		return err
+	case 5: // fixed32
+		if len(r.buf)-r.pos < 4 {
+			return errors.New("pprof: truncated fixed32")
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("pprof: unsupported wire type %d", wire)
+	}
+}

@@ -1,0 +1,144 @@
+package load
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+	"time"
+)
+
+// Wire-format encoding helpers for building a synthetic profile.proto
+// payload in the test, mirroring what runtime/pprof emits.
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendTag(b []byte, field, wire int) []byte {
+	return appendVarint(b, uint64(field<<3|wire))
+}
+
+func appendBytes(b []byte, field int, payload []byte) []byte {
+	b = appendTag(b, field, 2)
+	b = appendVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func encodeValueType(typ, unit uint64) []byte {
+	var b []byte
+	b = appendTag(b, 1, 0)
+	b = appendVarint(b, typ)
+	b = appendTag(b, 2, 0)
+	return appendVarint(b, unit)
+}
+
+func encodeSample(values []int64, labels [][2]uint64) []byte {
+	var b []byte
+	var packed []byte
+	for _, v := range values {
+		packed = appendVarint(packed, uint64(v))
+	}
+	b = appendBytes(b, 2, packed)
+	for _, l := range labels {
+		lb := encodeValueType(l[0], l[1]) // Label's (key, str) share the shape
+		b = appendBytes(b, 3, lb)
+	}
+	return b
+}
+
+// buildProfile assembles a CPU profile: string table, the standard
+// [samples/count, cpu/nanoseconds] sample types, and the samples.
+func buildProfile(strs []string, samples [][]byte, gzipped bool) []byte {
+	var b []byte
+	b = appendBytes(b, 1, encodeValueType(1, 2)) // samples/count
+	b = appendBytes(b, 1, encodeValueType(3, 4)) // cpu/nanoseconds
+	for _, s := range samples {
+		b = appendBytes(b, 2, s)
+	}
+	for _, s := range strs {
+		b = appendBytes(b, 6, []byte(s))
+	}
+	if !gzipped {
+		return b
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(b)
+	zw.Close()
+	return buf.Bytes()
+}
+
+func TestParseCPUByLabel(t *testing.T) {
+	// String table: profile.proto requires index 0 to be "".
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "endpoint",
+		"/v1/transaction", "/v1/query"}
+	samples := [][]byte{
+		// 3 samples, 30ms on /v1/transaction
+		encodeSample([]int64{3, int64(30 * time.Millisecond)}, [][2]uint64{{5, 6}}),
+		// 1 sample, 10ms on /v1/query
+		encodeSample([]int64{1, int64(10 * time.Millisecond)}, [][2]uint64{{5, 7}}),
+		// 2 more on /v1/transaction
+		encodeSample([]int64{2, int64(20 * time.Millisecond)}, [][2]uint64{{5, 6}}),
+		// unlabeled background work
+		encodeSample([]int64{1, int64(5 * time.Millisecond)}, nil),
+	}
+	for _, gzipped := range []bool{false, true} {
+		data := buildProfile(strs, samples, gzipped)
+		prof, err := ParseCPUByLabel(data, "endpoint")
+		if err != nil {
+			t.Fatalf("gzipped=%v: %v", gzipped, err)
+		}
+		if prof.Total != 65*time.Millisecond {
+			t.Errorf("gzipped=%v: total = %v, want 65ms", gzipped, prof.Total)
+		}
+		want := map[string]time.Duration{
+			"/v1/transaction": 50 * time.Millisecond,
+			"/v1/query":       10 * time.Millisecond,
+			"(other)":         5 * time.Millisecond,
+		}
+		for k, d := range want {
+			if prof.ByValue[k] != d {
+				t.Errorf("gzipped=%v: %s = %v, want %v", gzipped, k, prof.ByValue[k], d)
+			}
+		}
+		if len(prof.ByValue) != len(want) {
+			t.Errorf("gzipped=%v: extra label values in %v", gzipped, prof.ByValue)
+		}
+	}
+}
+
+// TestParseCPUByLabelValueColumn: the parser picks the cpu column by
+// its sample-type strings, not by position.
+func TestParseCPUByLabelValueColumn(t *testing.T) {
+	// Swap the column order: [cpu/nanoseconds, samples/count].
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "endpoint", "/v1/query"}
+	var b []byte
+	b = appendBytes(b, 1, encodeValueType(3, 4)) // cpu first
+	b = appendBytes(b, 1, encodeValueType(1, 2))
+	b = appendBytes(b, 2, encodeSample([]int64{int64(7 * time.Millisecond), 2}, [][2]uint64{{5, 6}}))
+	for _, s := range strs {
+		b = appendBytes(b, 6, []byte(s))
+	}
+	prof, err := ParseCPUByLabel(b, "endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.ByValue["/v1/query"] != 7*time.Millisecond {
+		t.Fatalf("cpu column misidentified: %v", prof.ByValue)
+	}
+}
+
+func TestParseCPUByLabelTruncated(t *testing.T) {
+	data := buildProfile([]string{"", "cpu"}, nil, false)
+	for cut := 1; cut < len(data); cut++ {
+		// Truncation must error or parse cleanly — never panic.
+		_, _ = ParseCPUByLabel(data[:cut], "endpoint")
+	}
+	if _, err := ParseCPUByLabel([]byte{0xff, 0xff, 0xff}, "endpoint"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package load
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// goodReport builds a minimal valid report for mutation testing.
+func goodReport() Report {
+	return Report{
+		Schema:    ReportSchema,
+		Generated: "2026-08-08T12:00:00Z",
+		GoVersion: "go1.24.0",
+		Label:     "test",
+		Scenarios: []ScenarioResult{{
+			Name: "s1", Family: "mixed",
+			OfferedRate: 100, AchievedRate: 99,
+			DurationSeconds: 5,
+			Scheduled:       500, Ops: 495, Errors: 0,
+			Status: map[string]int64{"200": 495},
+			Latency: LatencySummary{
+				Count: 495, Mean: 2, P50: 1, P95: 4, P99: 9, Max: 20,
+			},
+		}},
+	}
+}
+
+func mustJSON(t *testing.T, r Report) []byte {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestValidateReportAccepts(t *testing.T) {
+	r, err := ValidateReport(mustJSON(t, goodReport()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Families(); len(got) != 1 || got[0] != "mixed" {
+		t.Fatalf("families = %v", got)
+	}
+}
+
+func TestValidateReportRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "parkload/v0" }, "schema"},
+		{"bad timestamp", func(r *Report) { r.Generated = "yesterday" }, "generated"},
+		{"no go version", func(r *Report) { r.GoVersion = "" }, "goVersion"},
+		{"no scenarios", func(r *Report) { r.Scenarios = nil }, "no scenarios"},
+		{"missing family", func(r *Report) { r.Scenarios[0].Family = "" }, "family"},
+		{"zero ops", func(r *Report) {
+			r.Scenarios[0].Ops = 0
+		}, "no completed ops"},
+		{"ops exceed scheduled", func(r *Report) {
+			r.Scenarios[0].Ops = 501
+		}, "scheduled"},
+		{"status mismatch", func(r *Report) {
+			r.Scenarios[0].Status["200"] = 7
+		}, "status counts"},
+		{"latency count mismatch", func(r *Report) {
+			r.Scenarios[0].Latency.Count = 3
+		}, "latency count"},
+		{"quantiles disordered", func(r *Report) {
+			r.Scenarios[0].Latency.P95 = 100
+		}, "quantiles out of order"},
+		{"zero rate", func(r *Report) {
+			r.Scenarios[0].AchievedRate = 0
+		}, "rates must be positive"},
+		{"duplicate name", func(r *Report) {
+			r.Scenarios = append(r.Scenarios, r.Scenarios[0])
+		}, "duplicate"},
+	}
+	for _, tc := range cases {
+		r := goodReport()
+		tc.mutate(&r)
+		_, err := ValidateReport(mustJSON(t, r))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := ValidateReport([]byte("{")); err == nil {
+		t.Error("syntactically broken report accepted")
+	}
+}

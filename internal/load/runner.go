@@ -1,0 +1,395 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// Runner drives scenarios against a live server.
+type Runner struct {
+	// Client targets the server under load (setup, teardown, metric
+	// snapshots).
+	Client *server.Client
+	// ProfileURL, when non-empty, is the base URL of a pprof handler
+	// (usually the same server with /debug/pprof mounted); the runner
+	// collects a CPU profile spanning the measured window and
+	// attributes samples to endpoints via their pprof labels.
+	ProfileURL string
+	// Logf reports progress; nil silences it.
+	Logf func(format string, args ...any)
+
+	// Execute overrides the HTTP executor — tests use it to stand in a
+	// stubbed (e.g. deliberately slow) server. The default performs
+	// the real request and returns its status code.
+	Execute func(ctx context.Context, kind, body string) (status int, err error)
+
+	httpOnce   sync.Once
+	httpClient *http.Client
+}
+
+// job is one scheduled arrival.
+type job struct {
+	i         int64
+	scheduled time.Time
+}
+
+// Run executes one scenario: install program and data, register
+// timers, warm up, measure for the scenario's duration at its target
+// rate, tear the timers down, and summarize.
+func (r *Runner) Run(ctx context.Context, sc *Scenario) (*ScenarioResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.setup(ctx, sc); err != nil {
+		return nil, err
+	}
+	defer r.teardown(sc)
+
+	if w := sc.WarmupParsed(); w > 0 {
+		r.logf("  warmup %v at %.0f ops/s", w, sc.Rate)
+		r.drive(ctx, sc, w)
+	}
+
+	before, err := r.counterSums()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: metrics before: %w", sc.Name, err)
+	}
+	window := sc.DurationParsed()
+	r.logf("  measuring %v at %.0f ops/s", window, sc.Rate)
+
+	// The CPU profile spans the measured window; collection runs
+	// concurrently with the load.
+	profCh := r.startProfile(ctx, window)
+
+	res := r.drive(ctx, sc, window)
+
+	after, err := r.counterSums()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: metrics after: %w", sc.Name, err)
+	}
+	res.Name, res.Family, res.Description = sc.Name, sc.Family, sc.Description
+	res.ServerDelta = counterDelta(before, after)
+	if profCh != nil {
+		prof := <-profCh
+		res.CPUSeconds, res.CPUNote = prof.seconds, prof.note
+	} else {
+		res.CPUNote = "no profile endpoint configured"
+	}
+	return res, nil
+}
+
+// setup installs the scenario's program, seed facts, setup updates
+// and timers.
+func (r *Runner) setup(ctx context.Context, sc *Scenario) error {
+	if sc.Program != "" {
+		if _, err := r.Client.SetProgram(ctx, sc.Program, sc.Strategy); err != nil {
+			return fmt.Errorf("scenario %q: install program: %w", sc.Name, err)
+		}
+	}
+	for i, chunk := range chunkFacts(sc.Database, 500) {
+		if _, err := r.Client.Transact(ctx, chunk); err != nil {
+			return fmt.Errorf("scenario %q: seed chunk %d: %w", sc.Name, i, err)
+		}
+	}
+	for i, ups := range sc.Setup {
+		if _, err := r.Client.Transact(ctx, ups); err != nil {
+			return fmt.Errorf("scenario %q: setup[%d]: %w", sc.Name, i, err)
+		}
+	}
+	for _, t := range sc.Timers {
+		_, err := r.Client.CreateTimer(ctx, server.TimerRequest{
+			Name: t.Name, Every: t.Every, Updates: t.Updates, Count: t.Count,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %q: timer %q: %w", sc.Name, t.Name, err)
+		}
+	}
+	return nil
+}
+
+// teardown removes the scenario's timers so the next scenario starts
+// from a quiet server. Best-effort: the run is already over.
+func (r *Runner) teardown(sc *Scenario) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, t := range sc.Timers {
+		if _, err := r.Client.DeleteTimer(ctx, t.Name); err != nil {
+			r.logf("  teardown: delete timer %q: %v", t.Name, err)
+		}
+	}
+}
+
+// drive runs the op mix at the scenario's rate for the window and
+// collects the result. The arrival loop is open: ops are dispatched
+// on the pacer's timetable whether or not earlier ops finished, and
+// latency runs from the scheduled slot, so time spent queueing for a
+// free worker counts.
+func (r *Runner) drive(ctx context.Context, sc *Scenario, window time.Duration) *ScenarioResult {
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = 16
+	}
+	exec := r.Execute
+	if exec == nil {
+		exec = r.httpExecute
+	}
+	rng := newOpRand(sc.Seed)
+	picks := opPicker(sc.Ops)
+
+	// The job channel is sized for every arrival in the window so the
+	// dispatcher never blocks on slow workers — blocking would close
+	// the loop and re-introduce coordinated omission.
+	expected := int64(sc.Rate*window.Seconds()) + int64(workers) + 1
+	jobs := make(chan job, expected)
+
+	var (
+		mu       sync.Mutex
+		lats     = metrics.NewDurations(int(expected))
+		kindLats = map[string]*metrics.Durations{}
+		status   = map[string]int64{}
+		errs     int64
+		done     int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				op := picks(j.i)
+				mu.Lock()
+				body, err := expandTemplate(op.Body, j.i, rng)
+				mu.Unlock()
+				var code int
+				if err == nil {
+					code, err = exec(ctx, op.Kind, body)
+				}
+				lat := time.Since(j.scheduled)
+				mu.Lock()
+				lats.Observe(lat)
+				kl := kindLats[op.Kind]
+				if kl == nil {
+					kl = metrics.NewDurations(1024)
+					kindLats[op.Kind] = kl
+				}
+				kl.Observe(lat)
+				if err != nil {
+					errs++
+					status["error"]++
+				} else {
+					status[fmt.Sprintf("%d", code)]++
+				}
+				done++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	pacer := NewPacer(time.Now(), sc.Rate)
+	scheduled := pacer.Arrivals(ctx, window, func(i int64, sched time.Time) {
+		jobs <- job{i: i, scheduled: sched}
+	})
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(pacer.Start)
+
+	res := &ScenarioResult{
+		OfferedRate:     float64(scheduled) / window.Seconds(),
+		AchievedRate:    float64(done) / elapsed.Seconds(),
+		DurationSeconds: window.Seconds(),
+		Scheduled:       scheduled,
+		Ops:             done,
+		Errors:          errs,
+		Status:          status,
+		Latency:         latencySummary(lats.Summary()),
+	}
+	if len(kindLats) > 0 {
+		res.KindLatency = map[string]LatencySummary{}
+		for kind, d := range kindLats {
+			res.KindLatency[kind] = latencySummary(d.Summary())
+		}
+	}
+	return res
+}
+
+// opPicker deals ops from the weighted mix deterministically: op i
+// takes the i-th slot of a weight-proportional round-robin cycle, so
+// a 3:1 mix is exactly 3:1 in every window and reruns replay the same
+// op sequence.
+func opPicker(ops []Op) func(i int64) Op {
+	var cycle []Op
+	for _, op := range ops {
+		for k := 0; k < op.Weight; k++ {
+			cycle = append(cycle, op)
+		}
+	}
+	return func(i int64) Op { return cycle[i%int64(len(cycle))] }
+}
+
+// httpExecute performs one real operation and returns the HTTP status.
+func (r *Runner) httpExecute(ctx context.Context, kind, body string) (int, error) {
+	r.httpOnce.Do(func() {
+		r.httpClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		}}
+	})
+	var (
+		method, path string
+		payload      io.Reader
+	)
+	switch kind {
+	case "transaction":
+		method, path = http.MethodPost, "/v1/transaction"
+		data, _ := json.Marshal(server.TransactionRequest{Updates: body})
+		payload = bytes.NewReader(data)
+	case "query":
+		method, path = http.MethodPost, "/v1/query"
+		data, _ := json.Marshal(server.QueryRequest{Query: body})
+		payload = bytes.NewReader(data)
+	case "database":
+		method, path = http.MethodGet, "/v1/database"
+	default:
+		return 0, fmt.Errorf("unknown op kind %q", kind)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.Client.BaseURL+path, payload)
+	if err != nil {
+		return 0, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.httpClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reused; the runner only needs the
+	// status code.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// counterSums snapshots the server's park_* counters summed across
+// labels per metric name.
+func (r *Runner) counterSums() (map[string]int64, error) {
+	snap, err := r.Client.Metrics(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for _, mv := range snap.Counters {
+		if strings.HasPrefix(mv.Name, "park_engine_") ||
+			strings.HasPrefix(mv.Name, "park_store_") ||
+			strings.HasPrefix(mv.Name, "park_timer_") {
+			out[mv.Name] += mv.Value
+		}
+	}
+	return out, nil
+}
+
+// counterDelta subtracts snapshots, keeping metrics that moved.
+func counterDelta(before, after map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// profileResult is the CPU attribution of one measured window.
+type profileResult struct {
+	seconds map[string]float64
+	note    string
+}
+
+// startProfile kicks off the concurrent CPU-profile collection, or
+// returns nil when no profile endpoint is configured.
+func (r *Runner) startProfile(ctx context.Context, window time.Duration) <-chan profileResult {
+	if r.ProfileURL == "" {
+		return nil
+	}
+	secs := int(window.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	ch := make(chan profileResult, 1)
+	go func() {
+		url := fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", r.ProfileURL, secs)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			ch <- profileResult{note: fmt.Sprintf("profile request: %v", err)}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			ch <- profileResult{note: fmt.Sprintf("profile fetch: %v", err)}
+			return
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			ch <- profileResult{note: fmt.Sprintf("profile fetch: HTTP %d %v", resp.StatusCode, err)}
+			return
+		}
+		prof, err := ParseCPUByLabel(data, "endpoint")
+		if err != nil {
+			ch <- profileResult{note: err.Error()}
+			return
+		}
+		seconds := map[string]float64{}
+		for k, d := range prof.ByValue {
+			seconds[k] = d.Seconds()
+		}
+		ch <- profileResult{seconds: seconds,
+			note: fmt.Sprintf("%.2fs CPU sampled over a %ds profile window", prof.Total.Seconds(), secs)}
+	}()
+	return ch
+}
+
+// chunkFacts turns a fact listing ("emp(e0). active(e0).") into
+// update sets of at most n insertions each.
+func chunkFacts(db string, n int) []string {
+	var chunks []string
+	var sb strings.Builder
+	count := 0
+	for _, stmt := range strings.Split(db, ".") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		sb.WriteString("+")
+		sb.WriteString(stmt)
+		sb.WriteString(". ")
+		if count++; count == n {
+			chunks = append(chunks, sb.String())
+			sb.Reset()
+			count = 0
+		}
+	}
+	if count > 0 {
+		chunks = append(chunks, sb.String())
+	}
+	return chunks
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}

@@ -1,0 +1,188 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/http/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/server"
+)
+
+// newLoadTestServer spawns an in-process leader with the pprof
+// profile handler mounted, the same shape cmd/parkload uses.
+func newLoadTestServer(t *testing.T) *server.Client {
+	t.Helper()
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := server.New(store)
+	t.Cleanup(srv.StopStreams)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return &server.Client{BaseURL: ts.URL}
+}
+
+// TestRunnerOpenLoopAgainstSlowStub: with a stubbed server that takes
+// 40ms per op and only 2 workers, a 200 ops/s schedule still offers
+// the full arrival count, the achieved rate lags, and latency —
+// measured from the scheduled slot — shows the queueing delay a
+// closed-loop harness would hide.
+func TestRunnerOpenLoopAgainstSlowStub(t *testing.T) {
+	sc := Scenario{
+		Name: "slow-stub", Family: "test",
+		Ops:      []Op{{Kind: "transaction", Weight: 1, Body: "+a(x${n})."}},
+		Rate:     200,
+		Duration: "500ms",
+		Workers:  2,
+	}
+	r := &Runner{
+		Client: &server.Client{BaseURL: "http://stub.invalid"},
+		Execute: func(ctx context.Context, kind, body string) (int, error) {
+			time.Sleep(40 * time.Millisecond)
+			return 200, nil
+		},
+	}
+	res := r.drive(context.Background(), &sc, sc.DurationParsed())
+	wantSched := int64(sc.Rate * sc.DurationParsed().Seconds()) // 100
+	if res.Scheduled < wantSched-5 || res.Scheduled > wantSched+5 {
+		t.Fatalf("scheduled %d arrivals, want ~%d (open loop must not slow down)", res.Scheduled, wantSched)
+	}
+	if res.Ops != res.Scheduled {
+		t.Fatalf("completed %d of %d (drive drains the queue)", res.Ops, res.Scheduled)
+	}
+	if res.AchievedRate >= res.OfferedRate {
+		t.Fatalf("achieved %.0f >= offered %.0f under a slow server", res.AchievedRate, res.OfferedRate)
+	}
+	// 100 arrivals through 2 workers at 40ms each: the last op waits
+	// ~2s for a worker. Queueing must dominate the p99.
+	if res.Latency.P99 < 500 {
+		t.Fatalf("p99 = %.0fms; queueing delay is missing from latency (coordinated omission)", res.Latency.P99)
+	}
+	if res.Latency.P50 > res.Latency.P95 || res.Latency.P95 > res.Latency.P99 {
+		t.Fatalf("quantiles out of order: %+v", res.Latency)
+	}
+	if res.Status["200"] != res.Ops {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+// TestRunnerEndToEnd drives a small mixed scenario, with a timer,
+// against a real in-process server and checks the whole result shape:
+// status counts, latency, server-side counter deltas and CPU
+// attribution by endpoint label.
+func TestRunnerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run")
+	}
+	c := newLoadTestServer(t)
+	sc := Scenario{
+		Name: "e2e", Family: "test",
+		Description: "small mixed run for the runner test",
+		Program: `
+			rule track: +val(K, V) -> +seen(K).
+			rule obs: +tick(X) -> +ticked(X).
+		`,
+		Database: "boot(b0). boot(b1).",
+		Timers:   []TimerSpec{{Name: "beat", Every: "20ms", Updates: "+tick(t${n})."}},
+		Ops: []Op{
+			{Kind: "transaction", Weight: 2, Body: "+val(k${nmod:20}, v${n})."},
+			{Kind: "query", Weight: 1, Body: "seen(K)"},
+			{Kind: "database", Weight: 1},
+		},
+		Rate:     100,
+		Duration: "1s",
+		Warmup:   "100ms",
+		Workers:  8,
+	}
+	r := &Runner{Client: c, ProfileURL: c.BaseURL}
+	res, err := r.Run(context.Background(), &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 50 {
+		t.Fatalf("completed only %d ops", res.Ops)
+	}
+	if res.Errors != 0 || res.Status["200"] != res.Ops {
+		t.Fatalf("errors=%d status=%v", res.Errors, res.Status)
+	}
+	if res.Latency.Count != res.Ops || res.Latency.P99 <= 0 {
+		t.Fatalf("latency = %+v", res.Latency)
+	}
+	if res.KindLatency["transaction"].Count == 0 || res.KindLatency["query"].Count == 0 {
+		t.Fatalf("kind latency = %+v", res.KindLatency)
+	}
+	// The server-side deltas saw the transactions and the timer.
+	if res.ServerDelta["park_engine_transactions_total"] < res.KindLatency["transaction"].Count {
+		t.Fatalf("engine txn delta = %v", res.ServerDelta)
+	}
+	if res.ServerDelta["park_timer_fires_total"] == 0 {
+		t.Fatalf("timer never fired during the run: %v", res.ServerDelta)
+	}
+	// The timer was torn down.
+	timers, err := c.Timers(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timers) != 0 {
+		t.Fatalf("timers left behind: %+v", timers)
+	}
+	// CPU attribution came back from the pprof endpoint. On an idle
+	// box the 1s profile may contain few samples; require the parse
+	// to have succeeded (note says "sampled"), not a minimum burn.
+	if !strings.Contains(res.CPUNote, "sampled") {
+		t.Fatalf("cpu attribution failed: note=%q seconds=%v", res.CPUNote, res.CPUSeconds)
+	}
+
+	// The result marshals into a report that validates.
+	rep := Report{
+		Schema:    ReportSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: "go-test",
+		Scenarios: []ScenarioResult{*res},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateReport(data); err != nil {
+		t.Fatalf("generated report invalid: %v\n%s", err, data)
+	}
+}
+
+func TestChunkFacts(t *testing.T) {
+	chunks := chunkFacts("a(x). b(y).\nc(z).", 2)
+	if len(chunks) != 2 {
+		t.Fatalf("chunks = %q", chunks)
+	}
+	if chunks[0] != "+a(x). +b(y). " || chunks[1] != "+c(z). " {
+		t.Fatalf("chunks = %q", chunks)
+	}
+	if got := chunkFacts("", 10); got != nil {
+		t.Fatalf("empty db chunks = %q", got)
+	}
+}
+
+func TestOpPicker(t *testing.T) {
+	pick := opPicker([]Op{
+		{Kind: "transaction", Weight: 3, Body: "w"},
+		{Kind: "query", Weight: 1, Body: "q"},
+	})
+	counts := map[string]int{}
+	for i := int64(0); i < 400; i++ {
+		counts[pick(i).Kind]++
+	}
+	if counts["transaction"] != 300 || counts["query"] != 100 {
+		t.Fatalf("mix = %v, want exact 3:1", counts)
+	}
+}

@@ -1,0 +1,243 @@
+// Package load is the open-loop workload generator behind cmd/parkload.
+//
+// Open loop means arrivals are scheduled on a fixed timetable — op i is
+// due at start + i/rate — independent of how fast the server answers.
+// Latency is measured from the *scheduled* send time, so queueing delay
+// caused by a slow server is part of the number, not silently dropped
+// (the coordinated-omission mistake closed-loop harnesses make; see
+// docs/BENCHMARKING.md). The package splits into:
+//
+//   - Scenario: the declarative description of one workload (this file),
+//     parsed from scenarios/*.json with line-precise errors.
+//   - DefaultScenarios: the built-in scenario families (families.go).
+//   - Pacer: the open-loop arrival timetable (pacer.go).
+//   - Runner: drives a scenario against a live server (runner.go).
+//   - Report: the machine-readable BENCH_*.json schema (report.go).
+//   - ParseCPUByLabel: per-endpoint CPU attribution from the server's
+//     pprof profile endpoint (pprofparse.go).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Scenario declares one workload: the program and data to install, an
+// optional set of interval timers, and a weighted operation mix
+// replayed at a fixed arrival rate for a fixed duration.
+type Scenario struct {
+	// Name identifies the scenario in reports and on the command line.
+	Name string `json:"name"`
+	// Family groups scenarios that exercise the same feature
+	// (e.g. "mixed", "cascade", "payroll"); see docs/SCENARIOS.md.
+	Family string `json:"family"`
+	// Description says what the scenario exercises and why.
+	Description string `json:"description,omitempty"`
+
+	// Program is the rule-language source installed before the run.
+	Program string `json:"program,omitempty"`
+	// Strategy optionally sets the server's default conflict strategy.
+	Strategy string `json:"strategy,omitempty"`
+	// Database holds seed facts ("emp(e0). active(e0).") inserted in
+	// chunked transactions before the run. Rules see the insertions as
+	// events, so derived setup state (e.g. an initial transitive
+	// closure) is computed here, not during measurement.
+	Database string `json:"database,omitempty"`
+	// Setup lists extra update sets applied after Database.
+	Setup []string `json:"setup,omitempty"`
+	// Timers are interval event sources registered for the duration of
+	// the run (POST /v1/timers) and deleted afterwards.
+	Timers []TimerSpec `json:"timers,omitempty"`
+
+	// Ops is the weighted operation mix.
+	Ops []Op `json:"ops"`
+	// Rate is the target arrival rate in operations per second.
+	Rate float64 `json:"rate"`
+	// Duration is the measured window, as a Go duration string.
+	Duration string `json:"duration"`
+	// Warmup runs the same mix at the same rate before measuring;
+	// its results are discarded. Optional.
+	Warmup string `json:"warmup,omitempty"`
+	// Workers is the executor pool size (default 16). The pool bounds
+	// concurrency, not the arrival rate: when all workers are busy,
+	// arrivals queue and their queueing time counts as latency.
+	Workers int `json:"workers,omitempty"`
+	// Seed parameterizes the ${rand:K} template variable.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// TimerSpec registers one interval timer for the run.
+type TimerSpec struct {
+	// Name of the timer (letters, digits, '_', '-').
+	Name string `json:"name"`
+	// Every is the firing period ("25ms").
+	Every string `json:"every"`
+	// Updates is the update template; the server substitutes ${n} with
+	// the firing index.
+	Updates string `json:"updates"`
+	// Count bounds the firings; 0 means until the run tears down.
+	Count int `json:"count,omitempty"`
+}
+
+// Op is one entry in the weighted operation mix.
+type Op struct {
+	// Kind selects the endpoint: "transaction" (POST /v1/transaction),
+	// "query" (POST /v1/query) or "database" (GET /v1/database).
+	Kind string `json:"kind"`
+	// Weight is the op's relative share of the mix (> 0).
+	Weight int `json:"weight"`
+	// Body is the update set (transaction) or query template. Template
+	// variables: ${n} = the op's global sequence number, ${nmod:K} =
+	// n % K, ${rand:K} = a seeded uniform draw from [0, K).
+	Body string `json:"body,omitempty"`
+}
+
+// opKinds are the accepted Op.Kind values.
+var opKinds = map[string]bool{"transaction": true, "query": true, "database": true}
+
+// Validate checks the scenario's semantic constraints. Field errors
+// name the offending field; ParseScenario adds file/line context for
+// syntax errors.
+func (s *Scenario) Validate() error {
+	if strings.TrimSpace(s.Name) == "" {
+		return errors.New(`"name" is required`)
+	}
+	if strings.TrimSpace(s.Family) == "" {
+		return fmt.Errorf(`scenario %q: "family" is required`, s.Name)
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf(`scenario %q: "rate" must be > 0, got %v`, s.Name, s.Rate)
+	}
+	d, err := time.ParseDuration(s.Duration)
+	if err != nil {
+		return fmt.Errorf(`scenario %q: bad "duration": %v`, s.Name, err)
+	}
+	if d <= 0 {
+		return fmt.Errorf(`scenario %q: "duration" must be > 0, got %v`, s.Name, d)
+	}
+	if s.Warmup != "" {
+		if w, err := time.ParseDuration(s.Warmup); err != nil || w < 0 {
+			return fmt.Errorf(`scenario %q: bad "warmup" %q`, s.Name, s.Warmup)
+		}
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf(`scenario %q: "workers" must be >= 0`, s.Name)
+	}
+	if len(s.Ops) == 0 {
+		return fmt.Errorf(`scenario %q: "ops" must list at least one operation`, s.Name)
+	}
+	for i, op := range s.Ops {
+		if !opKinds[op.Kind] {
+			return fmt.Errorf(`scenario %q: ops[%d]: unknown kind %q (want transaction, query or database)`,
+				s.Name, i, op.Kind)
+		}
+		if op.Weight <= 0 {
+			return fmt.Errorf(`scenario %q: ops[%d]: "weight" must be > 0, got %d`, s.Name, i, op.Weight)
+		}
+		if op.Kind != "database" && strings.TrimSpace(op.Body) == "" {
+			return fmt.Errorf(`scenario %q: ops[%d]: %s op needs a "body"`, s.Name, i, op.Kind)
+		}
+		if _, err := expandTemplate(op.Body, 0, zeroRand{}); err != nil {
+			return fmt.Errorf(`scenario %q: ops[%d]: %v`, s.Name, i, err)
+		}
+	}
+	for i, t := range s.Timers {
+		if strings.TrimSpace(t.Name) == "" || strings.TrimSpace(t.Every) == "" ||
+			strings.TrimSpace(t.Updates) == "" {
+			return fmt.Errorf(`scenario %q: timers[%d]: "name", "every" and "updates" are required`, s.Name, i)
+		}
+		if _, err := time.ParseDuration(t.Every); err != nil {
+			return fmt.Errorf(`scenario %q: timers[%d]: bad "every": %v`, s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// DurationParsed returns the measured window length. Call after
+// Validate.
+func (s *Scenario) DurationParsed() time.Duration {
+	d, _ := time.ParseDuration(s.Duration)
+	return d
+}
+
+// WarmupParsed returns the warmup length (zero when unset).
+func (s *Scenario) WarmupParsed() time.Duration {
+	if s.Warmup == "" {
+		return 0
+	}
+	w, _ := time.ParseDuration(s.Warmup)
+	return w
+}
+
+// ParseScenario decodes one scenario from JSON. Errors carry the file
+// name and, for syntax and type errors, the 1-based line and column of
+// the offending byte; unknown fields are located by searching for the
+// field name. The decoder rejects unknown fields so a typo in a knob
+// name fails loudly instead of silently running the default.
+func ParseScenario(file string, data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, locateJSONError(file, data, err)
+	}
+	// A scenario file holds exactly one JSON object.
+	if dec.More() {
+		off := dec.InputOffset()
+		line, col := lineCol(data, off)
+		return nil, fmt.Errorf("%s:%d:%d: trailing data after the scenario object", file, line, col)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	return &sc, nil
+}
+
+// locateJSONError maps a json decode error to file:line:col form.
+func locateJSONError(file string, data []byte, err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		line, col := lineCol(data, syn.Offset)
+		return fmt.Errorf("%s:%d:%d: %v", file, line, col, syn)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		line, col := lineCol(data, typ.Offset)
+		return fmt.Errorf("%s:%d:%d: field %q wants %s, got JSON %s",
+			file, line, col, typ.Field, typ.Type, typ.Value)
+	}
+	// DisallowUnknownFields errors carry the field name but no offset;
+	// recover a line by finding the quoted field in the source.
+	if msg := err.Error(); strings.Contains(msg, "unknown field") {
+		if _, name, ok := strings.Cut(msg, `unknown field "`); ok {
+			name = strings.TrimSuffix(name, `"`)
+			if off := bytes.Index(data, []byte(`"`+name+`"`)); off >= 0 {
+				line, col := lineCol(data, int64(off))
+				return fmt.Errorf("%s:%d:%d: unknown field %q (check docs/SCENARIOS.md for the schema)",
+					file, line, col, name)
+			}
+		}
+	}
+	return fmt.Errorf("%s: %v", file, err)
+}
+
+// lineCol converts a byte offset into 1-based line and column.
+func lineCol(data []byte, off int64) (line, col int) {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:off] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}

@@ -1,0 +1,208 @@
+package load
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const validScenarioJSON = `{
+	"name": "tiny",
+	"family": "mixed",
+	"program": "rule t: +a(X) -> +b(X).",
+	"ops": [
+		{"kind": "transaction", "weight": 3, "body": "+a(x${n})."},
+		{"kind": "query", "weight": 1, "body": "b(X)"}
+	],
+	"rate": 50,
+	"duration": "1s",
+	"warmup": "100ms"
+}`
+
+func TestParseScenarioValid(t *testing.T) {
+	sc, err := ParseScenario("tiny.json", []byte(validScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "tiny" || sc.Family != "mixed" || sc.Rate != 50 {
+		t.Fatalf("parsed scenario = %+v", sc)
+	}
+	if got := sc.DurationParsed().Seconds(); got != 1 {
+		t.Fatalf("duration = %v", got)
+	}
+	if len(sc.Ops) != 2 || sc.Ops[0].Weight != 3 {
+		t.Fatalf("ops = %+v", sc.Ops)
+	}
+}
+
+// TestParseScenarioSyntaxErrorLine: a malformed scenario is rejected
+// with the file, line and column of the offending byte.
+func TestParseScenarioSyntaxErrorLine(t *testing.T) {
+	src := "{\n\t\"name\": \"x\",\n\t\"family\" \"mixed\"\n}"
+	_, err := ParseScenario("bad.json", []byte(src))
+	if err == nil {
+		t.Fatal("malformed scenario accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "bad.json:3:") {
+		t.Fatalf("error %q lacks file:line: prefix for line 3", err)
+	}
+}
+
+func TestParseScenarioTypeErrorLine(t *testing.T) {
+	src := "{\n\t\"name\": \"x\",\n\t\"family\": \"mixed\",\n\t\"rate\": \"fast\",\n\t\"duration\": \"1s\",\n\t\"ops\": [{\"kind\": \"database\", \"weight\": 1}]\n}"
+	_, err := ParseScenario("typed.json", []byte(src))
+	if err == nil {
+		t.Fatal("type-mismatched scenario accepted")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "typed.json:4:") || !strings.Contains(msg, `"rate"`) {
+		t.Fatalf("error %q should locate the rate field on line 4", err)
+	}
+}
+
+// TestParseScenarioUnknownFieldLine: a typo'd knob fails loudly and
+// points at its line rather than silently running the default.
+func TestParseScenarioUnknownFieldLine(t *testing.T) {
+	src := "{\n\t\"name\": \"x\",\n\t\"family\": \"mixed\",\n\t\"ratee\": 10,\n\t\"duration\": \"1s\",\n\t\"ops\": [{\"kind\": \"database\", \"weight\": 1}]\n}"
+	_, err := ParseScenario("typo.json", []byte(src))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "typo.json:4:") || !strings.Contains(msg, `"ratee"`) {
+		t.Fatalf("error %q should locate the unknown field on line 4", err)
+	}
+}
+
+func TestParseScenarioTrailingData(t *testing.T) {
+	_, err := ParseScenario("trail.json", []byte(validScenarioJSON+"\n{}"))
+	if err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("trailing data err = %v", err)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	base := func() Scenario {
+		var sc Scenario
+		if err := json.Unmarshal([]byte(validScenarioJSON), &sc); err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"no name", func(s *Scenario) { s.Name = " " }, `"name" is required`},
+		{"no family", func(s *Scenario) { s.Family = "" }, `"family" is required`},
+		{"zero rate", func(s *Scenario) { s.Rate = 0 }, `"rate" must be > 0`},
+		{"bad duration", func(s *Scenario) { s.Duration = "fast" }, `bad "duration"`},
+		{"zero duration", func(s *Scenario) { s.Duration = "0s" }, `"duration" must be > 0`},
+		{"bad warmup", func(s *Scenario) { s.Warmup = "-1s" }, `bad "warmup"`},
+		{"no ops", func(s *Scenario) { s.Ops = nil }, `at least one operation`},
+		{"bad kind", func(s *Scenario) { s.Ops[0].Kind = "delete" }, `unknown kind "delete"`},
+		{"zero weight", func(s *Scenario) { s.Ops[0].Weight = 0 }, `"weight" must be > 0`},
+		{"no body", func(s *Scenario) { s.Ops[0].Body = "" }, `needs a "body"`},
+		{"bad template", func(s *Scenario) { s.Ops[0].Body = "+a(${rnd:5})." }, "unknown template variable"},
+		{"bad timer", func(s *Scenario) { s.Timers = []TimerSpec{{Name: "t"}} }, `"name", "every" and "updates" are required`},
+		{"bad timer period", func(s *Scenario) {
+			s.Timers = []TimerSpec{{Name: "t", Every: "soon", Updates: "+x."}}
+		}, `bad "every"`},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mutate(&sc)
+		err := sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	sc := base()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestDefaultScenariosValid: every built-in scenario passes the same
+// validation user files do, and the suite covers the documented
+// families.
+func TestDefaultScenariosValid(t *testing.T) {
+	scs := DefaultScenarios()
+	families := map[string]bool{}
+	for i := range scs {
+		if err := scs[i].Validate(); err != nil {
+			t.Errorf("default scenario %q invalid: %v", scs[i].Name, err)
+		}
+		families[scs[i].Family] = true
+	}
+	for _, want := range []string{"mixed", "cascade", "payroll", "closure", "hotkey", "temporal"} {
+		if !families[want] {
+			t.Errorf("default suite missing family %q", want)
+		}
+	}
+	// Round-trip through JSON: what -dump writes, ParseScenario reads.
+	for i := range scs {
+		data, err := json.MarshalIndent(scs[i], "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseScenario(scs[i].Name+".json", data)
+		if err != nil {
+			t.Errorf("round-trip %q: %v", scs[i].Name, err)
+			continue
+		}
+		if back.Name != scs[i].Name || len(back.Ops) != len(scs[i].Ops) {
+			t.Errorf("round-trip %q changed the scenario", scs[i].Name)
+		}
+	}
+}
+
+func TestQuickCopy(t *testing.T) {
+	sc := DefaultScenarios()[0]
+	q := QuickCopy(sc)
+	if q.Rate > 50 || q.Duration != "1s" {
+		t.Fatalf("quick copy = rate %v duration %s", q.Rate, q.Duration)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Duration == q.Duration && sc.Name == "mixed-rw" {
+		t.Fatal("QuickCopy mutated nothing")
+	}
+}
+
+func TestExpandTemplate(t *testing.T) {
+	rng := newOpRand(1)
+	cases := []struct {
+		tmpl string
+		n    int64
+		want string
+	}{
+		{"+a(x).", 5, "+a(x)."},
+		{"+a(x${n}).", 5, "+a(x5)."},
+		{"+a(x${nmod:3}).", 5, "+a(x2)."},
+		{"${n}${n}", 7, "77"},
+	}
+	for _, tc := range cases {
+		got, err := expandTemplate(tc.tmpl, tc.n, rng)
+		if err != nil || got != tc.want {
+			t.Errorf("expand(%q, %d) = %q, %v; want %q", tc.tmpl, tc.n, got, err, tc.want)
+		}
+	}
+	// ${rand:K} stays in range.
+	for i := 0; i < 100; i++ {
+		got, err := expandTemplate("${rand:10}", 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) > 1 || got < "0" || got > "9" {
+			t.Fatalf("rand draw %q out of range", got)
+		}
+	}
+	for _, bad := range []string{"${x}", "${nmod:0}", "${rand:-1}", "${n", "${rand:}"} {
+		if _, err := expandTemplate(bad, 0, rng); err == nil {
+			t.Errorf("expand(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScenarioFilesMatchDefaults pins the committed scenarios/*.json
+// files to DefaultScenarios: the files are the canonical declarative
+// form (editable, replayable via `parkload -dir scenarios`), the Go
+// definitions the embedded fallback, and this test keeps the two from
+// drifting. Regenerate with:
+//
+//	go run ./cmd/parkload -dump scenarios
+func TestScenarioFilesMatchDefaults(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("scenarios/ directory missing at the repo root: %v", err)
+	}
+	defaults := DefaultScenarios()
+	for _, sc := range defaults {
+		path := filepath.Join(dir, sc.Name+".json")
+		onDisk, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("scenario file for %q missing (run `go run ./cmd/parkload -dump scenarios`): %v",
+				sc.Name, err)
+			continue
+		}
+		want, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		if !bytes.Equal(onDisk, want) {
+			t.Errorf("%s drifted from DefaultScenarios; run `go run ./cmd/parkload -dump scenarios`", path)
+		}
+		// And the canonical file parses back cleanly, like any user file.
+		if _, err := ParseScenario(path, onDisk); err != nil {
+			t.Errorf("canonical scenario file rejected: %v", err)
+		}
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(defaults) {
+		t.Errorf("scenarios/ holds %d files, DefaultScenarios %d — stale file left behind?",
+			len(paths), len(defaults))
+	}
+}

@@ -1,0 +1,80 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// intSource supplies the ${rand:K} draws; satisfied by *rand.Rand.
+// Validation uses zeroRand so it needs no seed.
+type intSource interface {
+	Intn(n int) int
+}
+
+// zeroRand is an intSource that always draws 0; used to parse-check
+// templates without consuming randomness.
+type zeroRand struct{}
+
+func (zeroRand) Intn(int) int { return 0 }
+
+// expandTemplate substitutes the op-template variables:
+//
+//	${n}       the op's global sequence number
+//	${nmod:K}  n modulo K
+//	${rand:K}  a seeded uniform draw from [0, K)
+//
+// Anything else inside ${...} is an error — a typo like ${rnd:5} must
+// not silently reach the server as literal text.
+func expandTemplate(tmpl string, n int64, rng intSource) (string, error) {
+	if !strings.Contains(tmpl, "${") {
+		return tmpl, nil
+	}
+	var sb strings.Builder
+	rest := tmpl
+	for {
+		head, tail, ok := strings.Cut(rest, "${")
+		sb.WriteString(head)
+		if !ok {
+			return sb.String(), nil
+		}
+		expr, after, ok := strings.Cut(tail, "}")
+		if !ok {
+			return "", fmt.Errorf("unterminated ${ in template %q", tmpl)
+		}
+		switch {
+		case expr == "n":
+			sb.WriteString(strconv.FormatInt(n, 10))
+		case strings.HasPrefix(expr, "nmod:"):
+			k, err := templateModulus(expr, "nmod:")
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(strconv.FormatInt(n%int64(k), 10))
+		case strings.HasPrefix(expr, "rand:"):
+			k, err := templateModulus(expr, "rand:")
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(strconv.Itoa(rng.Intn(k)))
+		default:
+			return "", fmt.Errorf("unknown template variable ${%s} (want ${n}, ${nmod:K} or ${rand:K})", expr)
+		}
+		rest = after
+	}
+}
+
+// templateModulus parses the K of ${nmod:K} / ${rand:K}.
+func templateModulus(expr, prefix string) (int, error) {
+	k, err := strconv.Atoi(strings.TrimPrefix(expr, prefix))
+	if err != nil || k <= 0 {
+		return 0, fmt.Errorf("bad template variable ${%s}: K must be a positive integer", expr)
+	}
+	return k, nil
+}
+
+// newOpRand builds the deterministic draw source for a run.
+func newOpRand(seed int64) intSource {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Durations is a concurrency-safe recorder of duration samples with
+// exact quantiles. It exists so that every tool reporting latency
+// percentiles — parkbench's B-series tables and parkload's
+// BENCH_*.json trajectories — computes them from one implementation,
+// and a p99 in one report means the same thing as a p99 in another.
+//
+// Samples are kept exactly (no bucketing); the intended scale is a
+// benchmark run's worth of observations (up to a few million), where
+// an exact sort is both affordable and free of the resolution
+// artifacts a fixed-bucket histogram would add to tail quantiles.
+// Observe is safe from any goroutine; the read side (Quantile, Mean,
+// Max, Snapshot) sorts lazily under the same lock.
+type Durations struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewDurations returns an empty recorder with capacity hint n.
+func NewDurations(n int) *Durations {
+	return &Durations{samples: make([]time.Duration, 0, n)}
+}
+
+// Observe records one duration sample.
+func (d *Durations) Observe(v time.Duration) {
+	d.mu.Lock()
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (d *Durations) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.samples)
+}
+
+// sortLocked sorts the sample slice if needed. Callers hold d.mu.
+func (d *Durations) sortLocked() {
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+		d.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) as the value at
+// index floor(q·(n−1)) of the sorted samples. Zero samples yield 0.
+// This is the exact convention parkbench's B12 table has always
+// used, now shared by every reporting tool.
+func (d *Durations) Quantile(q float64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sortLocked()
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return d.samples[int(q*float64(len(d.samples)-1))]
+}
+
+// Mean returns the arithmetic mean of the samples (0 when empty).
+func (d *Durations) Mean() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / time.Duration(len(d.samples))
+}
+
+// Max returns the largest sample (0 when empty).
+func (d *Durations) Max() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sortLocked()
+	return d.samples[len(d.samples)-1]
+}
+
+// DurationSummary is the standard percentile summary the benchmark
+// tools report. All fields are durations; JSON encoders that want
+// milliseconds should convert explicitly rather than rely on
+// time.Duration's integer-nanosecond marshaling.
+type DurationSummary struct {
+	Count              int
+	Mean, Max          time.Duration
+	P50, P90, P95, P99 time.Duration
+}
+
+// Summary computes the standard summary in one pass over the sorted
+// samples.
+func (d *Durations) Summary() DurationSummary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DurationSummary{Count: len(d.samples)}
+	if len(d.samples) == 0 {
+		return s
+	}
+	d.sortLocked()
+	var sum time.Duration
+	for _, v := range d.samples {
+		sum += v
+	}
+	s.Mean = sum / time.Duration(len(d.samples))
+	s.Max = d.samples[len(d.samples)-1]
+	at := func(q float64) time.Duration {
+		return d.samples[int(q*float64(len(d.samples)-1))]
+	}
+	s.P50, s.P90, s.P95, s.P99 = at(0.50), at(0.90), at(0.95), at(0.99)
+	return s
+}

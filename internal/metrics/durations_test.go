@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDurationsEmpty(t *testing.T) {
+	d := NewDurations(0)
+	if d.Count() != 0 || d.Quantile(0.99) != 0 || d.Mean() != 0 || d.Max() != 0 {
+		t.Fatalf("empty recorder must read all-zero: %+v", d.Summary())
+	}
+	if s := d.Summary(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestDurationsQuantiles(t *testing.T) {
+	d := NewDurations(100)
+	// 1ms..100ms, inserted out of order to exercise the lazy sort.
+	for i := 100; i >= 1; i-- {
+		d.Observe(time.Duration(i) * time.Millisecond)
+	}
+	// floor(q·(n−1)) convention: index floor(0.5·99) = 49 → 50ms.
+	if got := d.Quantile(0.50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := d.Quantile(0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := d.Quantile(0); got != 1*time.Millisecond {
+		t.Errorf("p0 = %v, want 1ms", got)
+	}
+	if got := d.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+	// Out-of-range q clamps.
+	if d.Quantile(-1) != d.Quantile(0) || d.Quantile(2) != d.Quantile(1) {
+		t.Error("out-of-range quantiles must clamp to [0, 1]")
+	}
+	if got := d.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", got)
+	}
+	if got := d.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", got)
+	}
+	s := d.Summary()
+	if s.Count != 100 || s.P50 != 50*time.Millisecond || s.P99 != 99*time.Millisecond ||
+		s.Max != 100*time.Millisecond || s.Mean != 50500*time.Microsecond {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestDurationsSingleSample(t *testing.T) {
+	d := NewDurations(1)
+	d.Observe(7 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := d.Quantile(q); got != 7*time.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want 7ms", q, got)
+		}
+	}
+}
+
+// TestDurationsConcurrent exercises Observe from many goroutines with
+// interleaved reads; run under -race this is the data-race net.
+func TestDurationsConcurrent(t *testing.T) {
+	d := NewDurations(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				d.Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = d.Quantile(0.5)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", d.Count())
+	}
+	if got := d.Max(); got != 999*time.Microsecond {
+		t.Fatalf("max = %v, want 999µs", got)
+	}
+}

@@ -247,6 +247,35 @@ func (c *Client) TxnTraceText(ctx context.Context, seq int) (string, error) {
 	return string(data), nil
 }
 
+// CreateTimer registers an interval event source: every req.Every the
+// server applies the (possibly ${n}-templated) update set through the
+// active rules. Leader only; replicas answer 421.
+func (c *Client) CreateTimer(ctx context.Context, req TimerRequest) (*TimerInfo, error) {
+	var resp TimerInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/timers", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Timers lists the registered timers and their firing stats.
+func (c *Client) Timers(ctx context.Context) ([]TimerInfo, error) {
+	var resp TimersResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/timers", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Timers, nil
+}
+
+// DeleteTimer stops and removes a timer, returning its final stats.
+func (c *Client) DeleteTimer(ctx context.Context, name string) (*TimerInfo, error) {
+	var resp TimerInfo
+	if err := c.do(ctx, http.MethodDelete, "/v1/timers/"+name, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Version fetches the server's build provenance and uptime.
 func (c *Client) Version(ctx context.Context) (*VersionResponse, error) {
 	var resp VersionResponse

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -127,16 +129,24 @@ func (w *statusWriter) Flush() {
 
 // instrument wraps a handler with the per-endpoint middleware: a
 // request counter (labeled by endpoint, method and status code), a
-// latency histogram (labeled by endpoint) and the in-flight gauge.
+// latency histogram (labeled by endpoint), the in-flight gauge, and a
+// pprof goroutine label so CPU profile samples taken while the
+// request runs (including the engine work it triggers — child
+// goroutines inherit the label set) attribute to the endpoint.
+// parkload's per-endpoint CPU attribution reads these labels out of
+// /debug/pprof/profile; see docs/BENCHMARKING.md.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.reg.Histogram("park_http_request_seconds",
 		"HTTP request latency by endpoint.", nil, metrics.L("endpoint", endpoint))
+	labels := pprof.Labels("endpoint", endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.em.inFlight.Inc()
 		defer s.em.inFlight.Dec()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		pprof.Do(r.Context(), labels, func(ctx context.Context) {
+			h(sw, r.WithContext(ctx))
+		})
 		hist.Observe(time.Since(start).Seconds())
 		s.reg.Counter("park_http_requests_total",
 			"HTTP requests served, by endpoint, method and status code.",

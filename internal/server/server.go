@@ -17,6 +17,9 @@
 //	GET  /v1/txns          flight-recorder trace summaries (recent window)
 //	GET  /v1/txns/slow     retained traces over the slow threshold
 //	GET  /v1/txns/{seq}/trace   full trace of one transaction (?format=text)
+//	POST /v1/timers        register an interval event source (timer)
+//	GET  /v1/timers        list timers and their firing stats
+//	DELETE /v1/timers/{name}  stop and remove a timer
 //	GET  /v1/watch         SSE stream of committed transactions
 //	GET  /v1/repl/stream   framed replication stream for followers
 //	GET  /v1/metrics       engine/HTTP/store metrics (JSON or Prometheus)
@@ -94,6 +97,11 @@ type Server struct {
 	streamCtx   context.Context
 	stopStreams context.CancelFunc
 
+	// timers holds the interval event sources registered via
+	// POST /v1/timers (see timer.go); their firing loops stop with
+	// streamCtx.
+	timers timerSet
+
 	// logger receives the structured access log (one record per
 	// request, with the trace ID); discarded unless SetLogger is
 	// called. start anchors the uptime gauge and /v1/version.
@@ -134,10 +142,12 @@ func New(store *persist.Store) *Server {
 }
 
 // StopStreams aborts the long-lived streaming responses (/v1/watch
-// and /v1/repl/stream). Graceful shutdown should call this (e.g. via
+// and /v1/repl/stream) and stops every registered timer's firing
+// loop. Graceful shutdown should call this (e.g. via
 // http.Server.RegisterOnShutdown) so open streams don't hold
 // Shutdown for its whole grace period; watchers see EOF and
-// followers reconnect and resume by design.
+// followers reconnect and resume by design. Timers are not durable —
+// re-register them after a restart, like the active program.
 func (s *Server) StopStreams() { s.stopStreams() }
 
 // NewReplica creates a read-only server over a replicated store. The
@@ -236,6 +246,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/txns", s.instrument("/v1/txns", s.handleTxns))
 	mux.HandleFunc("GET /v1/txns/slow", s.instrument("/v1/txns/slow", s.handleSlowTxns))
 	mux.HandleFunc("GET /v1/txns/{seq}/trace", s.instrument("/v1/txns/trace", s.handleTxnTrace))
+	mux.HandleFunc("POST /v1/timers", s.instrument("/v1/timers", s.writable(s.handleCreateTimer)))
+	mux.HandleFunc("GET /v1/timers", s.instrument("/v1/timers", s.handleListTimers))
+	mux.HandleFunc("DELETE /v1/timers/{name}", s.instrument("/v1/timers", s.writable(s.handleDeleteTimer)))
 	mux.HandleFunc("GET /v1/version", s.instrument("/v1/version", s.handleVersion))
 	mux.HandleFunc("GET /v1/watch", s.instrument("/v1/watch", s.streaming(s.handleWatch)))
 	mux.HandleFunc("GET /v1/repl/stream", s.instrument("/v1/repl/stream", s.streaming(s.leader.ServeHTTP)))

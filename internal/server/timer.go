@@ -1,0 +1,321 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/metrics"
+	"repro/internal/parser"
+)
+
+// Timers are the server's minimal time-based event source: a named
+// interval timer injects an update set through the normal transaction
+// path every period, so active rules can react to the passage of time
+// exactly the way they react to client transactions. This is the
+// interval-event model of ECA-RuleML's temporal composition layer cut
+// down to its core: each firing is an ordinary PARK transaction whose
+// event literals (+tick(...) and friends) rules can match, compose
+// with stored facts, and cascade from — no second event algebra, no
+// out-of-band mutation path.
+//
+//	POST   /v1/timers          register a timer (leader only)
+//	GET    /v1/timers          list timers and their firing stats
+//	DELETE /v1/timers/{name}   stop and remove a timer
+//
+// The update template may reference ${n}, which is substituted with
+// the firing index (0, 1, 2, ...) so each tick can mint a fresh
+// constant, e.g. "+tick(t${n}).". Firings that fail (degraded store,
+// evaluation error) are counted and remembered but do not stop the
+// timer; a bounded timer (count > 0) goes inactive after its last
+// firing and stays listed until deleted. All timers stop when the
+// server shuts its streams down (graceful shutdown); timers are not
+// durable state and do not survive a restart — an operator or init
+// script re-registers them, exactly like the active program.
+
+// timerName restricts names to a log- and URL-safe charset (also
+// embedded in per-firing trace IDs).
+var timerName = regexp.MustCompile(`^[a-zA-Z0-9_-]{1,64}$`)
+
+// minTimerInterval bounds how hot a timer can spin; a write per
+// millisecond through full PARK evaluation and a WAL fsync is already
+// far past any temporal-rule use case.
+const minTimerInterval = time.Millisecond
+
+// TimerRequest registers an interval timer.
+type TimerRequest struct {
+	// Name identifies the timer (letters, digits, '_', '-').
+	Name string `json:"name"`
+	// Every is the firing period as a Go duration string ("500ms",
+	// "1m"); minimum 1ms.
+	Every string `json:"every"`
+	// Updates is the update-set template applied on each firing, in
+	// rule-language syntax; ${n} is replaced with the firing index.
+	Updates string `json:"updates"`
+	// Count bounds the number of firings; 0 means unbounded.
+	Count int `json:"count,omitempty"`
+	// Strategy overrides the server's default conflict resolution
+	// strategy for this timer's transactions.
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// TimerInfo reports one timer's configuration and firing stats.
+type TimerInfo struct {
+	Name    string `json:"name"`
+	Every   string `json:"every"`
+	Updates string `json:"updates"`
+	Count   int    `json:"count,omitempty"`
+	// Fires is the number of completed firing attempts (successful or
+	// not); Errors the number that failed. LastError remembers the
+	// most recent failure, if any.
+	Fires     int64  `json:"fires"`
+	Errors    int64  `json:"errors"`
+	LastError string `json:"lastError,omitempty"`
+	// Active is false once a bounded timer has fired Count times or
+	// the server is shutting down.
+	Active bool `json:"active"`
+}
+
+// TimersResponse lists the registered timers.
+type TimersResponse struct {
+	Timers []TimerInfo `json:"timers"`
+}
+
+// timer is one registered interval event source.
+type timer struct {
+	name     string
+	every    time.Duration
+	updates  string
+	count    int
+	strategy string
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	fires     int64
+	errors    int64
+	lastError string
+	active    bool
+}
+
+func (t *timer) info() TimerInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TimerInfo{
+		Name:      t.name,
+		Every:     t.every.String(),
+		Updates:   t.updates,
+		Count:     t.count,
+		Fires:     t.fires,
+		Errors:    t.errors,
+		LastError: t.lastError,
+		Active:    t.active,
+	}
+}
+
+// timerSet owns the server's timers. Lazily initialized behind the
+// server mutex on first use.
+type timerSet struct {
+	mu     sync.Mutex
+	timers map[string]*timer
+}
+
+// expandTimerTemplate substitutes ${n} with the firing index.
+func expandTimerTemplate(tmpl string, n int64) string {
+	return strings.ReplaceAll(tmpl, "${n}", strconv.FormatInt(n, 10))
+}
+
+// handleCreateTimer serves POST /v1/timers. Registration validates
+// the whole spec up front — the name, the period, the strategy tag,
+// and that the template parses with the index substituted — so a
+// timer never starts ticking with an update set that can only fail.
+func (s *Server) handleCreateTimer(w http.ResponseWriter, r *http.Request) {
+	var req TimerRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !timerName.MatchString(req.Name) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("bad timer name %q (want 1-64 of [a-zA-Z0-9_-])", req.Name))
+		return
+	}
+	every, err := time.ParseDuration(req.Every)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad timer period %q: %w", req.Every, err))
+		return
+	}
+	if every < minTimerInterval {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("timer period %v below the %v minimum", every, minTimerInterval))
+		return
+	}
+	if req.Count < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad timer count %d (want >= 0)", req.Count))
+		return
+	}
+	if strings.TrimSpace(req.Updates) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("timer %q has an empty update set", req.Name))
+		return
+	}
+	if _, err := strategyFor(req.Strategy, 0); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Parse-check the template at its first expansion; a template
+	// that fails with one index fails with all (the substitution is a
+	// decimal integer constant).
+	if _, err := parser.ParseUpdates(s.store.Universe(), "timer "+req.Name,
+		expandTimerTemplate(req.Updates, 0)); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("timer updates: %w", err))
+		return
+	}
+
+	// The firing loop stops with the stream context (graceful
+	// shutdown) or the timer's own cancel (DELETE).
+	ctx, cancel := context.WithCancel(s.streamCtx)
+	t := &timer{
+		name:     req.Name,
+		every:    every,
+		updates:  req.Updates,
+		count:    req.Count,
+		strategy: req.Strategy,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		active:   true,
+	}
+	s.timers.mu.Lock()
+	if s.timers.timers == nil {
+		s.timers.timers = make(map[string]*timer)
+	}
+	if _, exists := s.timers.timers[req.Name]; exists {
+		s.timers.mu.Unlock()
+		cancel()
+		writeErr(w, http.StatusConflict, fmt.Errorf("timer %q already exists", req.Name))
+		return
+	}
+	s.timers.timers[req.Name] = t
+	s.timers.mu.Unlock()
+
+	s.reg.Gauge("park_timers_active", "Interval timers currently registered and active.").Inc()
+	go s.runTimer(ctx, t)
+
+	writeJSON(w, http.StatusOK, t.info())
+}
+
+// runTimer is one timer's firing loop.
+func (s *Server) runTimer(ctx context.Context, t *timer) {
+	defer close(t.done)
+	fires := s.reg.Counter("park_timer_fires_total",
+		"Timer firings that committed a transaction, by timer.",
+		metrics.L("timer", t.name))
+	fireErrs := s.reg.Counter("park_timer_errors_total",
+		"Timer firings that failed (parse, evaluation or degraded store), by timer.",
+		metrics.L("timer", t.name))
+	active := s.reg.Gauge("park_timers_active", "Interval timers currently registered and active.")
+	defer func() {
+		t.mu.Lock()
+		t.active = false
+		t.mu.Unlock()
+		active.Dec()
+	}()
+	tick := time.NewTicker(t.every)
+	defer tick.Stop()
+	for n := int64(0); ; n++ {
+		if t.count > 0 && n >= int64(t.count) {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		err := s.fireTimer(ctx, t, n)
+		t.mu.Lock()
+		t.fires++
+		if err != nil {
+			t.errors++
+			t.lastError = err.Error()
+		}
+		t.mu.Unlock()
+		if err != nil {
+			fireErrs.Inc()
+			s.logger.Warn("timer firing failed", "timer", t.name, "firing", n, "err", err)
+			if ctx.Err() != nil {
+				return
+			}
+			continue
+		}
+		fires.Inc()
+	}
+}
+
+// fireTimer applies one firing's update set through the same path a
+// client transaction takes: current program, the timer's (or the
+// server's) strategy, engine metrics, flight recorder and all. The
+// trace ID "timer-<name>-<n>" correlates the firing across the
+// commit log, /v1/txns and replication.
+func (s *Server) fireTimer(ctx context.Context, t *timer, n int64) error {
+	u := s.store.Universe()
+	ups, err := parser.ParseUpdates(u, "timer "+t.name, expandTimerTemplate(t.updates, n))
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	prog := s.program
+	tag := s.strategyTag
+	s.mu.RUnlock()
+	if t.strategy != "" {
+		tag = t.strategy
+	}
+	strat, err := strategyFor(tag, n)
+	if err != nil {
+		return err
+	}
+	ctx = flight.WithTraceID(ctx, fmt.Sprintf("timer-%s-%d", t.name, n))
+	res, err := s.store.Apply(ctx, prog, ups, strat, core.Options{})
+	if err != nil {
+		return err
+	}
+	s.em.recordRun(res.RunStats)
+	return nil
+}
+
+// handleListTimers serves GET /v1/timers.
+func (s *Server) handleListTimers(w http.ResponseWriter, r *http.Request) {
+	s.timers.mu.Lock()
+	infos := make([]TimerInfo, 0, len(s.timers.timers))
+	for _, t := range s.timers.timers {
+		infos = append(infos, t.info())
+	}
+	s.timers.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, TimersResponse{Timers: infos})
+}
+
+// handleDeleteTimer serves DELETE /v1/timers/{name}: stop the firing
+// loop, wait for an in-flight firing to finish, and forget the timer.
+func (s *Server) handleDeleteTimer(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.timers.mu.Lock()
+	t, ok := s.timers.timers[name]
+	if ok {
+		delete(s.timers.timers, name)
+	}
+	s.timers.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no timer %q", name))
+		return
+	}
+	t.cancel()
+	<-t.done
+	writeJSON(w, http.StatusOK, t.info())
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/repl"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTimerFiresThroughRules registers an interval event source and
+// verifies each firing runs as an ordinary PARK transaction: the
+// +tick event literal matches an active rule, the derived facts land
+// in the database, and the firing stats and metrics advance.
+func TestTimerFiresThroughRules(t *testing.T) {
+	c, srv := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.SetProgram(ctx, `rule obs: +tick(X) -> +seen(X).`, ""); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.CreateTimer(ctx, TimerRequest{
+		Name:    "hb",
+		Every:   "10ms",
+		Updates: "+tick(t${n}).",
+		Count:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Active || info.Name != "hb" || info.Every != "10ms" {
+		t.Fatalf("created timer = %+v", info)
+	}
+	// A bounded timer fires exactly Count times, then goes inactive.
+	waitFor(t, 5*time.Second, "3 firings", func() bool {
+		timers, err := c.Timers(ctx)
+		if err != nil || len(timers) != 1 {
+			return false
+		}
+		return timers[0].Fires == 3 && !timers[0].Active
+	})
+	facts, err := c.Database(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(facts, " ")
+	for _, want := range []string{"tick(t0)", "seen(t0)", "tick(t1)", "seen(t2)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("database %v missing %s", facts, want)
+		}
+	}
+	// Firings feed the ordinary engine metrics and the timer counter.
+	snap := srv.reg.Snapshot()
+	found := false
+	for _, mv := range snap.Counters {
+		if mv.Name == "park_timer_fires_total" && mv.Value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("park_timer_fires_total != 3 in %+v", snap.Counters)
+	}
+	// Deleting a finished timer reports its final stats.
+	final, err := c.DeleteTimer(ctx, "hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Fires != 3 || final.Errors != 0 || final.Active {
+		t.Fatalf("final timer stats = %+v", final)
+	}
+	if timers, _ := c.Timers(ctx); len(timers) != 0 {
+		t.Fatalf("timer list after delete = %+v", timers)
+	}
+}
+
+// TestTimerDeleteStopsFiring removes an unbounded timer and verifies
+// no further transactions arrive afterwards.
+func TestTimerDeleteStopsFiring(t *testing.T) {
+	c, srv := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.CreateTimer(ctx, TimerRequest{Name: "drip", Every: "5ms", Updates: "+tick(t${n})."}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "first firing", func() bool { return srv.store.Seq() > 0 })
+	if _, err := c.DeleteTimer(ctx, "drip"); err != nil {
+		t.Fatal(err)
+	}
+	seq := srv.store.Seq()
+	time.Sleep(50 * time.Millisecond)
+	if got := srv.store.Seq(); got != seq {
+		t.Fatalf("store advanced from %d to %d after timer delete", seq, got)
+	}
+	// Deleting again is a 404.
+	if _, err := c.DeleteTimer(ctx, "drip"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("second delete err = %v, want 404", err)
+	}
+}
+
+// TestTimerValidation exercises the up-front spec checks.
+func TestTimerValidation(t *testing.T) {
+	c, _ := newTestServer(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  TimerRequest
+		want string
+	}{
+		{"bad name", TimerRequest{Name: "a b", Every: "10ms", Updates: "+t."}, "bad timer name"},
+		{"empty name", TimerRequest{Name: "", Every: "10ms", Updates: "+t."}, "bad timer name"},
+		{"bad period", TimerRequest{Name: "x", Every: "soon", Updates: "+t."}, "bad timer period"},
+		{"too fast", TimerRequest{Name: "x", Every: "10µs", Updates: "+t."}, "below the"},
+		{"negative count", TimerRequest{Name: "x", Every: "10ms", Updates: "+t.", Count: -1}, "bad timer count"},
+		{"empty updates", TimerRequest{Name: "x", Every: "10ms", Updates: "  "}, "empty update set"},
+		{"unparseable updates", TimerRequest{Name: "x", Every: "10ms", Updates: "tick("}, "timer updates"},
+		{"bad strategy", TimerRequest{Name: "x", Every: "10ms", Updates: "+t.", Strategy: "psychic"}, "unknown strategy"},
+	}
+	for _, tc := range cases {
+		if _, err := c.CreateTimer(ctx, tc.req); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// Duplicate names conflict.
+	if _, err := c.CreateTimer(ctx, TimerRequest{Name: "dup", Every: "1h", Updates: "+t."}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTimer(ctx, TimerRequest{Name: "dup", Every: "1h", Updates: "+t."}); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate create err = %v, want conflict", err)
+	}
+}
+
+// TestTimerRejectedOnReplica: a replica's logical state belongs to
+// the replication stream, so timer registration is misdirected like
+// any other write.
+func TestTimerRejectedOnReplica(t *testing.T) {
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	f := repl.NewFollower(store, "http://leader.example:7474")
+	ts := httptest.NewServer(NewReplica(store, f, "http://leader.example:7474").Handler())
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+	_, err = c.CreateTimer(context.Background(), TimerRequest{Name: "x", Every: "10ms", Updates: "+t."})
+	if err == nil || !strings.Contains(err.Error(), "421") {
+		t.Fatalf("replica timer create err = %v, want 421", err)
+	}
+}
+
+// TestTimerStopsWithStreams: StopStreams (graceful shutdown) must end
+// every firing loop.
+func TestTimerStopsWithStreams(t *testing.T) {
+	c, srv := newTestServer(t)
+	ctx := context.Background()
+	if _, err := c.CreateTimer(ctx, TimerRequest{Name: "s", Every: "5ms", Updates: "+tick(t${n})."}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "first firing", func() bool { return srv.store.Seq() > 0 })
+	srv.StopStreams()
+	waitFor(t, 5*time.Second, "timer inactive", func() bool {
+		timers, err := c.Timers(ctx)
+		return err == nil && len(timers) == 1 && !timers[0].Active
+	})
+	seq := srv.store.Seq()
+	time.Sleep(30 * time.Millisecond)
+	if got := srv.store.Seq(); got != seq {
+		t.Fatalf("store advanced after StopStreams: %d -> %d", seq, got)
+	}
+}
