@@ -4,7 +4,8 @@
 //
 //	parkd -dir ./data [-addr :7474] [-program rules.park | -triggers ddl.sql]
 //	      [-strategy inertia] [-follow http://leader:7474] [-pprof]
-//	      [-failpoints] [-probe-interval 3s]
+//	      [-node-id a -advertise http://host:7474 -peers b=http://...,c=http://...]
+//	      [-lease 3s] [-failpoints] [-probe-interval 3s]
 //	      [-log-format text|json] [-log-level info]
 //	      [-trace-buffer 64] [-slow-txn 250ms]
 //	      [-read-timeout 30s] [-write-timeout 0]
@@ -33,6 +34,17 @@
 // and -strategy are rejected in follower mode — the replicated state
 // is the leader's. See docs/REPLICATION.md and docs/OPERATIONS.md.
 //
+// With -node-id/-advertise/-peers, parkd runs as a member of a
+// replica set with automatic failover: members elect a leader by
+// lease-based election (highest applied sequence wins), the leader
+// streams to the others, and if it dies the followers promote a new
+// leader within roughly two lease durations. Writes to non-leaders
+// answer 421 with the current leader's URL; every member serves
+// reads. Deposed leaders are fenced by epoch and rejoin as followers.
+// -lease tunes the failover detection window. Give all members the
+// same -program so whichever is leader evaluates the same rules. See
+// docs/REPLICATION.md and the failover runbook in docs/OPERATIONS.md.
+//
 // If the disk fails underneath the store (failed fsync, ENOSPC), parkd
 // degrades to read-only instead of crashing: writes answer 503 with a
 // Retry-After header while a background probe (-probe-interval)
@@ -57,6 +69,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,6 +86,14 @@ type config struct {
 	triggers string // trigger-DDL program file
 	strategy string
 	follow   string // leader base URL; non-empty selects replica mode
+
+	// Replica-set (automatic failover) mode: a non-empty nodeID selects
+	// it. Every member runs with the same -peers roster; leadership is
+	// decided by lease-based election, not by flags.
+	nodeID    string
+	advertise string        // this member's base URL as peers reach it
+	peers     string        // comma list of id=url for the other members
+	lease     time.Duration // leader lease duration (0 = repl.DefaultLease)
 
 	pprof           bool
 	failpoints      bool          // expose /v1/debug/failpoint (fault drills)
@@ -107,10 +128,46 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
+// parsePeers decodes the -peers roster ("a=http://h:1,b=http://h:2")
+// into an id → base-URL map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("parkd: bad -peers entry %q (want id=url)", entry)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("parkd: duplicate peer id %q in -peers", id)
+		}
+		peers[id] = url
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("parkd: -peers lists no members")
+	}
+	return peers, nil
+}
+
 // setup opens the store and builds the configured server. The caller
 // owns closing the returned store and, in follower mode, running the
-// returned follower (nil otherwise).
+// returned follower (nil otherwise). In replica-set mode the returned
+// server's Node() coordinates failover and the caller runs it (the
+// node manages the follower itself, so the returned follower is nil).
 func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
+	cluster := cfg.nodeID != "" || cfg.advertise != "" || cfg.peers != ""
+	if cluster {
+		if cfg.follow != "" {
+			return nil, nil, nil, fmt.Errorf("parkd: -follow is incompatible with -node-id/-peers (a replica-set member discovers its leader by election; use one or the other)")
+		}
+		if cfg.nodeID == "" || cfg.advertise == "" || cfg.peers == "" {
+			return nil, nil, nil, fmt.Errorf("parkd: replica-set mode needs all of -node-id, -advertise and -peers")
+		}
+	}
 	if cfg.follow != "" {
 		if cfg.program != "" || cfg.triggers != "" {
 			return nil, nil, nil, fmt.Errorf("parkd: -follow is incompatible with -program/-triggers (replicas take their state from the leader)")
@@ -161,7 +218,29 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 		}
 		return srv, store, follower, nil
 	}
-	srv := server.New(store)
+	var srv *server.Server
+	if cluster {
+		peers, err := parsePeers(cfg.peers)
+		if err != nil {
+			return fail(err)
+		}
+		// The member starts with no known leader; the node's election
+		// loop discovers or elects one and retargets the follower.
+		follower := repl.NewFollower(store, "", repl.WithLogger(log.Printf))
+		node, err := repl.NewNode(store, follower, repl.NodeConfig{
+			ID:      cfg.nodeID,
+			SelfURL: cfg.advertise,
+			Peers:   peers,
+			Lease:   cfg.lease,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		srv = server.NewClusterMember(store, follower, node)
+	} else {
+		srv = server.New(store)
+	}
 	srv.SetLogger(logger)
 	if ffs != nil {
 		srv.EnableFailpoints(ffs)
@@ -255,6 +334,10 @@ func main() {
 	flag.StringVar(&cfg.triggers, "triggers", "", "trigger-DDL program file to install at startup")
 	flag.StringVar(&cfg.strategy, "strategy", "inertia", "default conflict resolution strategy")
 	flag.StringVar(&cfg.follow, "follow", "", "leader base URL; run as a read-only replica of that node")
+	flag.StringVar(&cfg.nodeID, "node-id", "", "replica-set member id; selects automatic-failover mode (requires -advertise and -peers)")
+	flag.StringVar(&cfg.advertise, "advertise", "", "base URL peers use to reach this member (replica-set mode)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated id=url roster of the replica set's members (self may be included)")
+	flag.DurationVar(&cfg.lease, "lease", 0, "leader lease duration in replica-set mode (0 uses the default, "+repl.DefaultLease.String()+")")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.BoolVar(&cfg.failpoints, "failpoints", false, "route store I/O through a fault-injection filesystem controllable via /v1/debug/failpoint (fault drills only)")
 	flag.DurationVar(&cfg.probeInterval, "probe-interval", 0, "disk re-probe interval while degraded to read-only (0 uses the store default)")
@@ -290,9 +373,19 @@ func main() {
 
 	// In replica mode the follower replicates in the background for
 	// the whole life of the process; it stops with the same signal
-	// context that stops the HTTP server.
+	// context that stops the HTTP server. In replica-set mode the
+	// failover node owns the follower and runs it itself.
 	replDone := make(chan struct{})
-	if follower != nil {
+	if node := srv.Node(); node != nil {
+		go func() {
+			defer close(replDone)
+			if err := node.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("parkd: cluster node stopped: %v", err)
+			}
+		}()
+		log.Printf("parkd: replica-set member %s advertising %s (lease %v, members %v)",
+			node.ID(), node.SelfURL(), node.Lease(), node.MemberIDs())
+	} else if follower != nil {
 		go func() {
 			defer close(replDone)
 			if err := follower.Run(ctx); err != nil && ctx.Err() == nil {

@@ -211,6 +211,65 @@ func TestSetupFollowerMode(t *testing.T) {
 	}
 }
 
+// TestSetupClusterMode pins the replica-set contract: the three
+// cluster flags are all-or-nothing, -follow is mutually exclusive
+// with them, the peers roster parses id=url entries, and a valid
+// config yields a server with a failover node that starts as a
+// follower (so writes are refused until a leader exists).
+func TestSetupClusterMode(t *testing.T) {
+	dir := t.TempDir()
+	peers := "b=http://b.example:7474, c=http://c.example:7474"
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d1"), nodeID: "a"}); err == nil {
+		t.Fatal("-node-id without -advertise/-peers accepted")
+	}
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d2"), nodeID: "a",
+		advertise: "http://a.example:7474", peers: peers, follow: "http://x:1"}); err == nil {
+		t.Fatal("-follow combined with replica-set flags accepted")
+	}
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d3"), nodeID: "a",
+		advertise: "http://a.example:7474", peers: "b=,c=http://c:1"}); err == nil {
+		t.Fatal("malformed -peers entry accepted")
+	}
+	if _, _, _, err := setup(config{dir: filepath.Join(dir, "d4"), nodeID: "a",
+		advertise: "http://a.example:7474", peers: "b=http://b:1,b=http://b2:1"}); err == nil {
+		t.Fatal("duplicate peer id accepted")
+	}
+	srv, store, follower, err := setup(config{dir: filepath.Join(dir, "d5"), nodeID: "a",
+		advertise: "http://a.example:7474", peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if follower != nil {
+		t.Fatal("cluster mode returned a follower for main to run (the node owns it)")
+	}
+	node := srv.Node()
+	if node == nil {
+		t.Fatal("cluster mode produced no failover node")
+	}
+	if node.IsLeader() {
+		t.Fatal("member starts as leader without an election")
+	}
+	if got := len(node.MemberIDs()); got != 3 {
+		t.Fatalf("member count = %d, want 3", got)
+	}
+	// No leader yet: writes answer 503 (retryable — an election is
+	// pending), not 421 (no leader URL to point at).
+	ts := httptest.NewServer(buildHandler(srv, false))
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/transaction", "application/json", strings.NewReader(`{"updates":"+p(a)."}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("write with no leader = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("leaderless 503 carries no Retry-After")
+	}
+}
+
 func TestSetupErrors(t *testing.T) {
 	dir := t.TempDir()
 	f := filepath.Join(dir, "x.park")

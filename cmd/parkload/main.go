@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/load"
@@ -59,17 +60,20 @@ func main() {
 		list      = flag.Bool("list", false, "list scenarios and exit")
 		dump      = flag.String("dump", "", "write the built-in scenarios as JSON files into this directory and exit")
 		check     = flag.String("check", "", "validate a report file against the parkload/v1 schema and exit")
+		failover  = flag.Bool("failover", false, "drive a self-spawned 3-member replica set and kill the leader mid-run (default scenario: mixed-rw)")
+		lease     = flag.Duration("failover-lease", time.Second, "leader lease for the -failover replica set")
 	)
 	flag.Parse()
 	if err := run(*addr, *followers, *all, *scenario, *dir, *out, *label,
-		*rate, *duration, *quick, *list, *dump, *check); err != nil {
+		*rate, *duration, *quick, *list, *dump, *check, *failover, *lease); err != nil {
 		fmt.Fprintln(os.Stderr, "parkload:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, followers int, all bool, scenario, dir, out, label string,
-	rate float64, duration string, quick, list bool, dump, check string) error {
+	rate float64, duration string, quick, list bool, dump, check string,
+	failover bool, lease time.Duration) error {
 	if check != "" {
 		return runCheck(check)
 	}
@@ -89,6 +93,16 @@ func run(addr string, followers int, all bool, scenario, dir, out, label string,
 		return nil
 	}
 
+	if failover {
+		if addr != "" {
+			return fmt.Errorf("-failover spawns its own replica set; it is incompatible with -addr")
+		}
+		// The failover drill defaults to the canonical mixed read/write
+		// scenario rather than the whole suite.
+		if !all && scenario == "" {
+			scenario = "mixed-rw"
+		}
+	}
 	selected, err := selectScenarios(scenarios, all, scenario)
 	if err != nil {
 		return err
@@ -118,7 +132,15 @@ func run(addr string, followers int, all bool, scenario, dir, out, label string,
 	}
 	for _, sc := range selected {
 		fmt.Fprintf(os.Stderr, "=== %s (%s)\n", sc.Name, sc.Family)
-		res, err := runScenario(ctx, addr, followers, &sc)
+		var (
+			res *load.ScenarioResult
+			err error
+		)
+		if failover {
+			res, err = runFailoverScenario(ctx, &sc, lease)
+		} else {
+			res, err = runScenario(ctx, addr, followers, &sc)
+		}
 		if err != nil {
 			return err
 		}
@@ -235,6 +257,245 @@ func spawnCluster(ctx context.Context, followers int) (baseURL string, cleanup f
 		}
 	}
 	return leaderURL, cleanup, nil
+}
+
+// fmember is one member of the self-spawned failover replica set.
+type fmember struct {
+	id   string
+	url  string
+	stop func() // kills the member: node, streams, HTTP and store
+}
+
+// spawnFailoverSet starts an n-member in-process replica set with
+// automatic failover: every member runs a store, a follower, an
+// election node and the cluster API on its own listener, and every
+// member gets the scenario's program so whichever leads evaluates the
+// same rules (what parkd operators do with a shared -program).
+func spawnFailoverSet(ctx context.Context, n int, lease time.Duration, program, strategy string) (members []*fmember, cleanup func(), err error) {
+	ctx, cancel := context.WithCancel(ctx)
+	var cleanups []func()
+	cleanup = func() {
+		cancel()
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	defer func() {
+		if err != nil {
+			cleanup()
+		}
+	}()
+
+	// Listeners first: every node needs the full roster's URLs.
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	ids := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanups = append(cleanups, func() { ln.Close() })
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+		ids[i] = fmt.Sprintf("n%d", i+1)
+	}
+	for i := 0; i < n; i++ {
+		nodeDir, err := os.MkdirTemp("", "parkload-failover-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanups = append(cleanups, func() { os.RemoveAll(nodeDir) })
+		store, err := persist.Open(nodeDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		f := repl.NewFollower(store, "",
+			repl.WithBackoff(5*time.Millisecond, 100*time.Millisecond))
+		peers := map[string]string{}
+		for j := range urls {
+			if j != i {
+				peers[ids[j]] = urls[j]
+			}
+		}
+		node, err := repl.NewNode(store, f, repl.NodeConfig{
+			ID: ids[i], SelfURL: urls[i], Peers: peers, Lease: lease,
+		})
+		if err != nil {
+			store.Close()
+			return nil, nil, err
+		}
+		srv := server.NewClusterMember(store, f, node)
+		if program != "" {
+			if err := srv.SetProgram(program); err != nil {
+				store.Close()
+				return nil, nil, err
+			}
+		}
+		if strategy != "" {
+			if err := srv.SetStrategy(strategy); err != nil {
+				store.Close()
+				return nil, nil, err
+			}
+		}
+		mctx, mcancel := context.WithCancel(ctx)
+		go node.Run(mctx)
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(lns[i])
+		var stopOnce sync.Once
+		stop := func() {
+			stopOnce.Do(func() {
+				mcancel()
+				srv.StopStreams()
+				hs.Close()
+				store.Close()
+			})
+		}
+		cleanups = append(cleanups, stop)
+		members = append(members, &fmember{id: ids[i], url: urls[i], stop: stop})
+	}
+	return members, cleanup, nil
+}
+
+// waitLeader polls the members' /v1/healthz until one reports itself
+// an unsuspended leader.
+func waitLeader(ctx context.Context, urls []string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		for _, u := range urls {
+			hctx, hcancel := context.WithTimeout(ctx, time.Second)
+			h, err := (&server.Client{BaseURL: u}).Healthz(hctx)
+			hcancel()
+			if err == nil && h.Role == "leader" && h.Cluster != nil && !h.Cluster.Suspended {
+				return u, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("no leader elected within %v", timeout)
+}
+
+// runFailoverScenario drives one scenario against a self-spawned
+// three-member replica set and kills the leader a third of the way
+// into the measured window. The runner follows the 421 redirects and
+// healthz re-discovery to the newly elected leader, so the result's
+// timeline shows throughput before, during and after the failover;
+// the summary lands in the report's failover section.
+func runFailoverScenario(ctx context.Context, sc *load.Scenario, lease time.Duration) (*load.ScenarioResult, error) {
+	members, cleanup, err := spawnFailoverSet(ctx, 3, lease, sc.Program, sc.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	urls := make([]string, len(members))
+	for i, m := range members {
+		urls[i] = m.url
+	}
+	leaderURL, err := waitLeader(ctx, urls, 30*lease)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "  replica set up, leader %s (lease %v)\n", leaderURL, lease)
+
+	r := &load.Runner{
+		Client:       &server.Client{BaseURL: leaderURL},
+		FollowLeader: true,
+		Members:      urls,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	// The program is installed member-locally at spawn; the runner's
+	// own setup re-installs it on the leader, which is idempotent.
+	window := sc.DurationParsed()
+	killAfter := window / 3
+	type killInfo struct {
+		at  time.Time
+		url string
+	}
+	killed := make(chan killInfo, 1)
+	go func() {
+		for r.MeasureStart().IsZero() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		start := r.MeasureStart()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Until(start.Add(killAfter))):
+		}
+		cur, err := waitLeader(ctx, urls, 2*lease)
+		if err != nil {
+			cur = leaderURL
+		}
+		for _, m := range members {
+			if m.url == cur {
+				fmt.Fprintf(os.Stderr, "  killing leader %s (%s) mid-run\n", m.id, m.url)
+				m.stop()
+				killed <- killInfo{at: time.Now(), url: cur}
+				return
+			}
+		}
+	}()
+
+	res, err := r.Run(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	var ki killInfo
+	select {
+	case ki = <-killed:
+	default:
+		return nil, fmt.Errorf("failover drill: the leader was never killed (window %v too short?)", window)
+	}
+
+	fr := &load.FailoverResult{
+		KillAtSeconds:   ki.at.Sub(r.MeasureStart()).Seconds(),
+		RecoverySeconds: -1,
+	}
+	if rts := r.Retargets(); len(rts) > 0 {
+		fr.NewLeaderURL = rts[len(rts)-1].URL
+	}
+	// Phase rates come from the per-second timeline: before the kill,
+	// the outage (kill to the first post-kill second with successful
+	// ops), and after recovery.
+	killBucket := int(fr.KillAtSeconds)
+	recBucket := -1
+	for _, b := range res.Timeline {
+		if b.Second > killBucket && b.Ok > 0 {
+			recBucket = b.Second
+			break
+		}
+	}
+	sumOk := func(from, to int) (total int64, secs int) { // [from, to)
+		for _, b := range res.Timeline {
+			if b.Second >= from && b.Second < to {
+				total += b.Ok
+				secs++
+			}
+		}
+		return total, secs
+	}
+	if n, secs := sumOk(0, killBucket); secs > 0 {
+		fr.BeforeOkRate = float64(n) / float64(secs)
+	}
+	if recBucket >= 0 {
+		fr.RecoverySeconds = float64(recBucket) - fr.KillAtSeconds
+		if n, secs := sumOk(killBucket+1, recBucket); secs > 0 {
+			fr.DuringOkRate = float64(n) / float64(secs)
+		}
+		if n, secs := sumOk(recBucket, len(res.Timeline)); secs > 0 {
+			fr.AfterOkRate = float64(n) / float64(secs)
+		}
+	}
+	res.Failover = fr
+	fmt.Fprintf(os.Stderr, "  failover: kill at %.1fs, writes back after %.1fs; ok-rate %.0f/s -> %.0f/s -> %.0f/s\n",
+		fr.KillAtSeconds, fr.RecoverySeconds, fr.BeforeOkRate, fr.DuringOkRate, fr.AfterOkRate)
+	return res, nil
 }
 
 // loadScenarios returns the built-in suite, or the *.json files of a

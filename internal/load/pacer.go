@@ -2,6 +2,8 @@ package load
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"time"
 )
 
@@ -15,9 +17,16 @@ type Pacer struct {
 	Interval time.Duration
 }
 
-// NewPacer builds a timetable at the given rate (ops/second).
-func NewPacer(start time.Time, rate float64) Pacer {
-	return Pacer{Start: start, Interval: time.Duration(float64(time.Second) / rate)}
+// NewPacer builds a timetable at the given rate (ops/second). The
+// rate must be a positive finite number: a zero or negative rate
+// would make every slot due immediately — an unbounded burst instead
+// of a timetable — so it is rejected here rather than silently
+// flooding the target.
+func NewPacer(start time.Time, rate float64) (Pacer, error) {
+	if rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return Pacer{}, fmt.Errorf("load: pacer rate must be a positive finite number of ops/s, got %v", rate)
+	}
+	return Pacer{Start: start, Interval: time.Duration(float64(time.Second) / rate)}, nil
 }
 
 // ScheduleFor returns the timetable slot of op i.

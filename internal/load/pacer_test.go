@@ -7,11 +7,37 @@ import (
 	"time"
 )
 
+// mustPacer builds a pacer for a rate the test knows is valid.
+func mustPacer(t *testing.T, start time.Time, rate float64) Pacer {
+	t.Helper()
+	p, err := NewPacer(start, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPacerRejectsNonPositiveRate is the regression test for the
+// unbounded-burst bug: a pacer built with rate <= 0 (or a non-finite
+// rate) computed a zero or negative interval, making every slot due
+// immediately — the "timetable" became an all-at-once flood. Such
+// rates must be rejected at construction.
+func TestPacerRejectsNonPositiveRate(t *testing.T) {
+	for _, rate := range []float64{0, -1, -0.001} {
+		if _, err := NewPacer(time.Now(), rate); err == nil {
+			t.Errorf("NewPacer(rate=%v) accepted; want error", rate)
+		}
+	}
+	if _, err := NewPacer(time.Now(), 0.5); err != nil {
+		t.Errorf("NewPacer(rate=0.5): %v; fractional rates are valid", err)
+	}
+}
+
 // TestPacerSchedule: the timetable is start + i/rate, independent of
 // anything the consumer does.
 func TestPacerSchedule(t *testing.T) {
 	start := time.Unix(1000, 0)
-	p := NewPacer(start, 100) // 10ms apart
+	p := mustPacer(t, start, 100) // 10ms apart
 	if got := p.ScheduleFor(0); !got.Equal(start) {
 		t.Fatalf("slot 0 = %v", got)
 	}
@@ -25,7 +51,7 @@ func TestPacerSchedule(t *testing.T) {
 // matches the timetable exactly.
 func TestPacerHoldsRate(t *testing.T) {
 	const rate, window = 500.0, 400 * time.Millisecond
-	p := NewPacer(time.Now(), rate)
+	p := mustPacer(t, time.Now(), rate)
 	var scheds []time.Time
 	n := p.Arrivals(context.Background(), window, func(i int64, sched time.Time) {
 		scheds = append(scheds, sched)
@@ -47,7 +73,7 @@ func TestPacerHoldsRate(t *testing.T) {
 // consumer's pace (which is what a closed loop would do).
 func TestPacerOpenLoopUnderSlowConsumer(t *testing.T) {
 	const rate, window = 200.0, 500 * time.Millisecond
-	p := NewPacer(time.Now(), rate)
+	p := mustPacer(t, time.Now(), rate)
 	jobs := make(chan time.Time, 1024)
 	var wg sync.WaitGroup
 	// Two workers, each op takes 50ms: the consumers complete at most
@@ -89,7 +115,7 @@ func TestPacerOpenLoopUnderSlowConsumer(t *testing.T) {
 // TestPacerCancel: cancellation stops the arrival loop early.
 func TestPacerCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	p := NewPacer(time.Now(), 100)
+	p := mustPacer(t, time.Now(), 100)
 	go func() {
 		time.Sleep(50 * time.Millisecond)
 		cancel()

@@ -61,6 +61,16 @@ type ScenarioResult struct {
 	// KindLatency breaks latency down by op kind.
 	KindLatency map[string]LatencySummary `json:"kindLatencyMs,omitempty"`
 
+	// Timeline buckets completions by whole seconds since the window
+	// start: Ok counts 2xx statuses, Other everything else (421, 503,
+	// transport errors). A mid-run failover shows as an Ok dip with an
+	// Other spike, then recovery.
+	Timeline []TimelineBucket `json:"timeline,omitempty"`
+
+	// Failover reports a mid-run leader-kill drill; nil for ordinary
+	// scenarios.
+	Failover *FailoverResult `json:"failover,omitempty"`
+
 	// ServerDelta is the change in the server's park_* counters over
 	// the measured window (engine phases, restarts, commit retries,
 	// timer fires, ...), summed across labels per metric name.
@@ -72,6 +82,38 @@ type ScenarioResult struct {
 	// target exposes no pprof endpoint; CPUNote says why.
 	CPUSeconds map[string]float64 `json:"cpuSeconds,omitempty"`
 	CPUNote    string             `json:"cpuNote,omitempty"`
+}
+
+// TimelineBucket is one second of the completion timeline.
+type TimelineBucket struct {
+	// Second since the measured window's start.
+	Second int `json:"second"`
+	// Ok counts completions with 2xx statuses in this second.
+	Ok int64 `json:"ok"`
+	// Other counts every non-2xx completion (421 redirects, 503s,
+	// transport errors).
+	Other int64 `json:"other"`
+}
+
+// FailoverResult is the outcome of a mid-run leader-kill drill: the
+// load keeps arriving open-loop while the leader dies, the survivors
+// elect, and the runner chases the new leader.
+type FailoverResult struct {
+	// KillAtSeconds is when the leader was killed, relative to the
+	// measured window's start.
+	KillAtSeconds float64 `json:"killAtSeconds"`
+	// RecoverySeconds is how long after the kill successful writes
+	// resumed (first post-kill second with 2xx completions); negative
+	// when writes never recovered.
+	RecoverySeconds float64 `json:"recoverySeconds"`
+	// NewLeaderURL is the member the runner retargeted to.
+	NewLeaderURL string `json:"newLeaderUrl,omitempty"`
+	// BeforeOkRate/DuringOkRate/AfterOkRate are successful-completion
+	// rates (ops/s) before the kill, during the outage, and after
+	// recovery.
+	BeforeOkRate float64 `json:"beforeOkRate"`
+	DuringOkRate float64 `json:"duringOkRate"`
+	AfterOkRate  float64 `json:"afterOkRate"`
 }
 
 // LatencySummary reports latency quantiles in milliseconds.
@@ -157,6 +199,25 @@ func ValidateReport(data []byte) (*Report, error) {
 		if s.OfferedRate <= 0 || s.AchievedRate <= 0 {
 			return nil, fmt.Errorf("%s: rates must be positive (offered=%v achieved=%v)",
 				where, s.OfferedRate, s.AchievedRate)
+		}
+		var timelineTotal int64
+		for j, b := range s.Timeline {
+			if b.Second != j {
+				return nil, fmt.Errorf("%s: timeline[%d] labeled second %d", where, j, b.Second)
+			}
+			timelineTotal += b.Ok + b.Other
+		}
+		if len(s.Timeline) > 0 && timelineTotal != s.Ops {
+			return nil, fmt.Errorf("%s: timeline sums to %d completions, want ops %d", where, timelineTotal, s.Ops)
+		}
+		if f := s.Failover; f != nil {
+			if f.KillAtSeconds < 0 || f.KillAtSeconds > s.DurationSeconds {
+				return nil, fmt.Errorf("%s: failover kill at %vs outside the %vs window",
+					where, f.KillAtSeconds, s.DurationSeconds)
+			}
+			if f.RecoverySeconds >= 0 && f.AfterOkRate <= 0 {
+				return nil, fmt.Errorf("%s: failover claims recovery but afterOkRate = %v", where, f.AfterOkRate)
+			}
 		}
 	}
 	return &r, nil

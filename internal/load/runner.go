@@ -33,8 +33,101 @@ type Runner struct {
 	// the real request and returns its status code.
 	Execute func(ctx context.Context, kind, body string) (status int, err error)
 
+	// FollowLeader makes the executor chase a replica set's leader
+	// across a failover: a 421 answer is retried once against the URL
+	// in its X-Park-Leader header, and a connection error triggers
+	// leader re-discovery through /v1/healthz on Members. The
+	// discovered leader becomes the target for subsequent ops, so a
+	// mid-run failover shows up as a latency/error blip, not a dead
+	// run.
+	FollowLeader bool
+	// Members lists every member's base URL for re-discovery; only
+	// consulted when FollowLeader is set.
+	Members []string
+
 	httpOnce   sync.Once
 	httpClient *http.Client
+
+	targetMu     sync.Mutex
+	target       string     // current write target; Client.BaseURL until retargeted
+	retargets    []Retarget // log of target changes, for failover reports
+	measureStart time.Time  // when the measured window began
+}
+
+// Retarget records one leader change the executor followed.
+type Retarget struct {
+	// At is when the new target took effect.
+	At time.Time
+	// URL is the new leader's base URL.
+	URL string
+	// Via says how the leader was found: "421" (X-Park-Leader header)
+	// or "healthz" (re-discovery after a connection failure).
+	Via string
+}
+
+// MeasureStart returns when the measured window began; zero until
+// measurement starts. Failover drills use it to place external
+// events (the leader kill) on the result's Timeline.
+func (r *Runner) MeasureStart() time.Time {
+	r.targetMu.Lock()
+	defer r.targetMu.Unlock()
+	return r.measureStart
+}
+
+// Retargets returns the leader changes the executor followed, in
+// order. Empty unless FollowLeader is set and a failover happened.
+func (r *Runner) Retargets() []Retarget {
+	r.targetMu.Lock()
+	defer r.targetMu.Unlock()
+	return append([]Retarget(nil), r.retargets...)
+}
+
+// targetURL is the executor's current base URL.
+func (r *Runner) targetURL() string {
+	if !r.FollowLeader {
+		return r.Client.BaseURL
+	}
+	r.targetMu.Lock()
+	defer r.targetMu.Unlock()
+	if r.target == "" {
+		r.target = r.Client.BaseURL
+	}
+	return r.target
+}
+
+// setTarget points subsequent ops at url. Concurrent workers race to
+// report the same leader; only an actual change is logged.
+func (r *Runner) setTarget(url, via string) {
+	if url == "" {
+		return
+	}
+	r.targetMu.Lock()
+	changed := url != r.target
+	if changed {
+		r.target = url
+		r.retargets = append(r.retargets, Retarget{At: time.Now(), URL: url, Via: via})
+	}
+	r.targetMu.Unlock()
+	if changed {
+		r.logf("  retargeted to leader %s (via %s)", url, via)
+	}
+}
+
+// discoverLeader polls /v1/healthz across Members and returns the
+// first leader URL any reachable member reports, or "".
+func (r *Runner) discoverLeader(ctx context.Context) string {
+	for _, m := range r.Members {
+		hctx, cancel := context.WithTimeout(ctx, time.Second)
+		h, err := (&server.Client{BaseURL: m, HTTPClient: r.httpClient}).Healthz(hctx)
+		cancel()
+		if err != nil || h.Cluster == nil {
+			continue
+		}
+		if h.Cluster.LeaderURL != "" {
+			return h.Cluster.LeaderURL
+		}
+	}
+	return ""
 }
 
 // job is one scheduled arrival.
@@ -57,7 +150,9 @@ func (r *Runner) Run(ctx context.Context, sc *Scenario) (*ScenarioResult, error)
 
 	if w := sc.WarmupParsed(); w > 0 {
 		r.logf("  warmup %v at %.0f ops/s", w, sc.Rate)
-		r.drive(ctx, sc, w)
+		if _, err := r.drive(ctx, sc, w); err != nil {
+			return nil, fmt.Errorf("scenario %q: warmup: %w", sc.Name, err)
+		}
 	}
 
 	before, err := r.counterSums()
@@ -71,7 +166,13 @@ func (r *Runner) Run(ctx context.Context, sc *Scenario) (*ScenarioResult, error)
 	// concurrently with the load.
 	profCh := r.startProfile(ctx, window)
 
-	res := r.drive(ctx, sc, window)
+	r.targetMu.Lock()
+	r.measureStart = time.Now()
+	r.targetMu.Unlock()
+	res, err := r.drive(ctx, sc, window)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
 
 	after, err := r.counterSums()
 	if err != nil {
@@ -134,7 +235,13 @@ func (r *Runner) teardown(sc *Scenario) {
 // on the pacer's timetable whether or not earlier ops finished, and
 // latency runs from the scheduled slot, so time spent queueing for a
 // free worker counts.
-func (r *Runner) drive(ctx context.Context, sc *Scenario, window time.Duration) *ScenarioResult {
+func (r *Runner) drive(ctx context.Context, sc *Scenario, window time.Duration) (*ScenarioResult, error) {
+	// Validate has already vetted sc.Rate; the pacer re-checks so a
+	// caller that skips Run cannot start an unpaced burst.
+	pacer, err := NewPacer(time.Now(), sc.Rate)
+	if err != nil {
+		return nil, err
+	}
 	workers := sc.Workers
 	if workers <= 0 {
 		workers = 16
@@ -157,6 +264,7 @@ func (r *Runner) drive(ctx context.Context, sc *Scenario, window time.Duration) 
 		lats     = metrics.NewDurations(int(expected))
 		kindLats = map[string]*metrics.Durations{}
 		status   = map[string]int64{}
+		timeline []TimelineBucket
 		errs     int64
 		done     int64
 	)
@@ -175,6 +283,8 @@ func (r *Runner) drive(ctx context.Context, sc *Scenario, window time.Duration) 
 					code, err = exec(ctx, op.Kind, body)
 				}
 				lat := time.Since(j.scheduled)
+				ok := err == nil && code >= 200 && code < 300
+				sec := int(time.Since(pacer.Start) / time.Second)
 				mu.Lock()
 				lats.Observe(lat)
 				kl := kindLats[op.Kind]
@@ -189,13 +299,20 @@ func (r *Runner) drive(ctx context.Context, sc *Scenario, window time.Duration) 
 				} else {
 					status[fmt.Sprintf("%d", code)]++
 				}
+				for len(timeline) <= sec {
+					timeline = append(timeline, TimelineBucket{Second: len(timeline)})
+				}
+				if ok {
+					timeline[sec].Ok++
+				} else {
+					timeline[sec].Other++
+				}
 				done++
 				mu.Unlock()
 			}
 		}()
 	}
 
-	pacer := NewPacer(time.Now(), sc.Rate)
 	scheduled := pacer.Arrivals(ctx, window, func(i int64, sched time.Time) {
 		jobs <- job{i: i, scheduled: sched}
 	})
@@ -212,6 +329,7 @@ func (r *Runner) drive(ctx context.Context, sc *Scenario, window time.Duration) 
 		Errors:          errs,
 		Status:          status,
 		Latency:         latencySummary(lats.Summary()),
+		Timeline:        timeline,
 	}
 	if len(kindLats) > 0 {
 		res.KindLatency = map[string]LatencySummary{}
@@ -219,7 +337,7 @@ func (r *Runner) drive(ctx context.Context, sc *Scenario, window time.Duration) 
 			res.KindLatency[kind] = latencySummary(d.Summary())
 		}
 	}
-	return res
+	return res, nil
 }
 
 // opPicker deals ops from the weighted mix deterministically: op i
@@ -236,7 +354,9 @@ func opPicker(ops []Op) func(i int64) Op {
 	return func(i int64) Op { return cycle[i%int64(len(cycle))] }
 }
 
-// httpExecute performs one real operation and returns the HTTP status.
+// httpExecute performs one real operation and returns the HTTP
+// status. With FollowLeader it chases the current leader: one retry
+// per leader change, bounded so a flapping cluster cannot trap an op.
 func (r *Runner) httpExecute(ctx context.Context, kind, body string) (int, error) {
 	r.httpOnce.Do(func() {
 		r.httpClient = &http.Client{Transport: &http.Transport{
@@ -246,44 +366,80 @@ func (r *Runner) httpExecute(ctx context.Context, kind, body string) (int, error
 	})
 	var (
 		method, path string
-		payload      io.Reader
+		data         []byte
 	)
 	switch kind {
 	case "transaction":
 		method, path = http.MethodPost, "/v1/transaction"
-		data, _ := json.Marshal(server.TransactionRequest{Updates: body})
-		payload = bytes.NewReader(data)
+		data, _ = json.Marshal(server.TransactionRequest{Updates: body})
 	case "query":
 		method, path = http.MethodPost, "/v1/query"
-		data, _ := json.Marshal(server.QueryRequest{Query: body})
-		payload = bytes.NewReader(data)
+		data, _ = json.Marshal(server.QueryRequest{Query: body})
 	case "database":
 		method, path = http.MethodGet, "/v1/database"
 	default:
 		return 0, fmt.Errorf("unknown op kind %q", kind)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, r.Client.BaseURL+path, payload)
-	if err != nil {
-		return 0, err
+	base := r.targetURL()
+	for attempt := 0; ; attempt++ {
+		code, leader, err := r.doOnce(ctx, method, base+path, data)
+		if !r.FollowLeader || attempt >= 2 || ctx.Err() != nil {
+			return code, err
+		}
+		switch {
+		case err != nil:
+			// Connection failure: the target is likely the dead leader.
+			// Ask the surviving members who leads now.
+			if next := r.discoverLeader(ctx); next != "" && next != base {
+				r.setTarget(next, "healthz")
+				base = next
+				continue
+			}
+			return code, err
+		case code == http.StatusMisdirectedRequest && leader != "":
+			// A follower answered: it told us where the leader is.
+			r.setTarget(leader, "421")
+			base = leader
+			continue
+		}
+		return code, nil
 	}
-	if payload != nil {
+}
+
+// doOnce performs one HTTP attempt, returning the status code and any
+// X-Park-Leader redirect hint.
+func (r *Runner) doOnce(ctx context.Context, method, url string, data []byte) (code int, leader string, err error) {
+	var payload io.Reader
+	if data != nil {
+		payload = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, payload)
+	if err != nil {
+		return 0, "", err
+	}
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := r.httpClient.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	// Drain so the connection is reused; the runner only needs the
-	// status code.
+	// status code and the leader hint.
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<20))
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("X-Park-Leader"), nil
 }
 
-// counterSums snapshots the server's park_* counters summed across
-// labels per metric name.
+// counterSums snapshots the park_* counters summed across labels per
+// metric name. With FollowLeader the snapshot comes from the current
+// leader — after a failover the original target may be dead.
 func (r *Runner) counterSums() (map[string]int64, error) {
-	snap, err := r.Client.Metrics(context.Background())
+	c := r.Client
+	if r.FollowLeader {
+		c = &server.Client{BaseURL: r.targetURL(), HTTPClient: r.Client.HTTPClient}
+	}
+	snap, err := c.Metrics(context.Background())
 	if err != nil {
 		return nil, err
 	}

@@ -53,7 +53,10 @@ func TestRunnerOpenLoopAgainstSlowStub(t *testing.T) {
 			return 200, nil
 		},
 	}
-	res := r.drive(context.Background(), &sc, sc.DurationParsed())
+	res, err := r.drive(context.Background(), &sc, sc.DurationParsed())
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantSched := int64(sc.Rate * sc.DurationParsed().Seconds()) // 100
 	if res.Scheduled < wantSched-5 || res.Scheduled > wantSched+5 {
 		t.Fatalf("scheduled %d arrivals, want ~%d (open loop must not slow down)", res.Scheduled, wantSched)

@@ -110,7 +110,8 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf(`scenario %q: "family" is required`, s.Name)
 	}
 	if s.Rate <= 0 {
-		return fmt.Errorf(`scenario %q: "rate" must be > 0, got %v`, s.Name, s.Rate)
+		return &fieldError{field: "rate",
+			err: fmt.Errorf(`scenario %q: "rate" must be > 0, got %v (the pacer refuses rates that would mean an unbounded burst)`, s.Name, s.Rate)}
 	}
 	d, err := time.ParseDuration(s.Duration)
 	if err != nil {
@@ -192,10 +193,29 @@ func ParseScenario(file string, data []byte) (*Scenario, error) {
 		return nil, fmt.Errorf("%s:%d:%d: trailing data after the scenario object", file, line, col)
 	}
 	if err := sc.Validate(); err != nil {
+		// Semantic errors that name their JSON field are located in the
+		// source like syntax errors, so the operator lands on the line.
+		var fe *fieldError
+		if errors.As(err, &fe) {
+			if off := bytes.Index(data, []byte(`"`+fe.field+`"`)); off >= 0 {
+				line, col := lineCol(data, int64(off))
+				return nil, fmt.Errorf("%s:%d:%d: %w", file, line, col, fe.err)
+			}
+		}
 		return nil, fmt.Errorf("%s: %w", file, err)
 	}
 	return &sc, nil
 }
+
+// fieldError is a Validate failure that knows which JSON field it is
+// about, so ParseScenario can point at its line and column.
+type fieldError struct {
+	field string
+	err   error
+}
+
+func (e *fieldError) Error() string { return e.err.Error() }
+func (e *fieldError) Unwrap() error { return e.err }
 
 // locateJSONError maps a json decode error to file:line:col form.
 func locateJSONError(file string, data []byte, err error) error {

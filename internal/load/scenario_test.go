@@ -74,6 +74,21 @@ func TestParseScenarioUnknownFieldLine(t *testing.T) {
 	}
 }
 
+// TestParseScenarioBadRateLine: a rate that would mean an unbounded
+// burst is a semantic error, but the operator still lands on the line
+// of the offending field, just like a syntax error.
+func TestParseScenarioBadRateLine(t *testing.T) {
+	src := "{\n\t\"name\": \"x\",\n\t\"family\": \"mixed\",\n\t\"rate\": 0,\n\t\"duration\": \"1s\",\n\t\"ops\": [{\"kind\": \"database\", \"weight\": 1}]\n}"
+	_, err := ParseScenario("burst.json", []byte(src))
+	if err == nil {
+		t.Fatal("rate=0 scenario accepted")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "burst.json:4:") || !strings.Contains(msg, `"rate" must be > 0`) {
+		t.Fatalf("error %q should locate the rate field on line 4", err)
+	}
+}
+
 func TestParseScenarioTrailingData(t *testing.T) {
 	_, err := ParseScenario("trail.json", []byte(validScenarioJSON+"\n{}"))
 	if err == nil || !strings.Contains(err.Error(), "trailing data") {

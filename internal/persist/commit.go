@@ -25,11 +25,28 @@ import (
 // commit: one fsync covers every transaction installed since the
 // previous fsync.
 func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, error) {
+	res, _, err := s.ApplyTxn(ctx, prog, updates, strategy, opts)
+	return res, err
+}
+
+// CommitInfo locates a committed transaction in the global order: its
+// sequence number and the leadership epoch it committed under. A
+// transaction that changed nothing has Seq 0 — it was never assigned
+// a sequence.
+type CommitInfo struct {
+	Seq   int
+	Epoch int64
+}
+
+// ApplyTxn is Apply plus the commit coordinates of the installed
+// transaction. The server layer uses the sequence to wait for
+// replication acknowledgement before answering a cluster write.
+func (s *Store) ApplyTxn(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, CommitInfo, error) {
 	if err := s.degradedErr(); err != nil {
-		return nil, err
+		return nil, CommitInfo{}, err
 	}
 	if err := s.acquireSlot(ctx); err != nil {
-		return nil, err
+		return nil, CommitInfo{}, err
 	}
 	defer s.releaseSlot()
 	if s.cfg.serialized {
@@ -39,7 +56,7 @@ func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Up
 	traceID := flight.TraceID(ctx)
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, CommitInfo{}, err
 		}
 		base := s.current()
 		// Attach a fresh flight recorder per attempt (a retry re-runs
@@ -54,14 +71,14 @@ func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Up
 		}
 		eng, err := core.NewEngine(s.u, prog, strategy, attemptOpts)
 		if err != nil {
-			return nil, err
+			return nil, CommitInfo{}, err
 		}
 		// Evaluate outside the lock: base.db is immutable, the engine
 		// never mutates its input, and the universe interns safely
 		// under concurrency.
 		res, err := eng.Run(ctx, base.db, updates)
 		if err != nil {
-			return nil, err
+			return nil, CommitInfo{}, err
 		}
 		added, removed := splitDiff(base.db, res.Output)
 
@@ -70,7 +87,7 @@ func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Up
 		s.met.observeLockWait(time.Since(lockStart))
 		if s.closed {
 			s.mu.Unlock()
-			return nil, ErrClosed
+			return nil, CommitInfo{}, ErrClosed
 		}
 		if cur := s.current(); cur.version != base.version {
 			// A concurrent commit changed the base state under us:
@@ -83,21 +100,21 @@ func (s *Store) Apply(ctx context.Context, prog *core.Program, updates []core.Up
 			// Nothing changed; no WAL traffic, no history entry, no
 			// version bump needed (installing the same facts).
 			s.mu.Unlock()
-			return res, nil
+			return res, CommitInfo{}, nil
 		}
 		txn, lsn, err := s.installLocked(base, res.Output, added, removed, traceID)
 		s.mu.Unlock()
 		if err != nil {
 			s.enterDegraded("wal append", err)
-			return nil, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
+			return nil, CommitInfo{}, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 		}
 		s.recordTrace(rec, txn, res)
 		// The state is installed (later transactions already build on
 		// it); acknowledge the caller only once the batch is durable.
 		if err := s.waitDurable(lsn); err != nil {
-			return nil, fmt.Errorf("persist: wal sync: %w", err)
+			return nil, CommitInfo{}, fmt.Errorf("persist: wal sync: %w", err)
 		}
-		return res, nil
+		return res, CommitInfo{Seq: txn.Seq, Epoch: txn.Epoch}, nil
 	}
 }
 
@@ -137,7 +154,7 @@ func splitDiff(before, after *core.Database) (added, removed []core.AID) {
 // Callers hold s.mu. The returned LSN is the logical position the
 // caller must wait on for durability.
 func (s *Store) installLocked(base *dbState, output *core.Database, added, removed []core.AID, traceID string) (TxnRecord, int64, error) {
-	txn := TxnRecord{Seq: s.seq + 1, TraceID: traceID}
+	txn := TxnRecord{Seq: s.seq + 1, Epoch: s.epoch, TraceID: traceID}
 	for _, id := range added {
 		text := s.u.AtomString(id)
 		txn.Added = append(txn.Added, text)
@@ -152,7 +169,7 @@ func (s *Store) installLocked(base *dbState, output *core.Database, added, remov
 			return txn, 0, err
 		}
 	}
-	if err := s.appendCommitMarker(txn.Seq); err != nil {
+	if err := s.appendCommitMarker(txn.Seq, txn.Epoch); err != nil {
 		return txn, 0, err
 	}
 	s.seq = txn.Seq
@@ -234,11 +251,11 @@ func (s *Store) waitDurable(lsn int64) error {
 // applySerialized is the legacy commit path (WithSerializedCommits):
 // one lock held across evaluation, append and a per-transaction
 // fsync. Kept for benchmarking the pipeline against it.
-func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, error) {
+func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates []core.Update, strategy core.Strategy, opts core.Options) (*core.Result, CommitInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrClosed
+		return nil, CommitInfo{}, ErrClosed
 	}
 	base := s.current()
 	var rec *flight.Recorder
@@ -248,20 +265,20 @@ func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates
 	}
 	eng, err := core.NewEngine(s.u, prog, strategy, opts)
 	if err != nil {
-		return nil, err
+		return nil, CommitInfo{}, err
 	}
 	res, err := eng.Run(ctx, base.db, updates)
 	if err != nil {
-		return nil, err
+		return nil, CommitInfo{}, err
 	}
 	added, removed := splitDiff(base.db, res.Output)
 	if len(added)+len(removed) == 0 {
-		return res, nil
+		return res, CommitInfo{}, nil
 	}
 	txn, _, err := s.installLocked(base, res.Output, added, removed, flight.TraceID(ctx))
 	if err != nil {
 		s.enterDegraded("wal append", err)
-		return nil, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
+		return nil, CommitInfo{}, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
 	s.recordTrace(rec, txn, res)
 	if err := s.wal.Sync(); err != nil {
@@ -269,7 +286,7 @@ func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates
 		s.syncErr = fmt.Errorf("%w; %w", err, ErrDegraded)
 		s.syncMu.Unlock()
 		s.enterDegraded("wal sync", err)
-		return nil, fmt.Errorf("persist: wal sync: %w; %w", err, ErrDegraded)
+		return nil, CommitInfo{}, fmt.Errorf("persist: wal sync: %w; %w", err, ErrDegraded)
 	}
 	s.syncMu.Lock()
 	if s.appendedLSN > s.syncedLSN {
@@ -278,7 +295,7 @@ func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates
 	s.met.observeBatch(s.pendingTxns)
 	s.pendingTxns = 0
 	s.syncMu.Unlock()
-	return res, nil
+	return res, CommitInfo{Seq: txn.Seq, Epoch: txn.Epoch}, nil
 }
 
 // acquireSlot admits one transaction into the bounded commit

@@ -198,7 +198,7 @@ func (s *Store) repair() error {
 		return ErrClosed
 	}
 	db := s.current().db
-	if err := s.writeSnapshotLocked(db, s.seq); err != nil {
+	if err := s.writeSnapshotLocked(db, s.seq, s.epoch); err != nil {
 		return err
 	}
 	walPath := s.walPath()
@@ -218,9 +218,17 @@ func (s *Store) repair() error {
 	old.Close()
 	s.walErr = nil
 	s.walRecords = 0
+	// The rotation dropped any durable vote record; re-append it so
+	// the single-vote-per-epoch rule still holds across a restart.
+	if s.voteEpoch > 0 {
+		if err := s.appendVoteRecord(s.voteEpoch, s.voteFor); err != nil {
+			return fmt.Errorf("persist: repair: %w", err)
+		}
+	}
 	s.snapDB = db.Clone()
 	s.history = nil
 	s.baseSeq = s.seq
+	s.baseEpoch = s.epoch
 	s.syncMu.Lock()
 	s.syncErr = nil
 	if s.appendedLSN > s.syncedLSN {

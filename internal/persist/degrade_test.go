@@ -314,7 +314,7 @@ func TestReplicaWritesGatedWhileDegraded(t *testing.T) {
 	if err := s.ApplyReplicated(TxnRecord{Seq: s.Seq() + 1, Added: []string{"p(x)"}}); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("ApplyReplicated while degraded = %v, want ErrDegraded", err)
 	}
-	if err := s.ResetToSnapshot(100, []string{"p(y)"}); !errors.Is(err, ErrDegraded) {
+	if err := s.ResetToSnapshot(100, 0, []string{"p(y)"}, 0); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("ResetToSnapshot while degraded = %v, want ErrDegraded", err)
 	}
 	cut, err := s.ReplicaCut(true, 8)

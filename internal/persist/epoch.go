@@ -1,0 +1,157 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the store-side substrate for leader-election fencing
+// (internal/repl's lease/epoch protocol). An epoch names one
+// leadership term: promotions begin a new, strictly larger epoch
+// (durably, via BeginEpoch), every commit marker records the epoch it
+// committed under, and ApplyReplicated rejects transactions stamped
+// with an epoch older than the store's — so a deposed leader's writes
+// can never reach a store that has seen the new term. Election votes
+// are durable too (RecordVote), preventing a restarted node from
+// granting two votes in one epoch.
+
+// ErrFenced matches (via errors.Is) the rejection of a replicated
+// transaction from a deposed leadership epoch.
+var ErrFenced = errors.New("persist: fenced: transaction from a deposed epoch")
+
+// FencedError reports a replicated transaction rejected by epoch
+// fencing. It matches ErrFenced.
+type FencedError struct {
+	// Seq and TxnEpoch identify the rejected transaction.
+	Seq      int
+	TxnEpoch int64
+	// StoreEpoch is the newer epoch the store has already seen.
+	StoreEpoch int64
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("persist: fenced: txn %d carries epoch %d but the store is at epoch %d",
+		e.Seq, e.TxnEpoch, e.StoreEpoch)
+}
+
+func (e *FencedError) Is(target error) bool { return target == ErrFenced }
+
+// SnapshotFencedError reports a snapshot bootstrap rejected by epoch
+// fencing: the leader serving the snapshot advertised an epoch behind
+// the store's, so it is deposed and must not replace the local
+// timeline. It matches ErrFenced.
+type SnapshotFencedError struct {
+	// Seq is the snapshot's global sequence.
+	Seq int
+	// LeaderEpoch is the serving leader's advertised current epoch.
+	LeaderEpoch int64
+	// StoreEpoch is the newer epoch the store has already seen.
+	StoreEpoch int64
+}
+
+func (e *SnapshotFencedError) Error() string {
+	return fmt.Sprintf("persist: fenced: snapshot at seq %d from a leader at epoch %d but the store is at epoch %d",
+		e.Seq, e.LeaderEpoch, e.StoreEpoch)
+}
+
+func (e *SnapshotFencedError) Is(target error) bool { return target == ErrFenced }
+
+// Epoch returns the leadership epoch the store currently stamps
+// commits with (0 for a store that has never seen an election).
+func (s *Store) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Epochs returns the current epoch together with the epoch recorded
+// in the snapshot header (the epoch of the state at BaseSeq).
+func (s *Store) Epochs() (epoch, baseEpoch int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch, s.baseEpoch
+}
+
+// BeginEpoch durably advances the store to the given leadership epoch
+// before any transaction commits under it: the epoch record is
+// appended to the WAL and fsynced through the group-commit machinery.
+// A promotion must call it first, so that even a promotion followed
+// immediately by a crash leaves a store that fences the old leader.
+// The epoch must be strictly greater than the current one; re-begins
+// of the current epoch are no-ops.
+func (s *Store) BeginEpoch(epoch int64) error {
+	if err := s.degradedErr(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if epoch <= s.epoch {
+		cur := s.epoch
+		s.mu.Unlock()
+		if epoch == cur {
+			return nil
+		}
+		return fmt.Errorf("persist: epoch %d is not after current epoch %d", epoch, cur)
+	}
+	if err := s.appendEpochRecord(epoch); err != nil {
+		s.enterDegraded("wal append", err)
+		s.mu.Unlock()
+		return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
+	}
+	s.epoch = epoch
+	s.met.setEpoch(epoch)
+	s.syncMu.Lock()
+	s.appendedLSN++
+	s.pendingTxns++
+	lsn := s.appendedLSN
+	s.syncMu.Unlock()
+	s.mu.Unlock()
+	s.cfg.slogger.Info("epoch begun", "epoch", epoch)
+	return s.waitDurable(lsn)
+}
+
+// RecordVote durably records that this node voted for nodeID in the
+// given election epoch. The write is fsynced before RecordVote
+// returns, so a vote already granted survives a crash — the
+// single-vote-per-epoch rule holds across restarts. A vote for an
+// epoch at or below an already-recorded vote's is rejected.
+func (s *Store) RecordVote(epoch int64, nodeID string) error {
+	if err := s.degradedErr(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if epoch <= s.voteEpoch {
+		cur := s.voteEpoch
+		s.mu.Unlock()
+		return fmt.Errorf("persist: vote for epoch %d is not after last voted epoch %d", epoch, cur)
+	}
+	if err := s.appendVoteRecord(epoch, nodeID); err != nil {
+		s.enterDegraded("wal append", err)
+		s.mu.Unlock()
+		return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
+	}
+	s.voteEpoch, s.voteFor = epoch, nodeID
+	s.syncMu.Lock()
+	s.appendedLSN++
+	s.pendingTxns++
+	lsn := s.appendedLSN
+	s.syncMu.Unlock()
+	s.mu.Unlock()
+	return s.waitDurable(lsn)
+}
+
+// LastVote returns the most recent durable election vote: the epoch
+// voted in and the node voted for ((0, "") when the node has never
+// voted).
+func (s *Store) LastVote() (epoch int64, nodeID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.voteEpoch, s.voteFor
+}

@@ -1,0 +1,261 @@
+package persist
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBeginEpochDurable proves a promotion survives a restart even
+// when no transaction ever commits under the new epoch.
+func TestBeginEpochDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("fresh store epoch = %d, want 0", got)
+	}
+	if err := s.BeginEpoch(3); err != nil {
+		t.Fatalf("BeginEpoch: %v", err)
+	}
+	if err := s.BeginEpoch(3); err != nil {
+		t.Fatalf("re-begin of current epoch should be a no-op, got %v", err)
+	}
+	if err := s.BeginEpoch(2); err == nil {
+		t.Fatal("BeginEpoch(2) after epoch 3 should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Epoch(); got != 3 {
+		t.Fatalf("recovered epoch = %d, want 3", got)
+	}
+}
+
+// TestEpochInCommitMarkers proves local commits stamp the current
+// epoch and that the epoch rides the commit marker through recovery
+// and checkpoints.
+func TestEpochInCommitMarkers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyUpdates(context.Background(), mustUpdates(t, s.Universe(), `+p(a).`)); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.History()
+	if len(hist) != 1 || hist[0].Epoch != 5 {
+		t.Fatalf("history = %+v, want one txn at epoch 5", hist)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Epoch(); got != 5 {
+		t.Fatalf("recovered epoch = %d, want 5", got)
+	}
+	if hist := r.History(); len(hist) != 1 || hist[0].Epoch != 5 {
+		t.Fatalf("recovered history = %+v, want one txn at epoch 5", hist)
+	}
+	// Checkpoint folds the epoch into the snapshot header.
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	epoch, baseEpoch := c.Epochs()
+	if epoch != 5 || baseEpoch != 5 {
+		t.Fatalf("post-checkpoint epochs = (%d, %d), want (5, 5)", epoch, baseEpoch)
+	}
+}
+
+// TestApplyReplicatedFencing proves the fencing rule: transactions
+// from a deposed epoch are rejected with ErrFenced, newer epochs are
+// adopted, and the idempotent-skip path never masks a fenced frame.
+func TestApplyReplicatedFencing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ApplyReplicated(TxnRecord{Seq: 1, Epoch: 1, Added: []string{"p(a)"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("epoch after epoch-1 txn = %d, want 1 (adopted)", got)
+	}
+	// A newer epoch deposes epoch 1...
+	if err := s.ApplyReplicated(TxnRecord{Seq: 2, Epoch: 4, Added: []string{"q(b)"}}); err != nil {
+		t.Fatal(err)
+	}
+	// ...after which epoch-1 frames are fenced, even stale ones that
+	// the idempotent skip would otherwise swallow.
+	err = s.ApplyReplicated(TxnRecord{Seq: 3, Epoch: 1, Added: []string{"stale(x)"}})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("next-seq deposed txn: got %v, want ErrFenced", err)
+	}
+	var fe *FencedError
+	if !errors.As(err, &fe) || fe.TxnEpoch != 1 || fe.StoreEpoch != 4 {
+		t.Fatalf("FencedError = %+v", err)
+	}
+	if err := s.ApplyReplicated(TxnRecord{Seq: 1, Epoch: 1, Added: []string{"p(a)"}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-seq deposed txn: got %v, want ErrFenced", err)
+	}
+	// Same-epoch replay of an applied seq still skips idempotently.
+	if err := s.ApplyReplicated(TxnRecord{Seq: 2, Epoch: 4, Added: []string{"q(b)"}}); err != nil {
+		t.Fatalf("idempotent same-epoch replay: %v", err)
+	}
+	// The fenced fact never became visible.
+	for _, txt := range renderDBAtoms(s.Universe(), s.Snapshot()) {
+		if strings.Contains(txt, "stale") {
+			t.Fatalf("fenced fact visible in state: %s", renderDB(s.Universe(), s.Snapshot()))
+		}
+	}
+}
+
+// TestRecordVoteDurable proves the single-vote-per-epoch rule holds
+// across a restart.
+func TestRecordVoteDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch, id := s.LastVote(); epoch != 0 || id != "" {
+		t.Fatalf("fresh store vote = (%d, %q)", epoch, id)
+	}
+	if err := s.RecordVote(2, "node-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordVote(2, "node-c"); err == nil {
+		t.Fatal("second vote in epoch 2 should fail")
+	}
+	if err := s.RecordVote(3, "node-c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if epoch, id := r.LastVote(); epoch != 3 || id != "node-c" {
+		t.Fatalf("recovered vote = (%d, %q), want (3, %q)", epoch, id, "node-c")
+	}
+	if err := r.RecordVote(3, "node-b"); err == nil {
+		t.Fatal("re-vote in epoch 3 after restart should fail")
+	}
+}
+
+// TestResetToSnapshotEpochAuthorization proves the bootstrap fencing
+// rule: a deposed leader (stream epoch behind the store's) cannot
+// reset the store at all, while a current leader may — including onto
+// a snapshot whose own epoch is LOWER than the store's, because the
+// snapshot can predate the promotion and the replayed history
+// re-advances the epoch (the regression test for the bootstrap
+// livelock where a restarted follower fenced the new leader's own
+// pre-promotion history).
+func TestResetToSnapshotEpochAuthorization(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.BeginEpoch(7); err != nil {
+		t.Fatal(err)
+	}
+	// Deposed leader (epoch 4 < 7): refused, state untouched.
+	err = s.ResetToSnapshot(10, 4, []string{"p(a)"}, 4)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed-leader reset = %v, want ErrFenced", err)
+	}
+	if got := s.Epoch(); got != 7 {
+		t.Fatalf("epoch after refused reset = %d, want 7", got)
+	}
+	// Current leader (epoch 8 >= 7) serving a pre-promotion snapshot
+	// (epoch 4): authorized, and the store ADOPTS the older epoch so
+	// the history replay that follows is not fenced.
+	if err := s.ResetToSnapshot(10, 4, []string{"p(a)"}, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 4 {
+		t.Fatalf("epoch after authorized reset = %d, want 4 (adopted)", got)
+	}
+	// Replaying the leader's history advances the epoch back up
+	// through the replayed commit markers.
+	if err := s.ApplyReplicated(TxnRecord{Seq: 11, Epoch: 8, Added: []string{"p(b)"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 8 {
+		t.Fatalf("epoch after replayed txn = %d, want 8", got)
+	}
+	// A newer-epoch snapshot adopts forward too.
+	if err := s.ResetToSnapshot(12, 9, []string{"p(c)"}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 9 {
+		t.Fatalf("epoch after newer-epoch reset = %d, want 9", got)
+	}
+}
+
+// TestSnapshotHeaderParsing pins the header format, including both
+// pre-epoch forms.
+func TestSnapshotHeaderParsing(t *testing.T) {
+	cases := []struct {
+		text  string
+		seq   int
+		epoch int64
+	}{
+		{"% park snapshot seq=12\np(a).\n", 12, 0},
+		{"% park snapshot seq=12 epoch=3\np(a).\n", 12, 3},
+		{"p(a).\n", 0, 0},
+		{"% park snapshot seq=bogus\n", 0, 0},
+		{"% park snapshot seq=12 epoch=bogus\n", 12, 0},
+	}
+	for _, tc := range cases {
+		seq, epoch := parseSnapshotHeader(tc.text)
+		if seq != tc.seq || epoch != tc.epoch {
+			t.Errorf("parseSnapshotHeader(%q) = (%d, %d), want (%d, %d)",
+				tc.text, seq, epoch, tc.seq, tc.epoch)
+		}
+	}
+}
+
+// renderDBAtoms is a tiny helper for the fencing test.
+func renderDBAtoms(u *core.Universe, db *core.Database) []string {
+	ids := append([]core.AID(nil), db.Atoms()...)
+	u.SortAtoms(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = u.AtomString(id)
+	}
+	return out
+}

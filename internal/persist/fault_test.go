@@ -319,7 +319,7 @@ drain:
 	for _, id := range ids {
 		facts = append(facts, ru.AtomString(id))
 	}
-	if err := fst.ResetToSnapshot(cutView.BaseSeq, facts); err != nil {
+	if err := fst.ResetToSnapshot(cutView.BaseSeq, cutView.BaseEpoch, facts, cutView.Epoch); err != nil {
 		t.Fatalf("[seed %d] follower bootstrap: %v", seed, err)
 	}
 	for _, txn := range cutView.History {

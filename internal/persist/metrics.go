@@ -24,6 +24,9 @@ type storeMetrics struct {
 	degradeEvents *metrics.Counter // park_store_degrade_events_total
 	probes        *metrics.Counter // park_store_disk_probes_total
 	probeOK       *metrics.Counter // park_store_disk_probe_successes_total
+
+	fenced *metrics.Counter // park_store_fenced_txns_total
+	epoch  *metrics.Gauge   // park_store_epoch
 }
 
 // Instrument registers the store's commit-pipeline metrics in reg and
@@ -48,10 +51,15 @@ func (s *Store) Instrument(reg *metrics.Registry) {
 			"Disk re-probe attempts made while degraded."),
 		probeOK: reg.Counter("park_store_disk_probe_successes_total",
 			"Disk probes that succeeded and led to a completed repair."),
+		fenced: reg.Counter("park_store_fenced_txns_total",
+			"Replicated transactions rejected because they carried a deposed leadership epoch."),
+		epoch: reg.Gauge("park_store_epoch",
+			"Leadership epoch the store stamps commits with."),
 	}
 	if s.Health().Degraded {
 		s.met.degraded.Set(1)
 	}
+	s.met.epoch.Set(s.Epoch())
 }
 
 // observeBatch records one completed fsync and its batch size.
@@ -108,5 +116,18 @@ func (m *storeMetrics) incProbe() {
 func (m *storeMetrics) incProbeSuccess() {
 	if m.probeOK != nil {
 		m.probeOK.Inc()
+	}
+}
+
+func (m *storeMetrics) incFenced() {
+	if m.fenced != nil {
+		m.fenced.Inc()
+	}
+}
+
+// setEpoch publishes the store's current leadership epoch.
+func (m *storeMetrics) setEpoch(epoch int64) {
+	if m.epoch != nil {
+		m.epoch.Set(epoch)
 	}
 }

@@ -209,7 +209,7 @@ func TestCrashDuringGroupCommit(t *testing.T) {
 		length := int64(binary.LittleEndian.Uint32(wal[off:]))
 		payload := wal[off+recordHeader : off+recordHeader+length]
 		off += recordHeader + length
-		if _, ok := commitMarkerSeq(payload); ok {
+		if _, _, ok := commitMarker(payload); ok {
 			commitEnds = append(commitEnds, off)
 		}
 	}

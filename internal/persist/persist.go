@@ -99,6 +99,10 @@ const (
 	// the global transaction sequence at checkpoint time. It is a rule
 	// language comment, so older readers parse the snapshot unchanged.
 	snapshotSeqPrefix = "% park snapshot seq="
+	// snapshotEpochKey extends the header with the leadership epoch
+	// ("% park snapshot seq=N epoch=E"); snapshots written before
+	// epochs existed omit it and parse as epoch 0.
+	snapshotEpochKey = " epoch="
 )
 
 // ErrClosed is returned by operations on a closed store. Callers can
@@ -150,6 +154,20 @@ type Store struct {
 	// checkpoint; history[i].Seq == baseSeq+i+1.
 	seq     int
 	baseSeq int
+
+	// epoch is the leadership epoch new commits are stamped with;
+	// baseEpoch is the epoch recorded in the snapshot header. Epochs
+	// are monotone for the lifetime of the directory: they advance via
+	// BeginEpoch (promotion) or by applying a replicated transaction
+	// from a newer leader, and ApplyReplicated fences out transactions
+	// stamped with an older epoch (see epoch.go).
+	epoch     int64
+	baseEpoch int64
+	// voteEpoch/voteFor are the node's most recent leader-election
+	// vote, persisted as 'V' WAL records so a restarted node cannot
+	// grant a second vote in the same epoch.
+	voteEpoch int64
+	voteFor   string
 
 	// snapDB is the state at the last checkpoint (or Open snapshot);
 	// history holds the per-transaction deltas since then. Together
@@ -318,6 +336,12 @@ type TxnRecord struct {
 	// correlates with the leader's request log. It is not persisted in
 	// the WAL: recovery yields records with empty trace IDs.
 	TraceID string `json:"traceId,omitempty"`
+	// Epoch is the leadership epoch the transaction committed under.
+	// It is persisted in the commit marker and shipped in replication
+	// frames; ApplyReplicated rejects transactions whose epoch is older
+	// than the store's (fencing). Stores from before epochs existed
+	// carry epoch 0 everywhere.
+	Epoch int64 `json:"epoch,omitempty"`
 	// Added and Removed render the delta atoms in rule-language
 	// syntax.
 	Added   []string
@@ -366,8 +390,8 @@ func open(dir string, repair bool, opts ...Option) (*Store, *RepairReport, error
 	snapPath := filepath.Join(dir, snapshotName)
 	if data, err := s.fs.ReadFile(snapPath); err == nil {
 		text := string(data)
-		s.baseSeq = parseSnapshotSeq(text)
-		s.seq = s.baseSeq
+		s.baseSeq, s.baseEpoch = parseSnapshotHeader(text)
+		s.seq, s.epoch = s.baseSeq, s.baseEpoch
 		db, err = parser.ParseDatabase(s.u, snapPath, text)
 		if err != nil {
 			return nil, nil, fmt.Errorf("persist: corrupt snapshot: %w", err)
@@ -416,21 +440,31 @@ func open(dir string, repair bool, opts ...Option) (*Store, *RepairReport, error
 // walPath returns the WAL file's full path.
 func (s *Store) walPath() string { return filepath.Join(s.dir, walName) }
 
-// parseSnapshotSeq reads the global sequence from the snapshot
-// header comment; snapshots from before the header existed yield 0.
-func parseSnapshotSeq(text string) int {
+// parseSnapshotHeader reads the global sequence and leadership epoch
+// from the snapshot header comment. Snapshots from before the header
+// existed yield (0, 0); headers from before epochs existed yield
+// epoch 0.
+func parseSnapshotHeader(text string) (seq int, epoch int64) {
 	if !strings.HasPrefix(text, snapshotSeqPrefix) {
-		return 0
+		return 0, 0
 	}
 	line := text[len(snapshotSeqPrefix):]
 	if i := strings.IndexByte(line, '\n'); i >= 0 {
 		line = line[:i]
 	}
-	n, err := strconv.Atoi(strings.TrimSpace(line))
-	if err != nil || n < 0 {
-		return 0
+	seqPart := line
+	if i := strings.Index(line, snapshotEpochKey); i >= 0 {
+		seqPart = line[:i]
+		e, err := strconv.ParseInt(strings.TrimSpace(line[i+len(snapshotEpochKey):]), 10, 64)
+		if err == nil && e > 0 {
+			epoch = e
+		}
 	}
-	return n
+	n, err := strconv.Atoi(strings.TrimSpace(seqPart))
+	if err != nil || n < 0 {
+		return 0, 0
+	}
+	return n, epoch
 }
 
 // replayWAL applies every committed transaction to db and rebuilds
@@ -504,6 +538,8 @@ func (s *Store) replayWAL(path string, db *core.Database) (int64, int, *CorruptE
 		*db = *s.snapDB.Clone()
 		s.history = nil
 		s.seq = s.baseSeq
+		s.epoch = s.baseEpoch
+		s.voteEpoch, s.voteFor = 0, ""
 		pending = TxnRecord{}
 		rep := data[:committedEnd]
 		o := int64(0)
@@ -520,13 +556,17 @@ func (s *Store) replayWAL(path string, db *core.Database) (int64, int, *CorruptE
 }
 
 // applyRecord applies one record to db, tracking the pending
-// transaction delta. It reports whether the record was a commit
-// marker.
+// transaction delta. It reports whether the record completed a
+// committed unit (a commit marker, or a self-committing epoch/vote
+// record).
 func (s *Store) applyRecord(db *core.Database, payload []byte, pending *TxnRecord) (bool, error) {
-	if seq, ok := commitMarkerSeq(payload); ok {
+	if seq, epoch, ok := commitMarker(payload); ok {
 		if seq == 0 {
 			// Legacy marker without a sequence: number consecutively.
 			seq = s.seq + 1
+		}
+		if epoch > s.epoch {
+			s.epoch = epoch
 		}
 		if seq <= s.baseSeq {
 			// The transaction is already folded into the snapshot (a
@@ -541,8 +581,30 @@ func (s *Store) applyRecord(db *core.Database, payload []byte, pending *TxnRecor
 		}
 		s.seq = seq
 		pending.Seq = seq
+		pending.Epoch = epoch
 		s.history = append(s.history, *pending)
 		*pending = TxnRecord{}
+		return true, nil
+	}
+	if len(payload) >= 9 && (payload[0] == 'E' || payload[0] == 'V') {
+		// Epoch and vote records stand alone between transactions
+		// (BeginEpoch/RecordVote hold the commit lock), so one inside
+		// an open delta means the log is damaged.
+		if len(pending.Added)+len(pending.Removed) > 0 {
+			return false, fmt.Errorf("%c record inside an open transaction", payload[0])
+		}
+		epoch := int64(binary.LittleEndian.Uint64(payload[1:9]))
+		switch payload[0] {
+		case 'E':
+			if len(payload) != 9 {
+				return false, errors.New("malformed epoch record")
+			}
+			if epoch > s.epoch {
+				s.epoch = epoch
+			}
+		case 'V':
+			s.voteEpoch, s.voteFor = epoch, string(payload[9:])
+		}
 		return true, nil
 	}
 	if len(payload) < 2 {
@@ -567,21 +629,25 @@ func (s *Store) applyRecord(db *core.Database, payload []byte, pending *TxnRecor
 	return false, nil
 }
 
-// commitMarkerSeq decodes a commit-marker payload. Current markers
-// are 'C' followed by the global sequence (8 bytes little-endian);
-// legacy markers are a bare 'C' and report seq 0 (numbered by the
-// caller).
-func commitMarkerSeq(payload []byte) (int, bool) {
+// commitMarker decodes a commit-marker payload. Current markers are
+// 'C' followed by the global sequence and the leadership epoch (8
+// bytes little-endian each); markers from before epochs existed are
+// 'C' plus the sequence alone (epoch 0), and legacy markers are a
+// bare 'C' reporting seq 0 (numbered by the caller).
+func commitMarker(payload []byte) (seq int, epoch int64, ok bool) {
 	if len(payload) == 0 || payload[0] != 'C' {
-		return 0, false
+		return 0, 0, false
 	}
 	switch len(payload) {
 	case 1:
-		return 0, true
+		return 0, 0, true
 	case 9:
-		return int(binary.LittleEndian.Uint64(payload[1:])), true
+		return int(binary.LittleEndian.Uint64(payload[1:])), 0, true
+	case 17:
+		return int(binary.LittleEndian.Uint64(payload[1:9])),
+			int64(binary.LittleEndian.Uint64(payload[9:17])), true
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // internAtomText parses a ground atom in rule-language syntax.
@@ -649,11 +715,41 @@ func (s *Store) appendRecord(op byte, atomText string) error {
 }
 
 // appendCommitMarker writes a commit marker carrying the global
-// sequence; callers hold s.mu.
-func (s *Store) appendCommitMarker(seq int) error {
-	payload := make([]byte, 9)
+// sequence and the leadership epoch; callers hold s.mu. Epoch-0
+// stores keep writing the 9-byte pre-epoch marker so their WALs stay
+// readable by older binaries.
+func (s *Store) appendCommitMarker(seq int, epoch int64) error {
+	if epoch == 0 {
+		payload := make([]byte, 9)
+		payload[0] = 'C'
+		binary.LittleEndian.PutUint64(payload[1:], uint64(seq))
+		return s.appendPayload(payload)
+	}
+	payload := make([]byte, 17)
 	payload[0] = 'C'
-	binary.LittleEndian.PutUint64(payload[1:], uint64(seq))
+	binary.LittleEndian.PutUint64(payload[1:9], uint64(seq))
+	binary.LittleEndian.PutUint64(payload[9:17], uint64(epoch))
+	return s.appendPayload(payload)
+}
+
+// appendEpochRecord writes a self-committing epoch record ('E' plus
+// the epoch, 8 bytes little-endian); callers hold s.mu. It makes a
+// promotion durable even when no transaction commits under the new
+// epoch before the next crash.
+func (s *Store) appendEpochRecord(epoch int64) error {
+	payload := make([]byte, 9)
+	payload[0] = 'E'
+	binary.LittleEndian.PutUint64(payload[1:], uint64(epoch))
+	return s.appendPayload(payload)
+}
+
+// appendVoteRecord writes a self-committing vote record ('V', epoch,
+// voted-for node ID); callers hold s.mu.
+func (s *Store) appendVoteRecord(epoch int64, nodeID string) error {
+	payload := make([]byte, 9+len(nodeID))
+	payload[0] = 'V'
+	binary.LittleEndian.PutUint64(payload[1:9], uint64(epoch))
+	copy(payload[9:], nodeID)
 	return s.appendPayload(payload)
 }
 

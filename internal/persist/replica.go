@@ -28,6 +28,12 @@ type ReplicaCut struct {
 	BaseSeq int
 	// Seq is the newest committed sequence at cut time.
 	Seq int
+	// BaseEpoch is the leadership epoch of the state at BaseSeq;
+	// Epoch is the store's epoch at cut time. History carries each
+	// transaction's own epoch, so the leader can check that a resuming
+	// follower's timeline agrees with its own (see internal/repl).
+	BaseEpoch int64
+	Epoch     int64
 	// Snapshot is the checkpoint state (immutable — do not mutate);
 	// nil unless the cut was taken with withSnapshot.
 	Snapshot *core.Database
@@ -55,7 +61,7 @@ func (s *Store) ReplicaCut(withSnapshot bool, buffer int) (*ReplicaCut, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	cut := &ReplicaCut{BaseSeq: s.baseSeq, Seq: s.seq}
+	cut := &ReplicaCut{BaseSeq: s.baseSeq, Seq: s.seq, BaseEpoch: s.baseEpoch, Epoch: s.epoch}
 	if withSnapshot {
 		// snapDB is replaced, never mutated, so handing out the
 		// pointer is safe; the caller renders it outside the lock.
@@ -81,6 +87,12 @@ func (s *Store) ReplicaCut(withSnapshot bool, buffer int) (*ReplicaCut, error) {
 // marker, but not fsynced: a replica batches durability through
 // SyncWAL, because a crash that loses the un-synced tail merely makes
 // it re-request those transactions from the leader.
+//
+// Fencing: a transaction stamped with an epoch older than the store's
+// is rejected with an error matching ErrFenced, whatever its sequence
+// — it comes from a deposed leader and must not be applied, skipped,
+// or used to advance the stream. A transaction from a newer epoch
+// advances the store's epoch (durably, via its commit marker).
 func (s *Store) ApplyReplicated(txn TxnRecord) error {
 	if err := s.degradedErr(); err != nil {
 		return err
@@ -89,6 +101,10 @@ func (s *Store) ApplyReplicated(txn TxnRecord) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if txn.Epoch < s.epoch {
+		s.met.incFenced()
+		return &FencedError{Seq: txn.Seq, TxnEpoch: txn.Epoch, StoreEpoch: s.epoch}
 	}
 	if txn.Seq <= s.seq {
 		return nil
@@ -126,7 +142,7 @@ func (s *Store) ApplyReplicated(txn TxnRecord) error {
 			return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 		}
 	}
-	if err := s.appendCommitMarker(txn.Seq); err != nil {
+	if err := s.appendCommitMarker(txn.Seq, txn.Epoch); err != nil {
 		s.enterDegraded("wal append", err)
 		return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
@@ -138,10 +154,14 @@ func (s *Store) ApplyReplicated(txn TxnRecord) error {
 	for _, id := range remIDs {
 		db.Remove(id)
 	}
-	rec := TxnRecord{Seq: txn.Seq, TraceID: txn.TraceID}
+	rec := TxnRecord{Seq: txn.Seq, Epoch: txn.Epoch, TraceID: txn.TraceID}
 	rec.Added = append(rec.Added, txn.Added...)
 	rec.Removed = append(rec.Removed, txn.Removed...)
 	s.seq = txn.Seq
+	if txn.Epoch > s.epoch {
+		s.epoch = txn.Epoch
+		s.met.setEpoch(txn.Epoch)
+	}
 	s.history = append(s.history, rec)
 	s.state.Store(&dbState{db: db, version: cur.version + 1})
 	s.notify(rec)
@@ -175,15 +195,30 @@ func (s *Store) SyncWAL() error {
 }
 
 // ResetToSnapshot replaces the entire store state with a leader
-// snapshot taken at the given global sequence: the facts become the
-// new checkpoint (written durably, atomic rename), the WAL restarts
-// empty, and the sequence jumps to seq. This is the replica bootstrap
-// path — used when the store has no state, or when its sequence falls
-// outside the leader's retained window (including the divergence case
-// where the replica is ahead of a restarted leader: the leader wins).
-func (s *Store) ResetToSnapshot(seq int, facts []string) error {
+// snapshot taken at the given global sequence and epoch: the facts
+// become the new checkpoint (written durably, atomic rename), the WAL
+// restarts empty, and the sequence jumps to seq. This is the replica
+// bootstrap path — used when the store has no state, or when its
+// sequence falls outside the leader's retained window (including the
+// divergence case where the replica is ahead of a deposed or restored
+// leader: the current leader wins and the divergent tail is
+// discarded).
+//
+// leaderEpoch is the serving leader's CURRENT epoch (from the stream's
+// heartbeat), and it is the authorization for the reset: a bootstrap
+// from a leader whose epoch is behind the store's comes from a deposed
+// leader and is rejected with an error matching ErrFenced. An
+// authorized bootstrap adopts the snapshot's epoch even when it is
+// LOWER than the store's — the snapshot may predate the promotion that
+// raised the leader's epoch, and the replayed history re-advances the
+// epoch through its own commit markers. Keeping the higher epoch here
+// would fence that legitimate history and wedge the bootstrap.
+func (s *Store) ResetToSnapshot(seq int, epoch int64, facts []string, leaderEpoch int64) error {
 	if seq < 0 {
 		return fmt.Errorf("persist: negative snapshot sequence %d", seq)
+	}
+	if epoch < 0 {
+		return fmt.Errorf("persist: negative snapshot epoch %d", epoch)
 	}
 	if err := s.degradedErr(); err != nil {
 		return err
@@ -202,7 +237,11 @@ func (s *Store) ResetToSnapshot(seq int, facts []string) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.writeSnapshotLocked(db, seq); err != nil {
+	if leaderEpoch < s.epoch {
+		s.met.incFenced()
+		return &SnapshotFencedError{Seq: seq, LeaderEpoch: leaderEpoch, StoreEpoch: s.epoch}
+	}
+	if err := s.writeSnapshotLocked(db, seq, epoch); err != nil {
 		return err
 	}
 	if err := s.wal.Truncate(0); err != nil {
@@ -215,10 +254,20 @@ func (s *Store) ResetToSnapshot(seq int, facts []string) error {
 	// append failure no longer poisons durability.
 	s.walErr = nil
 	s.walRecords = 0
+	// Truncating the WAL dropped any durable vote record; re-append it
+	// so the single-vote-per-epoch rule still holds across a restart.
+	if s.voteEpoch > 0 {
+		if err := s.appendVoteRecord(s.voteEpoch, s.voteFor); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
 	s.snapDB = db.Clone()
 	s.history = nil
 	s.seq = seq
 	s.baseSeq = seq
+	s.epoch = epoch
+	s.baseEpoch = epoch
+	s.met.setEpoch(epoch)
 	cur := s.current()
 	s.state.Store(&dbState{db: db, version: cur.version + 1})
 	// Anything previously appended is superseded by the durable

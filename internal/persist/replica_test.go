@@ -96,7 +96,7 @@ func TestResetToSnapshot(t *testing.T) {
 	applyN(t, s, 3)
 	// A reset discards local state entirely and adopts the leader's
 	// snapshot and sequence.
-	if err := s.ResetToSnapshot(42, []string{"lead(a)", "lead(b)"}); err != nil {
+	if err := s.ResetToSnapshot(42, 0, []string{"lead(a)", "lead(b)"}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if s.Seq() != 42 {

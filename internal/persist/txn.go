@@ -102,7 +102,7 @@ func (s *Store) Checkpoint() error {
 		return ErrClosed
 	}
 	db := s.current().db
-	if err := s.writeSnapshotLocked(db, s.seq); err != nil {
+	if err := s.writeSnapshotLocked(db, s.seq, s.epoch); err != nil {
 		s.enterDegraded("checkpoint snapshot", err)
 		return fmt.Errorf("%w; %w", err, ErrDegraded)
 	}
@@ -133,16 +133,21 @@ func (s *Store) Checkpoint() error {
 }
 
 // writeSnapshotLocked durably writes db as the snapshot file (temp
-// file + fsync + atomic rename) with seq in the header comment.
-// Callers hold s.mu.
-func (s *Store) writeSnapshotLocked(db *core.Database, seq int) error {
+// file + fsync + atomic rename) with seq and epoch in the header
+// comment. Epoch-0 stores keep the pre-epoch header format so their
+// snapshots stay readable by older binaries. Callers hold s.mu.
+func (s *Store) writeSnapshotLocked(db *core.Database, seq int, epoch int64) error {
 	tmp, err := s.fs.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	tmpName := tmp.Name()
 	defer s.fs.Remove(tmpName)
-	if _, err := fmt.Fprintf(tmp, "%s%d\n", snapshotSeqPrefix, seq); err != nil {
+	header := fmt.Sprintf("%s%d\n", snapshotSeqPrefix, seq)
+	if epoch > 0 {
+		header = fmt.Sprintf("%s%d%s%d\n", snapshotSeqPrefix, seq, snapshotEpochKey, epoch)
+	}
+	if _, err := io.WriteString(tmp, header); err != nil {
 		tmp.Close()
 		return fmt.Errorf("persist: %w", err)
 	}

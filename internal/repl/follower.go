@@ -4,9 +4,10 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -24,9 +25,8 @@ import (
 // and must not be written by anyone else — the replication stream is
 // its only writer.
 type Follower struct {
-	store  *persist.Store
-	leader string // leader base URL, no trailing slash
-	hc     *http.Client
+	store *persist.Store
+	hc    *http.Client
 
 	// staleAfter bounds the silence the follower tolerates before it
 	// declares the stream dead and reconnects; it must exceed the
@@ -42,16 +42,37 @@ type Follower struct {
 	logf      func(format string, args ...any)
 
 	met followerMetrics
+	// rng draws reconnect jitter. It is a per-instance source seeded
+	// from math/rand/v2's auto-seeded generator, NOT from the clock:
+	// followers built in the same instant (smoke drills, shard
+	// bootstraps) must still jitter independently, or they reconnect
+	// in lockstep and the jitter defeats itself.
 	rng *rand.Rand
 
-	mu sync.Mutex
-	st Status
-	// snapshot bootstrap accumulation state
+	mu     sync.Mutex
+	st     Status
+	leader string // current leader base URL, no trailing slash (Retarget swaps it)
+	// snapEpoch/… accumulate an in-flight snapshot bootstrap.
 	snapActive bool
 	snapSeq    int
+	snapEpoch  int64
 	snapFacts  []string
+	// streamEpoch is the highest epoch the CURRENT stream's leader has
+	// advertised in its heartbeats (reset on every new connection). It
+	// authorizes snapshot bootstraps: a leader whose own epoch is
+	// behind the local store's is deposed and must not reset us.
+	streamEpoch int64
 	// applied-but-not-yet-fsynced transaction count
 	unsynced int
+	// streamCancel aborts the in-flight stream request; Retarget uses
+	// it so a follower switches leaders without waiting out a stale
+	// read.
+	streamCancel context.CancelFunc
+	// retargeted notes a leader switch so Run resets its backoff.
+	retargeted bool
+	// wake interrupts Run's backoff sleep after a Retarget: a failover
+	// must not wait out a backoff accumulated against the dead leader.
+	wake chan struct{}
 }
 
 // Status is a point-in-time view of a follower's replication state.
@@ -79,6 +100,26 @@ type Status struct {
 	TxnsApplied int64
 	// SnapshotLoads counts full snapshot bootstraps performed.
 	SnapshotLoads int64
+	// FencedFrames counts transaction frames the store rejected
+	// because they carried a deposed leadership epoch — nonzero means
+	// this follower was streaming from a fenced ex-leader.
+	FencedFrames int64
+	// LeaderURL is the base URL the follower currently streams from.
+	LeaderURL string
+	// Lease state learned from heartbeats: the leader's epoch and
+	// identity, and the lease duration each heartbeat renews (zero
+	// from leaders running outside cluster mode). The leader's lease
+	// is considered expired when LastFrame is older than Lease.
+	LeaderEpoch int64
+	LeaderID    string
+	Lease       time.Duration
+}
+
+// LeaseExpired reports whether the leader's lease has lapsed as of
+// now: a lease was advertised and no frame arrived within it. The
+// election coordinator (Node) uses this as its candidacy trigger.
+func (st Status) LeaseExpired(now time.Time) bool {
+	return st.Lease > 0 && !st.LastFrame.IsZero() && now.Sub(st.LastFrame) > st.Lease
 }
 
 // LagSeq is the replication lag in transactions (never negative).
@@ -148,13 +189,50 @@ func NewFollower(store *persist.Store, leaderURL string, opts ...Option) *Follow
 		backoffMax: 10 * time.Second,
 		syncEvery:  64,
 		logf:       func(string, ...any) {},
-		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		// Seed from the process-wide auto-seeded generator: unique per
+		// instance even for followers built in the same nanosecond.
+		rng:  rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
+		wake: make(chan struct{}, 1),
 	}
 	for _, o := range opts {
 		o(f)
 	}
 	f.st.AppliedSeq = store.Seq()
 	return f
+}
+
+// Retarget points the follower at a new leader base URL, aborting any
+// in-flight stream so the switch takes effect immediately. The
+// election coordinator calls it after a failover; it is safe at any
+// time (a no-op when the URL is unchanged).
+func (f *Follower) Retarget(leaderURL string) {
+	leaderURL = strings.TrimRight(leaderURL, "/")
+	f.mu.Lock()
+	if leaderURL == "" || f.leader == leaderURL {
+		f.mu.Unlock()
+		return
+	}
+	f.leader = leaderURL
+	f.retargeted = true
+	cancel := f.streamCancel
+	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	// Wake Run out of any backoff sleep: the accumulated backoff was
+	// earned against the old leader and must not delay the new one.
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+	f.logf("repl: retargeted to leader %s", leaderURL)
+}
+
+// LeaderURL returns the base URL the follower currently streams from.
+func (f *Follower) LeaderURL() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leader
 }
 
 // Instrument registers the follower's replication metrics in reg.
@@ -174,6 +252,7 @@ func (f *Follower) Status() Status {
 	st := f.st
 	st.StaleAfter = f.staleAfter
 	st.Stale = st.LastFrame.IsZero() || time.Since(st.LastFrame) > f.staleAfter
+	st.LeaderURL = f.leader
 	return st
 }
 
@@ -190,6 +269,14 @@ func (f *Follower) RefreshMetrics() {
 // replication itself never gives up.
 func (f *Follower) Run(ctx context.Context) error {
 	backoff := f.backoffMin
+	// One reusable timer for the whole loop (the pacer's stopped-timer
+	// idiom): time.After inside a long-lived loop would leak a pending
+	// timer per reconnect, which adds up across a flap storm.
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			f.met.reconnect()
@@ -201,25 +288,44 @@ func (f *Follower) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if frames > 0 {
-			// The connection made progress; treat the fault as fresh.
+		f.mu.Lock()
+		if frames > 0 || f.retargeted {
+			// The connection made progress, or we were pointed at a new
+			// leader: treat the fault as fresh.
 			backoff = f.backoffMin
 		}
-		f.logf("repl: stream to %s ended after %d frames (%v); reconnecting in ~%v",
-			f.leader, frames, err, backoff)
-		// Full jitter: sleep uniformly in [backoff/2, backoff).
-		f.mu.Lock()
-		d := backoff/2 + time.Duration(f.rng.Int63n(int64(backoff/2)+1))
+		f.retargeted = false
+		leader := f.leader
 		f.mu.Unlock()
+		f.logf("repl: stream to %s ended after %d frames (%v); reconnecting in ~%v",
+			leader, frames, err, backoff)
+		// Full jitter: sleep uniformly in [backoff/2, backoff).
+		timer.Reset(f.jitter(backoff))
 		select {
 		case <-ctx.Done():
+			if !timer.Stop() {
+				<-timer.C
+			}
 			return ctx.Err()
-		case <-time.After(d):
+		case <-f.wake:
+			// Retargeted mid-sleep: connect to the new leader now.
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
 		}
 		if backoff *= 2; backoff > f.backoffMax {
 			backoff = f.backoffMax
 		}
 	}
+}
+
+// jitter draws the reconnect sleep for one backoff step, uniformly in
+// [backoff/2, backoff).
+func (f *Follower) jitter(backoff time.Duration) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return backoff/2 + time.Duration(f.rng.Int64N(int64(backoff/2)+1))
 }
 
 // stream runs one connection: resume from the local sequence, apply
@@ -228,8 +334,27 @@ func (f *Follower) Run(ctx context.Context) error {
 func (f *Follower) stream(ctx context.Context) (int, error) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	f.mu.Lock()
+	f.streamCancel = cancel
+	f.streamEpoch = 0
+	leader := f.leader
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.streamCancel = nil
+		f.mu.Unlock()
+	}()
+	if leader == "" {
+		// Cluster mode before the first election: no leader is known
+		// yet; Retarget will point us somewhere and wake the loop.
+		return 0, fmt.Errorf("repl: no leader known")
+	}
 	from := f.store.Seq()
-	url := f.leader + "/v1/repl/stream?from=" + strconv.Itoa(from)
+	// The epoch of our state at `from` rides along so the leader can
+	// detect a timeline written by a deposed leader and force a
+	// snapshot bootstrap instead of grafting divergent histories.
+	url := leader + "/v1/repl/stream?from=" + strconv.Itoa(from) +
+		"&epoch=" + strconv.FormatInt(f.store.Epoch(), 10)
 	req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, err
@@ -245,7 +370,7 @@ func (f *Follower) stream(ctx context.Context) (int, error) {
 	}
 	f.setConnected(true)
 	defer f.setConnected(false)
-	f.logf("repl: streaming from %s (resume from seq %d)", f.leader, from)
+	f.logf("repl: streaming from %s (resume from seq %d)", leader, from)
 
 	// Watchdog: a stream that goes silent past staleAfter is dead
 	// (half-open TCP, wedged proxy); cancel the request to unblock
@@ -282,6 +407,18 @@ func (f *Follower) handle(typ byte, payload []byte) error {
 		if hb.Seq > f.st.LeaderSeq {
 			f.st.LeaderSeq = hb.Seq
 		}
+		if hb.Epoch > f.st.LeaderEpoch {
+			f.st.LeaderEpoch = hb.Epoch
+		}
+		if hb.Epoch > f.streamEpoch {
+			f.streamEpoch = hb.Epoch
+		}
+		if hb.LeaderID != "" {
+			f.st.LeaderID = hb.LeaderID
+		}
+		if hb.LeaseMillis > 0 {
+			f.st.Lease = time.Duration(hb.LeaseMillis) * time.Millisecond
+		}
 		f.st.LastFrame = now
 		f.mu.Unlock()
 		// A heartbeat marks an idle point: flush batched durability.
@@ -294,16 +431,28 @@ func (f *Follower) handle(typ byte, payload []byte) error {
 		}
 		f.mu.Lock()
 		if !f.snapActive || f.snapSeq != sc.Seq {
-			f.snapActive, f.snapSeq, f.snapFacts = true, sc.Seq, nil
+			f.snapActive, f.snapSeq, f.snapEpoch, f.snapFacts = true, sc.Seq, sc.Epoch, nil
 		}
 		f.snapFacts = append(f.snapFacts, sc.Facts...)
 		f.st.LastFrame = now
-		facts, seq, done := f.snapFacts, f.snapSeq, sc.Done
+		facts, seq, epoch, done := f.snapFacts, f.snapSeq, f.snapEpoch, sc.Done
+		// The leader always heartbeats before the snapshot, so by now
+		// streamEpoch holds its current epoch — the authorization for
+		// discarding our timeline (see persist.ResetToSnapshot).
+		leaderEpoch := f.streamEpoch
 		f.mu.Unlock()
 		if !done {
 			return nil
 		}
-		if err := f.store.ResetToSnapshot(seq, facts); err != nil {
+		if err := f.store.ResetToSnapshot(seq, epoch, facts, leaderEpoch); err != nil {
+			if errors.Is(err, persist.ErrFenced) {
+				// A deposed leader tried to bootstrap us onto its stale
+				// timeline: drop the connection, keep our state.
+				f.met.fenced()
+				f.mu.Lock()
+				f.st.FencedFrames++
+				f.mu.Unlock()
+			}
 			return err
 		}
 		f.met.snapshotLoad()
@@ -332,7 +481,16 @@ func (f *Follower) handle(typ byte, payload []byte) error {
 				// sequence on a fresh connection.
 				return fmt.Errorf("repl: sequence gap: store at %d, stream sent %d", applied, tf.Seq)
 			}
-			if err := f.store.ApplyReplicated(persist.TxnRecord{Seq: tf.Seq, TraceID: tf.TraceID, Added: tf.Added, Removed: tf.Removed}); err != nil {
+			if err := f.store.ApplyReplicated(persist.TxnRecord{Seq: tf.Seq, Epoch: tf.Epoch, TraceID: tf.TraceID, Added: tf.Added, Removed: tf.Removed}); err != nil {
+				if errors.Is(err, persist.ErrFenced) {
+					// The stream's leader was deposed: drop the
+					// connection and let the coordinator (or the next
+					// reconnect's heartbeats) point us at the new one.
+					f.met.fenced()
+					f.mu.Lock()
+					f.st.FencedFrames++
+					f.mu.Unlock()
+				}
 				return err
 			}
 			f.met.txnApplied()

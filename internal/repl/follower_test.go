@@ -1,0 +1,56 @@
+package repl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+)
+
+func newTestFollower(t *testing.T) *Follower {
+	t.Helper()
+	s, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return NewFollower(s, "http://leader")
+}
+
+// TestFollowerJitterIndependence is the regression test for the
+// clock-seeded jitter bug: followers constructed back-to-back (same
+// wall-clock instant at any realistic resolution) must draw different
+// reconnect jitter, or a flap storm reconnects the whole fleet in
+// lockstep. With the old time.Now().UnixNano() seeding this failed
+// whenever two constructions landed in the same nanosecond tick.
+func TestFollowerJitterIndependence(t *testing.T) {
+	const draws = 32
+	a := newTestFollower(t)
+	b := newTestFollower(t)
+
+	same := 0
+	for i := 0; i < draws; i++ {
+		if a.jitter(time.Second) == b.jitter(time.Second) {
+			same++
+		}
+	}
+	// Two independent uniform draws over ~5e8 values collide with
+	// negligible probability; identical streams mean shared seeding.
+	if same == draws {
+		t.Fatalf("two followers produced identical jitter sequences (%d draws) — rng seeding is not per-instance", draws)
+	}
+}
+
+// TestFollowerJitterBounds pins the full-jitter contract: each draw
+// lies in [backoff/2, backoff].
+func TestFollowerJitterBounds(t *testing.T) {
+	f := newTestFollower(t)
+	for _, backoff := range []time.Duration{200 * time.Millisecond, time.Second, 10 * time.Second} {
+		for i := 0; i < 100; i++ {
+			d := f.jitter(backoff)
+			if d < backoff/2 || d > backoff {
+				t.Fatalf("jitter(%v) = %v, outside [%v, %v]", backoff, d, backoff/2, backoff)
+			}
+		}
+	}
+}

@@ -46,9 +46,11 @@ const (
 
 // SnapshotChunk is the JSON body of a FrameSnapshot frame. A snapshot
 // at sequence Seq is shipped as one or more chunks with ascending fact
-// ranges; the last has Done=true.
+// ranges; the last has Done=true. Epoch is the leadership epoch of
+// the state at Seq (0 from pre-epoch leaders).
 type SnapshotChunk struct {
 	Seq   int      `json:"seq"`
+	Epoch int64    `json:"epoch,omitempty"`
 	Facts []string `json:"facts"`
 	Done  bool     `json:"done"`
 }
@@ -62,16 +64,36 @@ type SnapshotChunk struct {
 // from its own /v1/txns API). Both fields are optional — old leaders
 // simply omit them, old followers ignore them.
 type TxnFrame struct {
-	Seq     int           `json:"seq"`
+	Seq int `json:"seq"`
+	// Epoch is the leadership epoch the transaction committed under;
+	// the follower's store fences the frame out if it has already seen
+	// a newer epoch (a deposed leader cannot replicate). 0 from
+	// pre-epoch leaders.
+	Epoch   int64         `json:"epoch,omitempty"`
 	TraceID string        `json:"traceId,omitempty"`
 	Added   []string      `json:"added,omitempty"`
 	Removed []string      `json:"removed,omitempty"`
 	Trace   *flight.Trace `json:"trace,omitempty"`
 }
 
-// Heartbeat is the JSON body of a FrameHeartbeat frame.
+// Heartbeat is the JSON body of a FrameHeartbeat frame. Beyond the
+// leader's committed sequence it carries the lease/epoch state the
+// failover protocol rides on: every heartbeat renews the leader's
+// lease for LeaseMillis, and identifies the leader so followers (and
+// their election coordinators) know who they are following. The
+// lease/identity fields are absent from pre-epoch leaders and from
+// leaders running without a cluster configuration.
 type Heartbeat struct {
 	Seq int `json:"seq"`
+	// Epoch is the leader's current leadership epoch.
+	Epoch int64 `json:"epoch,omitempty"`
+	// LeaderID and LeaderURL identify the sending leader.
+	LeaderID  string `json:"leaderId,omitempty"`
+	LeaderURL string `json:"leaderUrl,omitempty"`
+	// LeaseMillis is the lease duration this heartbeat renews: a
+	// follower that hears nothing for LeaseMillis may consider the
+	// leader dead and start an election.
+	LeaseMillis int64 `json:"leaseMillis,omitempty"`
 }
 
 // writeFrame encodes and writes one frame, returning the bytes

@@ -32,6 +32,14 @@ type Leader struct {
 	// resumes from its sequence, served from history).
 	buffer int
 
+	// id/selfURL identify this leader in heartbeats, and lease is the
+	// lease duration each heartbeat renews (zero outside cluster mode;
+	// see NodeConfig). All three ride the Heartbeat frame so followers
+	// learn who leads and how long its lease runs.
+	id      string
+	selfURL string
+	lease   time.Duration
+
 	met leaderMetrics
 }
 
@@ -64,6 +72,29 @@ func WithStreamBuffer(n int) LeaderOption {
 		if n > 0 {
 			l.buffer = n
 		}
+	}
+}
+
+// WithLeaderIdentity stamps heartbeats with this leader's node ID and
+// advertised URL, and with the lease duration each heartbeat renews.
+// Cluster mode (repl.Node) sets it; a standalone leader leaves
+// heartbeats bare.
+func WithLeaderIdentity(id, selfURL string, lease time.Duration) LeaderOption {
+	return func(l *Leader) {
+		l.id, l.selfURL = id, selfURL
+		if lease > 0 {
+			l.lease = lease
+		}
+	}
+}
+
+// SetIdentity is the post-construction form of WithLeaderIdentity,
+// for servers that learn their cluster identity after building the
+// leader. Call before serving streams.
+func (l *Leader) SetIdentity(id, selfURL string, lease time.Duration) {
+	l.id, l.selfURL = id, selfURL
+	if lease > 0 {
+		l.lease = lease
 	}
 }
 
@@ -105,14 +136,41 @@ func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		from = n
 	}
+	// ?epoch= is the epoch of the follower's state at `from` (absent
+	// from pre-epoch followers). It guards resume-after-failover: a
+	// follower whose prefix was written by a deposed leader must not
+	// be grafted onto the new leader's timeline at the same sequence.
+	fromEpoch, haveEpoch := int64(0), false
+	if v := r.URL.Query().Get("epoch"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad 'epoch' parameter %q", v), http.StatusBadRequest)
+			return
+		}
+		fromEpoch, haveEpoch = n, true
+	}
 
 	// Take a consistent cut — without the snapshot first (the common
 	// resume case), retaking it with the snapshot when the follower
 	// cannot resume from history: its sequence predates the leader's
-	// last checkpoint, or lies beyond the leader's sequence
-	// (divergence — e.g. the follower outlived a leader restore; the
-	// leader's state wins).
-	resumable := func(c *persist.ReplicaCut) bool { return from >= c.BaseSeq && from <= c.Seq }
+	// last checkpoint, lies beyond the leader's sequence (divergence —
+	// e.g. the follower outlived a leader restore; the leader's state
+	// wins), or was written under a different epoch than the leader's
+	// own transaction at that sequence (divergence across a failover:
+	// the fenced timeline is discarded by bootstrap).
+	resumable := func(c *persist.ReplicaCut) bool {
+		if from < c.BaseSeq || from > c.Seq {
+			return false
+		}
+		if !haveEpoch {
+			return true
+		}
+		epochAt := c.BaseEpoch
+		if from > c.BaseSeq {
+			epochAt = c.History[from-c.BaseSeq-1].Epoch
+		}
+		return epochAt == fromEpoch
+	}
 	cut, err := l.store.ReplicaCut(false, l.buffer)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -142,7 +200,7 @@ func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	// Tell the follower where the leader is right away: lag is
 	// observable before the first live commit arrives.
-	if send(FrameHeartbeat, Heartbeat{Seq: cut.Seq}) != nil {
+	if send(FrameHeartbeat, l.heartbeatFrame(cut.Seq, cut.Epoch)) != nil {
 		return
 	}
 	last := from
@@ -153,7 +211,7 @@ func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		for i := 0; ; i += l.chunk {
 			end := min(i+l.chunk, len(facts))
 			done := end == len(facts)
-			if send(FrameSnapshot, SnapshotChunk{Seq: cut.BaseSeq, Facts: facts[i:end], Done: done}) != nil {
+			if send(FrameSnapshot, SnapshotChunk{Seq: cut.BaseSeq, Epoch: cut.BaseEpoch, Facts: facts[i:end], Done: done}) != nil {
 				return
 			}
 			if done {
@@ -206,11 +264,23 @@ func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			flusher.Flush()
 		case <-ticker.C:
-			if send(FrameHeartbeat, Heartbeat{Seq: l.store.Seq()}) != nil {
+			if send(FrameHeartbeat, l.heartbeatFrame(l.store.Seq(), l.store.Epoch())) != nil {
 				return
 			}
 			flusher.Flush()
 		}
+	}
+}
+
+// heartbeatFrame builds a heartbeat carrying the leader's sequence,
+// epoch, identity and lease (identity/lease only in cluster mode).
+func (l *Leader) heartbeatFrame(seq int, epoch int64) Heartbeat {
+	return Heartbeat{
+		Seq:         seq,
+		Epoch:       epoch,
+		LeaderID:    l.id,
+		LeaderURL:   l.selfURL,
+		LeaseMillis: l.lease.Milliseconds(),
 	}
 }
 
@@ -222,7 +292,7 @@ func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // without a trace; correlation by trace ID still works through the
 // logs.
 func (l *Leader) txnFrame(txn persist.TxnRecord) TxnFrame {
-	f := TxnFrame{Seq: txn.Seq, TraceID: txn.TraceID, Added: txn.Added, Removed: txn.Removed}
+	f := TxnFrame{Seq: txn.Seq, Epoch: txn.Epoch, TraceID: txn.TraceID, Added: txn.Added, Removed: txn.Removed}
 	if ring := l.store.Flight(); ring != nil {
 		f.Trace = ring.Get(txn.Seq)
 	}

@@ -73,6 +73,79 @@ func (m *leaderMetrics) frame(typ byte, n int) {
 	}
 }
 
+// nodeMetrics holds the failover coordinator's instruments, nil-safe
+// like the rest.
+type nodeMetrics struct {
+	leader     *metrics.Gauge   // park_node_is_leader
+	suspendedG *metrics.Gauge   // park_node_suspended
+	elections  *metrics.Counter // park_node_elections_total
+	votes      *metrics.Counter // park_node_votes_granted_total
+	promotions *metrics.Counter // park_node_promotions_total
+	demotions  *metrics.Counter // park_node_demotions_total
+}
+
+func (m *nodeMetrics) register(reg *metrics.Registry) {
+	m.leader = reg.Gauge("park_node_is_leader",
+		"1 while this node leads the replica set, else 0.")
+	m.suspendedG = reg.Gauge("park_node_suspended",
+		"1 while this leader has lost majority contact and refuses writes.")
+	m.elections = reg.Counter("park_node_elections_total",
+		"Elections this node has campaigned in.")
+	m.votes = reg.Counter("park_node_votes_granted_total",
+		"Votes this node has granted to candidates.")
+	m.promotions = reg.Counter("park_node_promotions_total",
+		"Times this node promoted itself to leader.")
+	m.demotions = reg.Counter("park_node_demotions_total",
+		"Times this node was deposed while leading.")
+}
+
+func (m *nodeMetrics) setRole(r Role) {
+	if m.leader == nil {
+		return
+	}
+	if r == RoleLeader {
+		m.leader.Set(1)
+	} else {
+		m.leader.Set(0)
+		m.suspendedG.Set(0)
+	}
+}
+
+func (m *nodeMetrics) setSuspended(s bool) {
+	if m.suspendedG == nil {
+		return
+	}
+	if s {
+		m.suspendedG.Set(1)
+	} else {
+		m.suspendedG.Set(0)
+	}
+}
+
+func (m *nodeMetrics) election() {
+	if m.elections != nil {
+		m.elections.Inc()
+	}
+}
+
+func (m *nodeMetrics) voteGranted() {
+	if m.votes != nil {
+		m.votes.Inc()
+	}
+}
+
+func (m *nodeMetrics) promotion() {
+	if m.promotions != nil {
+		m.promotions.Inc()
+	}
+}
+
+func (m *nodeMetrics) demotion() {
+	if m.demotions != nil {
+		m.demotions.Inc()
+	}
+}
+
 // followerMetrics holds the follower-side instruments. Counters are
 // bumped inline as frames arrive; the sampled gauges (lag, sequences,
 // connection state, last-frame age) are refreshed by
@@ -84,12 +157,15 @@ type followerMetrics struct {
 	frames     map[byte]*metrics.Counter
 	bytes      *metrics.Counter // park_repl_follower_bytes_received_total
 
-	lagSeq     *metrics.Gauge // park_repl_follower_lag_seq
-	appliedSeq *metrics.Gauge // park_repl_follower_applied_seq
-	leaderSeq  *metrics.Gauge // park_repl_follower_leader_seq
-	connected  *metrics.Gauge // park_repl_follower_connected
-	frameAge   *metrics.Gauge // park_repl_follower_last_frame_age_ms
-	stale      *metrics.Gauge // park_repl_follower_stale
+	fencedC *metrics.Counter // park_repl_follower_fenced_frames_total
+
+	lagSeq      *metrics.Gauge // park_repl_follower_lag_seq
+	appliedSeq  *metrics.Gauge // park_repl_follower_applied_seq
+	leaderSeq   *metrics.Gauge // park_repl_follower_leader_seq
+	connected   *metrics.Gauge // park_repl_follower_connected
+	frameAge    *metrics.Gauge // park_repl_follower_last_frame_age_ms
+	stale       *metrics.Gauge // park_repl_follower_stale
+	leaderEpoch *metrics.Gauge // park_repl_follower_leader_epoch
 }
 
 func (m *followerMetrics) register(reg *metrics.Registry) {
@@ -107,6 +183,8 @@ func (m *followerMetrics) register(reg *metrics.Registry) {
 	}
 	m.bytes = reg.Counter("park_repl_follower_bytes_received_total",
 		"Replication stream payload bytes received.")
+	m.fencedC = reg.Counter("park_repl_follower_fenced_frames_total",
+		"Transaction frames rejected because they carried a deposed leadership epoch.")
 	m.lagSeq = reg.Gauge("park_repl_follower_lag_seq",
 		"Replication lag in transactions: leader sequence minus applied sequence (sampled at scrape time).")
 	m.appliedSeq = reg.Gauge("park_repl_follower_applied_seq",
@@ -119,6 +197,8 @@ func (m *followerMetrics) register(reg *metrics.Registry) {
 		"Milliseconds since the last frame arrived (wall-clock lag signal; sampled at scrape time).")
 	m.stale = reg.Gauge("park_repl_follower_stale",
 		"1 when no frame or heartbeat has arrived within the follower's staleness bound, else 0 (sampled at scrape time).")
+	m.leaderEpoch = reg.Gauge("park_repl_follower_leader_epoch",
+		"Newest leadership epoch observed in heartbeats (sampled at scrape time).")
 }
 
 func (m *followerMetrics) reconnect() {
@@ -136,6 +216,12 @@ func (m *followerMetrics) txnApplied() {
 func (m *followerMetrics) snapshotLoad() {
 	if m.snapshots != nil {
 		m.snapshots.Inc()
+	}
+}
+
+func (m *followerMetrics) fenced() {
+	if m.fencedC != nil {
+		m.fencedC.Inc()
 	}
 }
 
@@ -171,5 +257,8 @@ func (m *followerMetrics) sample(st Status) {
 		} else {
 			m.stale.Set(0)
 		}
+	}
+	if m.leaderEpoch != nil {
+		m.leaderEpoch.Set(st.LeaderEpoch)
 	}
 }

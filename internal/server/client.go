@@ -285,6 +285,32 @@ func (c *Client) Version(ctx context.Context) (*VersionResponse, error) {
 	return &resp, nil
 }
 
+// Healthz fetches /v1/healthz. The endpoint answers 503 while the
+// store is degraded (and the body says why), so unlike the other
+// calls the response is returned whenever a body decodes, regardless
+// of the HTTP status. Cluster clients use the Cluster section to
+// re-discover the leader after a failover.
+func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var resp HealthResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("server: healthz: HTTP %d: %w", httpResp.StatusCode, err)
+	}
+	return &resp, nil
+}
+
 // Checkpoint snapshots the store.
 func (c *Client) Checkpoint(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/v1/checkpoint", nil, nil)

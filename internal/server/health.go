@@ -35,10 +35,31 @@ type HealthResponse struct {
 	// ProbeSeconds is the disk re-probe interval: a useful Retry-After
 	// hint for clients that want to poll.
 	ProbeSeconds float64 `json:"probeSeconds"`
-	// Role is "leader" or "replica".
+	// Role is "leader" or "replica"; in cluster mode it is the node's
+	// live role: "leader", "follower" or "candidate".
 	Role string `json:"role"`
 	// Replication reports follower staleness in replica mode.
 	Replication *ReplicationHealth `json:"replication,omitempty"`
+	// Cluster reports failover state in cluster mode: clients that get
+	// a connection failure or 421 elsewhere re-discover the leader
+	// through LeaderURL here.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// ClusterHealth is the cluster-mode section of /v1/healthz.
+type ClusterHealth struct {
+	NodeID string `json:"nodeId"`
+	// Epoch is the leadership epoch this node's state is at.
+	Epoch int64 `json:"epoch"`
+	// LeaderID/LeaderURL name the member this node believes leads
+	// (itself while leading; empty mid-election).
+	LeaderID  string `json:"leaderId,omitempty"`
+	LeaderURL string `json:"leaderUrl,omitempty"`
+	// LeaseSeconds is the failure-detection lease.
+	LeaseSeconds float64 `json:"leaseSeconds"`
+	// Suspended marks a leader refusing writes for lack of majority
+	// contact.
+	Suspended bool `json:"suspended,omitempty"`
 }
 
 // ReplicationHealth is the replica section of /v1/healthz.
@@ -70,8 +91,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		s.setRetryAfter(w)
 	}
+	if s.node != nil {
+		nst := s.node.Status()
+		resp.Role = nst.Role
+		resp.Cluster = &ClusterHealth{
+			NodeID:       nst.NodeID,
+			Epoch:        nst.Epoch,
+			LeaderID:     nst.LeaderID,
+			LeaderURL:    nst.LeaderURL,
+			LeaseSeconds: (time.Duration(nst.LeaseMillis) * time.Millisecond).Seconds(),
+			Suspended:    nst.Suspended,
+		}
+	}
 	if s.follower != nil {
-		resp.Role = "replica"
+		if s.node == nil {
+			resp.Role = "replica"
+		}
 		st := s.follower.Status()
 		rh := &ReplicationHealth{
 			Connected:  st.Connected,
@@ -91,7 +126,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // setRetryAfter advertises the store's disk re-probe interval as the
 // earliest moment a degraded-mode 503 is worth retrying.
 func (s *Server) setRetryAfter(w http.ResponseWriter) {
-	secs := int(s.store.Health().ProbeEvery / time.Second)
+	s.setRetryAfterSecs(w, int(s.store.Health().ProbeEvery/time.Second))
+}
+
+// setRetryAfterSecs sets a Retry-After of at least one second.
+func (s *Server) setRetryAfterSecs(w http.ResponseWriter, secs int) {
 	if secs < 1 {
 		secs = 1
 	}

@@ -84,6 +84,11 @@ type Server struct {
 	follower  *repl.Follower
 	leaderURL string
 
+	// node is the failover coordinator in cluster mode (NewClusterMember):
+	// the writable gate consults it on every mutating request, because
+	// the role changes at runtime as leases expire and elections run.
+	node *repl.Node
+
 	// faultFS is non-nil when EnableFailpoints has armed the
 	// /v1/debug/failpoint endpoints (tests and operator drills only).
 	faultFS *persist.FaultFS
@@ -252,6 +257,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/version", s.instrument("/v1/version", s.handleVersion))
 	mux.HandleFunc("GET /v1/watch", s.instrument("/v1/watch", s.streaming(s.handleWatch)))
 	mux.HandleFunc("GET /v1/repl/stream", s.instrument("/v1/repl/stream", s.streaming(s.leader.ServeHTTP)))
+	mux.HandleFunc("GET /v1/repl/status", s.instrument("/v1/repl/status", s.handleReplStatus))
+	mux.HandleFunc("POST /v1/repl/vote", s.instrument("/v1/repl/vote", s.handleReplVote))
+	mux.HandleFunc("POST /v1/repl/ack", s.instrument("/v1/repl/ack", s.handleReplAck))
+	mux.HandleFunc("POST /v1/repl/promote", s.instrument("/v1/repl/promote", s.handleReplPromote))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
 	if s.faultFS != nil {
@@ -280,6 +289,10 @@ func (s *Server) streaming(h http.HandlerFunc) http.HandlerFunc {
 type ReplicaRejection struct {
 	Error  string `json:"error"`
 	Leader string `json:"leader,omitempty"`
+	// Epoch is this node's leadership epoch (cluster mode only):
+	// clients following a chain of 421s can prefer the highest epoch
+	// they have seen.
+	Epoch int64 `json:"epoch,omitempty"`
 	// Stale mirrors park_repl_follower_stale: no frame has arrived
 	// within the follower's staleness bound, so local reads may lag
 	// the leader arbitrarily.
@@ -302,6 +315,18 @@ type ReplicaRejection struct {
 // what they just read here.
 func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Cluster mode: the role is dynamic, ask the coordinator.
+		if s.node != nil {
+			switch {
+			case !s.node.IsLeader():
+				s.rejectNotLeader(w)
+			case s.node.Suspended():
+				s.rejectSuspended(w)
+			default:
+				h(w, r)
+			}
+			return
+		}
 		if s.follower != nil {
 			if s.leaderURL != "" {
 				w.Header().Set("X-Park-Leader", s.leaderURL)
@@ -370,6 +395,12 @@ type TransactionResponse struct {
 	Blocked   int            `json:"blocked"`
 	// WallSeconds is the engine wall-clock time of this transaction.
 	WallSeconds float64 `json:"wallSeconds"`
+	// Seq is the committed global sequence (0 when the transaction was
+	// a no-op and nothing was installed).
+	Seq int `json:"seq,omitempty"`
+	// Epoch is the leadership epoch the transaction committed under
+	// (0 outside cluster mode).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // DatabaseResponse lists the current facts.
@@ -498,9 +529,20 @@ func (s *Server) handleTransaction(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.store.Apply(r.Context(), prog, ups, strat, core.Options{})
+	res, info, err := s.store.ApplyTxn(r.Context(), prog, ups, strat, core.Options{})
 	if err != nil {
 		s.writeApplyErr(w, err)
+		return
+	}
+	// In cluster mode a write is acknowledged only once a majority of
+	// the replica set has applied it — the invariant failover leans on
+	// ("acked" implies "survives leader loss"). A commit that cannot
+	// reach quorum in time is reported 503: it is durable locally but
+	// its fate is decided by the next election.
+	if err := s.waitReplicated(r.Context(), info); err != nil {
+		s.setRetryAfterSecs(w, 1)
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("committed locally as seq %d but not yet replicated to a majority: %w", info.Seq, err))
 		return
 	}
 	s.em.recordRun(res.RunStats)
@@ -511,6 +553,8 @@ func (s *Server) handleTransaction(w http.ResponseWriter, r *http.Request) {
 		Steps:       res.Stats.Steps,
 		Blocked:     res.Stats.BlockedInstances,
 		WallSeconds: res.RunStats.Wall.Seconds(),
+		Seq:         info.Seq,
+		Epoch:       info.Epoch,
 	}
 	for _, rc := range res.Conflicts {
 		resp.Conflicts = append(resp.Conflicts, ConflictInfo{

@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
-# Two-process replication smoke test: start a real parkd leader and a
-# real parkd follower, write through the leader's HTTP API, and
-# assert the follower converges to the identical database with zero
-# reported lag and rejects writes with 421. This exercises the paths
-# an in-process test can't: separate processes, real sockets, flag
-# parsing, and daemon startup/shutdown.
+# Multi-process replication smoke test. Part 1 (two processes): start
+# a real parkd leader and a real parkd follower, write through the
+# leader's HTTP API, and assert the follower converges to the
+# identical database with zero reported lag and rejects writes with
+# 421. Part 2 (three processes): a replica set with -node-id/-peers,
+# automatic election, a leader kill mid-run with promotion within the
+# lease bound, and fencing of the restarted ex-leader. This exercises
+# the paths an in-process test can't: separate processes, real
+# sockets, flag parsing, and daemon startup/shutdown.
 set -euo pipefail
 
 LEADER_PORT="${LEADER_PORT:-7491}"
 FOLLOWER_PORT="${FOLLOWER_PORT:-7492}"
+CLUSTER_PORT1="${CLUSTER_PORT1:-7493}"
+CLUSTER_PORT2="${CLUSTER_PORT2:-7494}"
+CLUSTER_PORT3="${CLUSTER_PORT3:-7495}"
 WORK="$(mktemp -d)"
 LEADER_URL="http://127.0.0.1:${LEADER_PORT}"
 FOLLOWER_URL="http://127.0.0.1:${FOLLOWER_PORT}"
 
 cleanup() {
-    kill "${LEADER_PID:-}" "${FOLLOWER_PID:-}" 2>/dev/null || true
-    wait "${LEADER_PID:-}" "${FOLLOWER_PID:-}" 2>/dev/null || true
-    rm -rf "$WORK"
+    kill "${LEADER_PID:-}" "${FOLLOWER_PID:-}" \
+        "${N1_PID:-}" "${N2_PID:-}" "${N3_PID:-}" 2>/dev/null || true
+    wait "${LEADER_PID:-}" "${FOLLOWER_PID:-}" \
+        "${N1_PID:-}" "${N2_PID:-}" "${N3_PID:-}" 2>/dev/null || true
+    if [ -n "${SMOKE_KEEP:-}" ]; then
+        echo "smoke: workdir kept at $WORK" >&2
+    else
+        rm -rf "$WORK"
+    fi
 }
 trap cleanup EXIT
 
@@ -237,3 +249,166 @@ case "$follower_db" in
 esac
 
 echo "smoke: disk-fault drill passed (degraded 503s, reads served, probe heal, replication resumed)"
+
+# ---------------------------------------------------------------------
+# Replica-set drill: three cluster-mode parkd processes elect a leader
+# by themselves, survive a leader kill with automatic promotion inside
+# a bounded window, and fence the restarted ex-leader back into a
+# follower. The lease is short (500 ms) so the drill finishes fast; the
+# promotion bound asserted below is generous for loaded CI machines but
+# still catches a broken election outright.
+kill "$LEADER_PID" "$FOLLOWER_PID" 2>/dev/null || true
+wait "$LEADER_PID" "$FOLLOWER_PID" 2>/dev/null || true
+
+LEASE=500ms
+N1_URL="http://127.0.0.1:${CLUSTER_PORT1}"
+N2_URL="http://127.0.0.1:${CLUSTER_PORT2}"
+N3_URL="http://127.0.0.1:${CLUSTER_PORT3}"
+PEERS="n1=${N1_URL},n2=${N2_URL},n3=${N3_URL}"
+
+start_member() { # id port — starts member $1 on port $2, echoes its PID
+    # stdout AND stderr go to the log: the daemon must not inherit the
+    # command-substitution pipe, or $(start_member ...) never returns.
+    "$WORK/parkd" -dir "$WORK/$1" -program "$WORK/rules.park" \
+        -node-id "$1" -advertise "http://127.0.0.1:$2" -peers "$PEERS" \
+        -lease "$LEASE" -addr "127.0.0.1:$2" >> "$WORK/$1.log" 2>&1 &
+    echo $!
+}
+N1_PID=$(start_member n1 "$CLUSTER_PORT1")
+N2_PID=$(start_member n2 "$CLUSTER_PORT2")
+N3_PID=$(start_member n3 "$CLUSTER_PORT3")
+
+member_role() { # url — prints the member's healthz role ("" if down)
+    # The trailing `|| true` keeps a down member (curl failure, no
+    # match) from tripping set -e/pipefail in callers' assignments.
+    curl -s "$1/v1/healthz" | grep -o '"role":"[a-z]*"' | cut -d'"' -f4 || true
+}
+member_leader_hint() { # url — prints who the member believes leads
+    curl -s "$1/v1/healthz" | grep -o '"leaderUrl":"[^"]*"' | cut -d'"' -f4 || true
+}
+find_leader() { # urls... — prints the URL of the member claiming leadership
+    for url in "$@"; do
+        if [ "$(member_role "$url")" = "leader" ]; then
+            echo "$url"
+            return 0
+        fi
+    done
+    return 1
+}
+wait_leader() { # tries urls... — polls at 100 ms until a leader appears
+    tries=$1; shift
+    for _ in $(seq 1 "$tries"); do
+        if leader=$(find_leader "$@"); then echo "$leader"; return 0; fi
+        sleep 0.1
+    done
+    echo "smoke: no leader elected among: $*" >&2
+    return 1
+}
+
+CLUSTER_LEADER=$(wait_leader 150 "$N1_URL" "$N2_URL" "$N3_URL")
+echo "smoke: replica set elected leader $CLUSTER_LEADER"
+
+# Writes land on the leader; a follower answers 421 naming it. A
+# follower that has not yet learned the election's winner answers 503
+# (leaderless) for a moment, so poll until the 421 appears.
+for i in 1 2 3; do
+    curl -sf -X POST "$CLUSTER_LEADER/v1/transaction" \
+        -d "{\"updates\": \"+ev(c${i}).\"}" > /dev/null
+done
+for url in "$N1_URL" "$N2_URL" "$N3_URL"; do
+    if [ "$url" = "$CLUSTER_LEADER" ]; then continue; fi
+    for _ in $(seq 1 100); do
+        code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+            "$url/v1/transaction" -d '{"updates": "+ev(rogue)."}')
+        if [ "$code" = "421" ]; then break; fi
+        sleep 0.1
+    done
+    if [ "$code" != "421" ]; then
+        echo "smoke: cluster follower $url write returned HTTP $code, want 421" >&2
+        exit 1
+    fi
+    hint=$(curl -s -D - -o /dev/null -X POST "$url/v1/transaction" \
+        -d '{"updates": "+ev(rogue)."}' | tr -d '\r' | awk -F': ' '/^X-Park-Leader:/{print $2}')
+    if [ "$hint" != "$CLUSTER_LEADER" ]; then
+        echo "smoke: cluster follower $url X-Park-Leader = '$hint', want '$CLUSTER_LEADER'" >&2
+        exit 1
+    fi
+done
+
+# Kill the leader; the survivors must promote one of themselves. The
+# bound (15 s of 100 ms polls) is ~30 leases — far beyond what a
+# healthy election needs (a handful of leases) and exists only to
+# separate "slow CI" from "election broken".
+case "$CLUSTER_LEADER" in
+"$N1_URL") kill "$N1_PID"; wait "$N1_PID" 2>/dev/null || true; OLD_PID_VAR=N1; OLD_ID=n1; OLD_PORT=$CLUSTER_PORT1 ;;
+"$N2_URL") kill "$N2_PID"; wait "$N2_PID" 2>/dev/null || true; OLD_PID_VAR=N2; OLD_ID=n2; OLD_PORT=$CLUSTER_PORT2 ;;
+"$N3_URL") kill "$N3_PID"; wait "$N3_PID" 2>/dev/null || true; OLD_PID_VAR=N3; OLD_ID=n3; OLD_PORT=$CLUSTER_PORT3 ;;
+esac
+SURVIVORS=""
+for url in "$N1_URL" "$N2_URL" "$N3_URL"; do
+    if [ "$url" != "$CLUSTER_LEADER" ]; then SURVIVORS="$SURVIVORS $url"; fi
+done
+started=$(date +%s)
+# shellcheck disable=SC2086
+NEW_LEADER=$(wait_leader 150 $SURVIVORS)
+elapsed=$(( $(date +%s) - started ))
+echo "smoke: promoted $NEW_LEADER ${elapsed}s after leader kill"
+
+# Writes resume on the new leader and replicate to the other survivor.
+# Retry briefly: right after promotion the leader may still be waiting
+# for its ack quorum to reconnect, answering 503 until it does.
+for _ in $(seq 1 100); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "$NEW_LEADER/v1/transaction" -d '{"updates": "+ev(after_failover)."}' || true)
+    if [ "$code" = "200" ]; then break; fi
+    sleep 0.1
+done
+if [ "$code" != "200" ]; then
+    echo "smoke: writes never resumed on $NEW_LEADER (last HTTP $code)" >&2
+    exit 1
+fi
+for url in $SURVIVORS; do
+    for _ in $(seq 1 100); do
+        db=$(curl -s "$url/v1/database" || true)
+        case "$db" in *'audit(after_failover)'*) break ;; esac
+        sleep 0.1
+    done
+    case "$db" in
+    *'audit(after_failover)'*) ;;
+    *)  echo "smoke: survivor $url missing post-failover write: $db" >&2
+        exit 1 ;;
+    esac
+done
+
+# Restart the ex-leader: it must rejoin as a follower of the new
+# leader (fenced out of its old role), answer 421 naming the new
+# leader, and converge to the new timeline.
+eval "${OLD_PID_VAR}_PID=\$(start_member $OLD_ID $OLD_PORT)"
+for _ in $(seq 1 150); do
+    role=$(member_role "$CLUSTER_LEADER")
+    hint=$(member_leader_hint "$CLUSTER_LEADER")
+    if [ "$role" = "follower" ] && [ "$hint" = "$NEW_LEADER" ]; then break; fi
+    sleep 0.1
+done
+if [ "$role" != "follower" ] || [ "$hint" != "$NEW_LEADER" ]; then
+    echo "smoke: restarted ex-leader is role='$role' leaderUrl='$hint', want follower of $NEW_LEADER" >&2
+    exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    "$CLUSTER_LEADER/v1/transaction" -d '{"updates": "+ev(fenced)."}')
+if [ "$code" != "421" ]; then
+    echo "smoke: restarted ex-leader write returned HTTP $code, want 421" >&2
+    exit 1
+fi
+for _ in $(seq 1 150); do
+    db=$(curl -s "$CLUSTER_LEADER/v1/database" || true)
+    case "$db" in *'audit(after_failover)'*) break ;; esac
+    sleep 0.1
+done
+case "$db" in
+*'audit(after_failover)'*) ;;
+*)  echo "smoke: restarted ex-leader never converged: $db" >&2
+    exit 1 ;;
+esac
+
+echo "smoke: replica-set drill passed (election, bounded promotion, write resume, ex-leader fenced to follower)"
