@@ -218,12 +218,11 @@ func (s *Store) repair() error {
 	old.Close()
 	s.walErr = nil
 	s.walRecords = 0
-	// The rotation dropped any durable vote record; re-append it so
-	// the single-vote-per-epoch rule still holds across a restart.
-	if s.voteEpoch > 0 {
-		if err := s.appendVoteRecord(s.voteEpoch, s.voteFor); err != nil {
-			return fmt.Errorf("persist: repair: %w", err)
-		}
+	// The rotation dropped the durable vote and fence records;
+	// re-append them so the single-vote-per-epoch rule and the fencing
+	// floor still hold across a restart.
+	if err := s.reseedElectionRecords(); err != nil {
+		return fmt.Errorf("persist: repair: %w", err)
 	}
 	s.snapDB = db.Clone()
 	s.history = nil

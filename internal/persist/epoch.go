@@ -9,11 +9,12 @@ import (
 // (internal/repl's lease/epoch protocol). An epoch names one
 // leadership term: promotions begin a new, strictly larger epoch
 // (durably, via BeginEpoch), every commit marker records the epoch it
-// committed under, and ApplyReplicated rejects transactions stamped
-// with an epoch older than the store's — so a deposed leader's writes
-// can never reach a store that has seen the new term. Election votes
-// are durable too (RecordVote), preventing a restarted node from
-// granting two votes in one epoch.
+// committed under, and replication authority is judged against the
+// store's fencing floor (FenceEpoch) — the highest epoch it has
+// acknowledged by any means, including a granted vote — so a deposed
+// leader's writes can never reach a store that has promised itself to
+// the new term. Election votes are durable too (RecordVote),
+// preventing a restarted node from granting two votes in one epoch.
 
 // ErrFenced matches (via errors.Is) the rejection of a replicated
 // transaction from a deposed leadership epoch.
@@ -22,10 +23,12 @@ var ErrFenced = errors.New("persist: fenced: transaction from a deposed epoch")
 // FencedError reports a replicated transaction rejected by epoch
 // fencing. It matches ErrFenced.
 type FencedError struct {
-	// Seq and TxnEpoch identify the rejected transaction.
+	// Seq and TxnEpoch identify the rejected transaction (TxnEpoch is
+	// the higher of the frame's own epoch and the serving leader's).
 	Seq      int
 	TxnEpoch int64
-	// StoreEpoch is the newer epoch the store has already seen.
+	// StoreEpoch is the store's fencing floor: the newer epoch it has
+	// already acknowledged (by commit, promotion, vote or bootstrap).
 	StoreEpoch int64
 }
 
@@ -45,7 +48,8 @@ type SnapshotFencedError struct {
 	Seq int
 	// LeaderEpoch is the serving leader's advertised current epoch.
 	LeaderEpoch int64
-	// StoreEpoch is the newer epoch the store has already seen.
+	// StoreEpoch is the store's fencing floor: the newer epoch it has
+	// already acknowledged (by commit, promotion, vote or bootstrap).
 	StoreEpoch int64
 }
 
@@ -70,6 +74,19 @@ func (s *Store) Epochs() (epoch, baseEpoch int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.epoch, s.baseEpoch
+}
+
+// FenceEpoch returns the store's fencing floor: the highest epoch it
+// has acknowledged through a commit marker, a BeginEpoch, a granted
+// vote, or the authorizing leader of a snapshot bootstrap. It never
+// regresses — in particular it stays high while Epoch temporarily
+// drops during a bootstrap onto a pre-promotion snapshot — and
+// replication frames whose serving leader is below it are rejected
+// (ErrFenced). Always >= Epoch.
+func (s *Store) FenceEpoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fence
 }
 
 // BeginEpoch durably advances the store to the given leadership epoch
@@ -102,6 +119,9 @@ func (s *Store) BeginEpoch(epoch int64) error {
 		return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
 	s.epoch = epoch
+	if epoch > s.fence {
+		s.fence = epoch
+	}
 	s.met.setEpoch(epoch)
 	s.syncMu.Lock()
 	s.appendedLSN++
@@ -117,7 +137,17 @@ func (s *Store) BeginEpoch(epoch int64) error {
 // given election epoch. The write is fsynced before RecordVote
 // returns, so a vote already granted survives a crash — the
 // single-vote-per-epoch rule holds across restarts. A vote for an
-// epoch at or below an already-recorded vote's is rejected.
+// epoch at or below an already-recorded vote's is rejected, EXCEPT
+// the exact re-vote (same epoch, same candidate), which succeeds
+// idempotently without a new WAL record: a candidate whose vote
+// request committed durably but whose response was lost must be able
+// to reacquire the vote on retry instead of burning the epoch.
+//
+// Granting a vote also raises the store's fencing floor to the voted
+// epoch: from this moment, replication frames authorized by any older
+// epoch are rejected (ErrFenced), so a deposed leader cannot collect
+// this node's applies or acks for writes the voted-for candidate's
+// timeline will not contain.
 func (s *Store) RecordVote(epoch int64, nodeID string) error {
 	if err := s.degradedErr(); err != nil {
 		return err
@@ -126,6 +156,11 @@ func (s *Store) RecordVote(epoch int64, nodeID string) error {
 	if s.closed {
 		s.mu.Unlock()
 		return ErrClosed
+	}
+	if epoch == s.voteEpoch && nodeID == s.voteFor {
+		// Idempotent re-grant: the vote is already durable.
+		s.mu.Unlock()
+		return nil
 	}
 	if epoch <= s.voteEpoch {
 		cur := s.voteEpoch
@@ -138,6 +173,9 @@ func (s *Store) RecordVote(epoch int64, nodeID string) error {
 		return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
 	s.voteEpoch, s.voteFor = epoch, nodeID
+	if epoch > s.fence {
+		s.fence = epoch
+	}
 	s.syncMu.Lock()
 	s.appendedLSN++
 	s.pendingTxns++

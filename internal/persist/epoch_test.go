@@ -226,6 +226,199 @@ func TestResetToSnapshotEpochAuthorization(t *testing.T) {
 	}
 }
 
+// TestVoteRaisesFenceDurably proves a granted vote raises the fencing
+// floor — so the deposed leader can no longer replicate here — and
+// that the floor survives a restart even though no commit ever carried
+// the voted epoch.
+func TestVoteRaisesFenceDurably(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old leader at epoch 1 replicates normally.
+	if err := s.ApplyReplicated(TxnRecord{Seq: 1, Epoch: 1, Added: []string{"p(a)"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FenceEpoch(); got != 1 {
+		t.Fatalf("fence after epoch-1 txn = %d, want 1", got)
+	}
+	// Vote for a candidate in epoch 2: the floor rises immediately,
+	// while the applied-tip epoch stays at 1.
+	if err := s.RecordVote(2, "node-b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FenceEpoch(); got != 2 {
+		t.Fatalf("fence after vote = %d, want 2", got)
+	}
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("epoch after vote = %d, want 1 (votes do not move the tip)", got)
+	}
+	// The old epoch-1 leader keeps streaming: fenced, both as a frame
+	// stamp and as a stream authority.
+	if err := s.ApplyReplicated(TxnRecord{Seq: 2, Epoch: 1, Added: []string{"lost(x)"}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("old-leader frame after vote = %v, want ErrFenced", err)
+	}
+	if err := s.ApplyReplicatedFrom(TxnRecord{Seq: 2, Epoch: 1, Added: []string{"lost(x)"}}, 1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("old-leader stream after vote = %v, want ErrFenced", err)
+	}
+	// The voted-for winner's stream (authority 2) may relay epoch-1
+	// history it committed before promoting.
+	if err := s.ApplyReplicatedFrom(TxnRecord{Seq: 2, Epoch: 1, Added: []string{"p(b)"}}, 2); err != nil {
+		t.Fatalf("new-leader relay after vote: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.FenceEpoch(); got != 2 {
+		t.Fatalf("recovered fence = %d, want 2", got)
+	}
+	if err := r.ApplyReplicated(TxnRecord{Seq: 3, Epoch: 1, Added: []string{"lost(y)"}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("old-leader frame after restart = %v, want ErrFenced", err)
+	}
+}
+
+// TestRecordVoteIdempotentRegrant proves the exact re-vote (same
+// epoch, same candidate) succeeds idempotently — a candidate whose
+// grant was durable but whose response was lost can reacquire it —
+// including after a restart, while any other re-vote still fails.
+func TestRecordVoteIdempotentRegrant(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordVote(4, "node-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordVote(4, "node-b"); err != nil {
+		t.Fatalf("idempotent re-grant: %v", err)
+	}
+	if err := s.RecordVote(4, "node-c"); err == nil {
+		t.Fatal("re-vote for a DIFFERENT candidate in epoch 4 should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.RecordVote(4, "node-b"); err != nil {
+		t.Fatalf("idempotent re-grant after restart: %v", err)
+	}
+	if err := r.RecordVote(4, "node-c"); err == nil {
+		t.Fatal("re-vote for a different candidate after restart should fail")
+	}
+	if epoch, id := r.LastVote(); epoch != 4 || id != "node-b" {
+		t.Fatalf("vote after re-grants = (%d, %q), want (4, %q)", epoch, id, "node-b")
+	}
+}
+
+// TestResetToSnapshotKeepsFenceFloor proves a bootstrap onto a
+// pre-promotion snapshot regresses the applied-tip epoch but NOT the
+// fencing floor — durably — so a deposed leader cannot slip back in
+// through the gap (the reviewer's bootstrap-regression scenario).
+func TestResetToSnapshotKeepsFenceFloor(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginEpoch(7); err != nil {
+		t.Fatal(err)
+	}
+	// The epoch-8 winner bootstraps us from a snapshot taken before its
+	// promotion (snapshot epoch 4).
+	if err := s.ResetToSnapshot(10, 4, []string{"p(a)"}, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 4 {
+		t.Fatalf("epoch after reset = %d, want 4 (snapshot tip)", got)
+	}
+	if got := s.FenceEpoch(); got != 8 {
+		t.Fatalf("fence after reset = %d, want 8 (authorizing leader)", got)
+	}
+	// The deposed epoch-7 leader cannot exploit the regressed tip.
+	if err := s.ApplyReplicatedFrom(TxnRecord{Seq: 11, Epoch: 7, Added: []string{"lost(x)"}}, 7); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed-leader frame mid-bootstrap = %v, want ErrFenced", err)
+	}
+	if err := s.ResetToSnapshot(12, 7, []string{"q(b)"}, 7); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed-leader re-bootstrap = %v, want ErrFenced", err)
+	}
+	// The epoch-8 leader's own catch-up stream is not wedged: it relays
+	// pre-promotion history under its current authority.
+	if err := s.ApplyReplicatedFrom(TxnRecord{Seq: 11, Epoch: 4, Added: []string{"p(b)"}}, 8); err != nil {
+		t.Fatalf("new-leader history relay: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The floor survives a restart mid-catch-up: the bootstrap wrote it
+	// as a fence record beyond what the snapshot header restores.
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.FenceEpoch(); got != 8 {
+		t.Fatalf("recovered fence = %d, want 8", got)
+	}
+	if err := r.ApplyReplicatedFrom(TxnRecord{Seq: 12, Epoch: 7, Added: []string{"lost(y)"}}, 7); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed-leader frame after restart = %v, want ErrFenced", err)
+	}
+}
+
+// TestCheckpointPreservesElectionRecords proves a checkpoint's WAL
+// truncation does not drop the durable vote or the fencing floor — the
+// single-vote rule and fencing must hold across checkpoint + restart.
+func TestCheckpointPreservesElectionRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyReplicated(TxnRecord{Seq: 1, Epoch: 2, Added: []string{"p(a)"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordVote(5, "node-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if epoch, id := r.LastVote(); epoch != 5 || id != "node-b" {
+		t.Fatalf("vote after checkpoint+restart = (%d, %q), want (5, %q)", epoch, id, "node-b")
+	}
+	if err := r.RecordVote(5, "node-c"); err == nil {
+		t.Fatal("re-vote in epoch 5 after checkpoint+restart should fail")
+	}
+	if got := r.FenceEpoch(); got != 5 {
+		t.Fatalf("fence after checkpoint+restart = %d, want 5", got)
+	}
+	if err := r.ApplyReplicatedFrom(TxnRecord{Seq: 2, Epoch: 2, Added: []string{"lost(x)"}}, 2); !errors.Is(err, ErrFenced) {
+		t.Fatalf("old-leader frame after checkpoint+restart = %v, want ErrFenced", err)
+	}
+}
+
 // TestSnapshotHeaderParsing pins the header format, including both
 // pre-epoch forms.
 func TestSnapshotHeaderParsing(t *testing.T) {

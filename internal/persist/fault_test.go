@@ -323,7 +323,9 @@ drain:
 		t.Fatalf("[seed %d] follower bootstrap: %v", seed, err)
 	}
 	for _, txn := range cutView.History {
-		if err := fst.ApplyReplicated(txn); err != nil {
+		// History may predate the serving leader's epoch; the leader's
+		// own epoch authorizes the relay (as the stream layer does).
+		if err := fst.ApplyReplicatedFrom(txn, cutView.Epoch); err != nil {
 			t.Fatalf("[seed %d] follower apply txn %d: %v", seed, txn.Seq, err)
 		}
 	}

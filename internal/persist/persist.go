@@ -159,8 +159,7 @@ type Store struct {
 	// baseEpoch is the epoch recorded in the snapshot header. Epochs
 	// are monotone for the lifetime of the directory: they advance via
 	// BeginEpoch (promotion) or by applying a replicated transaction
-	// from a newer leader, and ApplyReplicated fences out transactions
-	// stamped with an older epoch (see epoch.go).
+	// from a newer leader (see epoch.go).
 	epoch     int64
 	baseEpoch int64
 	// voteEpoch/voteFor are the node's most recent leader-election
@@ -168,6 +167,20 @@ type Store struct {
 	// grant a second vote in the same epoch.
 	voteEpoch int64
 	voteFor   string
+	// fence is the fencing floor replication authority is judged
+	// against: the highest epoch this store has acknowledged in any
+	// form — a commit marker, a BeginEpoch record, a granted vote, or
+	// the authorizing leader epoch of a snapshot bootstrap. Unlike
+	// epoch (which names the timeline of the applied tip and may
+	// legitimately be lower, e.g. mid-bootstrap), fence never
+	// regresses: once the store has promised itself to epoch N — by
+	// voting in it or bootstrapping under its authority — frames
+	// authorized by any older epoch are rejected (ErrFenced), even
+	// though older-epoch *frames relayed by* the epoch-N leader still
+	// apply (ApplyReplicatedFrom). Persisted as 'F' WAL records when it
+	// exceeds what epoch and voteEpoch already imply. Invariant:
+	// fence >= max(epoch, voteEpoch).
+	fence int64
 
 	// snapDB is the state at the last checkpoint (or Open snapshot);
 	// history holds the per-transaction deltas since then. Together
@@ -392,6 +405,7 @@ func open(dir string, repair bool, opts ...Option) (*Store, *RepairReport, error
 		text := string(data)
 		s.baseSeq, s.baseEpoch = parseSnapshotHeader(text)
 		s.seq, s.epoch = s.baseSeq, s.baseEpoch
+		s.fence = s.baseEpoch
 		db, err = parser.ParseDatabase(s.u, snapPath, text)
 		if err != nil {
 			return nil, nil, fmt.Errorf("persist: corrupt snapshot: %w", err)
@@ -539,6 +553,7 @@ func (s *Store) replayWAL(path string, db *core.Database) (int64, int, *CorruptE
 		s.history = nil
 		s.seq = s.baseSeq
 		s.epoch = s.baseEpoch
+		s.fence = s.baseEpoch
 		s.voteEpoch, s.voteFor = 0, ""
 		pending = TxnRecord{}
 		rep := data[:committedEnd]
@@ -568,6 +583,9 @@ func (s *Store) applyRecord(db *core.Database, payload []byte, pending *TxnRecor
 		if epoch > s.epoch {
 			s.epoch = epoch
 		}
+		if epoch > s.fence {
+			s.fence = epoch
+		}
 		if seq <= s.baseSeq {
 			// The transaction is already folded into the snapshot (a
 			// crash hit between Checkpoint's rename and its WAL
@@ -586,10 +604,10 @@ func (s *Store) applyRecord(db *core.Database, payload []byte, pending *TxnRecor
 		*pending = TxnRecord{}
 		return true, nil
 	}
-	if len(payload) >= 9 && (payload[0] == 'E' || payload[0] == 'V') {
-		// Epoch and vote records stand alone between transactions
-		// (BeginEpoch/RecordVote hold the commit lock), so one inside
-		// an open delta means the log is damaged.
+	if len(payload) >= 9 && (payload[0] == 'E' || payload[0] == 'V' || payload[0] == 'F') {
+		// Epoch, vote and fence records stand alone between
+		// transactions (their writers hold the commit lock), so one
+		// inside an open delta means the log is damaged.
 		if len(pending.Added)+len(pending.Removed) > 0 {
 			return false, fmt.Errorf("%c record inside an open transaction", payload[0])
 		}
@@ -604,6 +622,13 @@ func (s *Store) applyRecord(db *core.Database, payload []byte, pending *TxnRecor
 			}
 		case 'V':
 			s.voteEpoch, s.voteFor = epoch, string(payload[9:])
+		case 'F':
+			if len(payload) != 9 {
+				return false, errors.New("malformed fence record")
+			}
+		}
+		if epoch > s.fence {
+			s.fence = epoch
 		}
 		return true, nil
 	}
@@ -751,6 +776,48 @@ func (s *Store) appendVoteRecord(epoch int64, nodeID string) error {
 	binary.LittleEndian.PutUint64(payload[1:9], uint64(epoch))
 	copy(payload[9:], nodeID)
 	return s.appendPayload(payload)
+}
+
+// appendFenceRecord writes a self-committing fence record ('F' plus
+// the epoch, 8 bytes little-endian); callers hold s.mu. It makes the
+// fencing floor durable when it exceeds what the epoch and vote
+// records already imply (a snapshot bootstrap authorized by a leader
+// epoch above both).
+func (s *Store) appendFenceRecord(epoch int64) error {
+	payload := make([]byte, 9)
+	payload[0] = 'F'
+	binary.LittleEndian.PutUint64(payload[1:], uint64(epoch))
+	return s.appendPayload(payload)
+}
+
+// reseedElectionRecords re-appends the durable vote and fence records
+// after the WAL was truncated or rotated (checkpoint, repair,
+// snapshot bootstrap), then fsyncs them: the single-vote-per-epoch
+// rule and the fencing floor must survive a restart no matter when
+// the log was last rewritten. Callers hold s.mu and have just put the
+// WAL at a clean record boundary.
+func (s *Store) reseedElectionRecords() error {
+	appended := false
+	if s.voteEpoch > 0 {
+		if err := s.appendVoteRecord(s.voteEpoch, s.voteFor); err != nil {
+			return err
+		}
+		appended = true
+	}
+	if s.fence > s.epoch && s.fence > s.voteEpoch {
+		// Neither the snapshot header (epoch) nor the vote record
+		// would restore the floor on replay; write it explicitly.
+		if err := s.appendFenceRecord(s.fence); err != nil {
+			return err
+		}
+		appended = true
+	}
+	if appended {
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *Store) appendPayload(payload []byte) error {

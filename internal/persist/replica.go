@@ -88,23 +88,47 @@ func (s *Store) ReplicaCut(withSnapshot bool, buffer int) (*ReplicaCut, error) {
 // SyncWAL, because a crash that loses the un-synced tail merely makes
 // it re-request those transactions from the leader.
 //
-// Fencing: a transaction stamped with an epoch older than the store's
-// is rejected with an error matching ErrFenced, whatever its sequence
-// — it comes from a deposed leader and must not be applied, skipped,
-// or used to advance the stream. A transaction from a newer epoch
-// advances the store's epoch (durably, via its commit marker).
+// Fencing: the frame is judged by the AUTHORITY it arrives under, not
+// by the epoch stamped inside it — ApplyReplicated authorizes the
+// frame by its own epoch, ApplyReplicatedFrom by the serving leader's
+// current epoch (from stream heartbeats). An authority below the
+// store's fencing floor (FenceEpoch: the highest epoch it has
+// committed under, voted in, or bootstrapped from) is rejected with
+// an error matching ErrFenced, whatever its sequence — it comes from
+// a deposed leader and must not be applied, skipped, or used to
+// advance the stream. A transaction from a newer epoch advances the
+// store's epoch (durably, via its commit marker).
 func (s *Store) ApplyReplicated(txn TxnRecord) error {
+	return s.ApplyReplicatedFrom(txn, txn.Epoch)
+}
+
+// ApplyReplicatedFrom is ApplyReplicated under an explicit authority:
+// leaderEpoch is the serving leader's CURRENT epoch, learned from its
+// stream heartbeats. The distinction matters after a failover — the
+// new leader's stream legitimately relays frames that committed under
+// older epochs (the shared prefix), and those must apply even on a
+// store whose fencing floor already names the new epoch (it voted, or
+// it is mid-bootstrap); conversely a deposed leader's live tail
+// carries its own stale epoch as authority and is rejected however
+// its frames are stamped.
+func (s *Store) ApplyReplicatedFrom(txn TxnRecord, leaderEpoch int64) error {
 	if err := s.degradedErr(); err != nil {
 		return err
+	}
+	auth := leaderEpoch
+	if txn.Epoch > auth {
+		// A relay may ship frames newer than its last heartbeat; the
+		// frame's own epoch is then the better claim.
+		auth = txn.Epoch
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if txn.Epoch < s.epoch {
+	if auth < s.fence {
 		s.met.incFenced()
-		return &FencedError{Seq: txn.Seq, TxnEpoch: txn.Epoch, StoreEpoch: s.epoch}
+		return &FencedError{Seq: txn.Seq, TxnEpoch: auth, StoreEpoch: s.fence}
 	}
 	if txn.Seq <= s.seq {
 		return nil
@@ -129,6 +153,21 @@ func (s *Store) ApplyReplicated(txn TxnRecord) error {
 			return fmt.Errorf("persist: replicated txn %d: %w", txn.Seq, err)
 		}
 		remIDs[i] = id
+	}
+	if auth > s.fence {
+		// This stream's authority names a newer epoch than any we have
+		// acknowledged; raise the fencing floor ahead of the delta.
+		// When the frame's own commit marker will carry auth, that
+		// marker restores the floor on replay by itself; otherwise
+		// (heartbeat ahead of the relayed frames) write it explicitly
+		// — fence records stand alone between transactions.
+		if auth > txn.Epoch {
+			if err := s.appendFenceRecord(auth); err != nil {
+				s.enterDegraded("wal append", err)
+				return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
+			}
+		}
+		s.fence = auth
 	}
 	for _, text := range txn.Added {
 		if err := s.appendRecord('+', text); err != nil {
@@ -206,13 +245,19 @@ func (s *Store) SyncWAL() error {
 //
 // leaderEpoch is the serving leader's CURRENT epoch (from the stream's
 // heartbeat), and it is the authorization for the reset: a bootstrap
-// from a leader whose epoch is behind the store's comes from a deposed
-// leader and is rejected with an error matching ErrFenced. An
-// authorized bootstrap adopts the snapshot's epoch even when it is
-// LOWER than the store's — the snapshot may predate the promotion that
-// raised the leader's epoch, and the replayed history re-advances the
-// epoch through its own commit markers. Keeping the higher epoch here
-// would fence that legitimate history and wedge the bootstrap.
+// from a leader whose epoch is behind the store's fencing floor comes
+// from a deposed leader and is rejected with an error matching
+// ErrFenced. An authorized bootstrap adopts the snapshot's epoch even
+// when it is LOWER than the store's — the snapshot may predate the
+// promotion that raised the leader's epoch, and the replayed history
+// re-advances the epoch through its own commit markers — but the
+// FENCING FLOOR never regresses: it is raised to leaderEpoch and kept
+// (durably, via a fence record in the fresh WAL), so if the stream
+// breaks mid-catch-up the store still refuses the deposed leader's
+// frames and snapshots, and the node's discovery still excludes it.
+// The catch-up replay itself is not wedged by the kept floor because
+// the new leader's stream applies through ApplyReplicatedFrom under
+// leaderEpoch's authority.
 func (s *Store) ResetToSnapshot(seq int, epoch int64, facts []string, leaderEpoch int64) error {
 	if seq < 0 {
 		return fmt.Errorf("persist: negative snapshot sequence %d", seq)
@@ -237,9 +282,9 @@ func (s *Store) ResetToSnapshot(seq int, epoch int64, facts []string, leaderEpoc
 	if s.closed {
 		return ErrClosed
 	}
-	if leaderEpoch < s.epoch {
+	if leaderEpoch < s.fence {
 		s.met.incFenced()
-		return &SnapshotFencedError{Seq: seq, LeaderEpoch: leaderEpoch, StoreEpoch: s.epoch}
+		return &SnapshotFencedError{Seq: seq, LeaderEpoch: leaderEpoch, StoreEpoch: s.fence}
 	}
 	if err := s.writeSnapshotLocked(db, seq, epoch); err != nil {
 		return err
@@ -254,19 +299,23 @@ func (s *Store) ResetToSnapshot(seq int, epoch int64, facts []string, leaderEpoc
 	// append failure no longer poisons durability.
 	s.walErr = nil
 	s.walRecords = 0
-	// Truncating the WAL dropped any durable vote record; re-append it
-	// so the single-vote-per-epoch rule still holds across a restart.
-	if s.voteEpoch > 0 {
-		if err := s.appendVoteRecord(s.voteEpoch, s.voteFor); err != nil {
-			return fmt.Errorf("persist: %w", err)
-		}
-	}
 	s.snapDB = db.Clone()
 	s.history = nil
 	s.seq = seq
 	s.baseSeq = seq
 	s.epoch = epoch
 	s.baseEpoch = epoch
+	if leaderEpoch > s.fence {
+		s.fence = leaderEpoch
+	}
+	// Truncating the WAL dropped the durable vote and fence records;
+	// re-append (and fsync) them so the single-vote-per-epoch rule and
+	// the fencing floor still hold across a restart — the floor in
+	// particular must not regress to the snapshot's (possibly
+	// pre-promotion) epoch while the catch-up is in flight.
+	if err := s.reseedElectionRecords(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
 	s.met.setEpoch(epoch)
 	cur := s.current()
 	s.state.Store(&dbState{db: db, version: cur.version + 1})

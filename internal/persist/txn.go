@@ -115,9 +115,17 @@ func (s *Store) Checkpoint() error {
 		return fmt.Errorf("persist: %w; %w", err, ErrDegraded)
 	}
 	s.walRecords = 0
+	// The truncation dropped the durable vote and fence records;
+	// re-append them so the single-vote-per-epoch rule and the fencing
+	// floor still hold across a restart.
+	if err := s.reseedElectionRecords(); err != nil {
+		s.enterDegraded("checkpoint wal reseed", err)
+		return fmt.Errorf("persist: %w; %w", err, ErrDegraded)
+	}
 	s.snapDB = db.Clone()
 	s.history = nil
 	s.baseSeq = s.seq
+	s.baseEpoch = s.epoch
 	// Every appended transaction is in the durable snapshot now;
 	// release any committers still waiting on an fsync. (LSNs are
 	// logical counts, so an fsync in flight across this point settles

@@ -1,0 +1,157 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// White-box tests for the fencing protocol between the store's fencing
+// floor and the node's ack/vote/heartbeat handling — the machinery
+// that makes "no acked write lost" hold while an election races
+// in-flight replication.
+
+// newTestNode builds a three-member node (majority 2) around a fresh
+// store, without running its HTTP loops.
+func newTestNode(t *testing.T) (*Node, *persist.Store) {
+	t.Helper()
+	s, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	f := NewFollower(s, "")
+	n, err := NewNode(s, f, NodeConfig{
+		ID:      "a",
+		SelfURL: "http://a",
+		Peers:   map[string]string{"b": "http://b", "c": "http://c"},
+		Lease:   100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, s
+}
+
+// TestHandleAckEpochFiltering proves WaitReplicated counts only acks
+// whose applied-tip epoch matches the leader's own: a high sequence
+// reported from a deposed leader's timeline must not satisfy quorum
+// for a write on this one.
+func TestHandleAckEpochFiltering(t *testing.T) {
+	n, s := newTestNode(t)
+	if err := s.ApplyReplicated(persist.TxnRecord{Seq: 1, Epoch: 2, Added: []string{"p(a)"}}); err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	n.role = RoleLeader
+	n.mu.Unlock()
+
+	// An ack for seq 5 at epoch 1: the peer sits on an old timeline
+	// whose sequence numbers name different writes. Must not count.
+	n.HandleAck(AckRequest{NodeID: "b", AppliedSeq: 5, Epoch: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	err := n.WaitReplicated(ctx, 1)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitReplicated with only an old-epoch ack = %v, want deadline exceeded", err)
+	}
+
+	// The same peer catches up on OUR timeline: seq 1 at epoch 2
+	// counts, even though 1 < the 5 it reported before (last-writer-
+	// wins lets a re-bootstrapped peer regress honestly).
+	n.HandleAck(AckRequest{NodeID: "b", AppliedSeq: 1, Epoch: 2})
+	n.mu.Lock()
+	pa := n.peerSeq["b"]
+	n.mu.Unlock()
+	if pa.seq != 1 || pa.epoch != 2 {
+		t.Fatalf("peerSeq[b] = %+v, want {epoch:2 seq:1} (regression must stick)", pa)
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := n.WaitReplicated(ctx, 1); err != nil {
+		t.Fatalf("WaitReplicated with a current-epoch ack: %v", err)
+	}
+}
+
+// TestHandleAckFenceDemotes proves a leader steps down when a
+// follower's ack reveals a higher fencing floor — the follower may
+// only have VOTED in the newer epoch, with nothing committed under it
+// yet, and that alone means this leader can no longer reach quorum.
+func TestHandleAckFenceDemotes(t *testing.T) {
+	n, s := newTestNode(t)
+	if err := s.BeginEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	n.role = RoleLeader
+	n.mu.Unlock()
+
+	n.HandleAck(AckRequest{NodeID: "b", AppliedSeq: 0, Epoch: 2, FenceEpoch: 3})
+	if got := n.Role(); got != RoleFollower {
+		t.Fatalf("role after higher-fence ack = %v, want follower", got)
+	}
+}
+
+// TestHandleVoteIdempotentRegrant proves a candidate whose granted
+// vote's response was lost can reacquire the exact same vote on retry,
+// while the epoch stays burned for everyone else.
+func TestHandleVoteIdempotentRegrant(t *testing.T) {
+	n, s := newTestNode(t)
+	if err := s.RecordVote(5, "c"); err != nil {
+		t.Fatal(err)
+	}
+	resp := n.HandleVote(VoteRequest{Epoch: 5, CandidateID: "c", AppliedSeq: 0})
+	if !resp.Granted {
+		t.Fatalf("exact re-vote not granted: %s", resp.Reason)
+	}
+	if resp := n.HandleVote(VoteRequest{Epoch: 5, CandidateID: "b", AppliedSeq: 100, Force: true}); resp.Granted {
+		t.Fatal("epoch-5 vote granted to a second candidate")
+	}
+}
+
+// TestFollowerHeartbeatFencing proves a deposed leader's heartbeats
+// stop renewing the lease the moment the local store has acknowledged
+// a newer epoch: the stream drops instead of refreshing LastFrame, so
+// the election that replaces the old leader is not starved.
+func TestFollowerHeartbeatFencing(t *testing.T) {
+	s, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	f := NewFollower(s, "http://leader")
+	if err := s.RecordVote(5, "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	hb, err := json.Marshal(Heartbeat{Seq: 9, Epoch: 3, LeaderID: "old", LeaseMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.handle(FrameHeartbeat, hb); err == nil {
+		t.Fatal("heartbeat from epoch 3 accepted despite fence at 5")
+	}
+	st := f.Status()
+	if !st.LastFrame.IsZero() {
+		t.Fatal("fenced heartbeat renewed LastFrame — the dead leader's lease must not refresh")
+	}
+	if st.FencedFrames != 1 {
+		t.Fatalf("FencedFrames = %d, want 1", st.FencedFrames)
+	}
+
+	// The epoch-5 winner's heartbeats pass.
+	hb, err = json.Marshal(Heartbeat{Seq: 9, Epoch: 5, LeaderID: "c", LeaseMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.handle(FrameHeartbeat, hb); err != nil {
+		t.Fatalf("current-leader heartbeat: %v", err)
+	}
+	if st := f.Status(); st.LastFrame.IsZero() || st.LeaderEpoch != 5 {
+		t.Fatalf("status after current-leader heartbeat = %+v", st)
+	}
+}

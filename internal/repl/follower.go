@@ -403,6 +403,19 @@ func (f *Follower) handle(typ byte, payload []byte) error {
 		if err := json.Unmarshal(payload, &hb); err != nil {
 			return fmt.Errorf("repl: bad heartbeat: %w", err)
 		}
+		// Fence BEFORE the heartbeat renews anything: once this store has
+		// acknowledged a newer epoch (commit, vote or bootstrap), a
+		// deposed leader's heartbeats must not keep refreshing LastFrame
+		// — that would renew its lease here and block the election that
+		// replaces it. Epoch-0 heartbeats (leaders outside cluster mode)
+		// only hit this if the store has real fencing state.
+		if fence := f.store.FenceEpoch(); hb.Epoch < fence {
+			f.met.fenced()
+			f.mu.Lock()
+			f.st.FencedFrames++
+			f.mu.Unlock()
+			return fmt.Errorf("repl: heartbeat from deposed leader: epoch %d below local fence %d", hb.Epoch, fence)
+		}
 		f.mu.Lock()
 		if hb.Seq > f.st.LeaderSeq {
 			f.st.LeaderSeq = hb.Seq
@@ -481,7 +494,16 @@ func (f *Follower) handle(typ byte, payload []byte) error {
 				// sequence on a fresh connection.
 				return fmt.Errorf("repl: sequence gap: store at %d, stream sent %d", applied, tf.Seq)
 			}
-			if err := f.store.ApplyReplicated(persist.TxnRecord{Seq: tf.Seq, Epoch: tf.Epoch, TraceID: tf.TraceID, Added: tf.Added, Removed: tf.Removed}); err != nil {
+			// Authorize the frame with the SERVING leader's epoch (from
+			// its heartbeats), not just the frame's own stamp: a live
+			// leader legitimately relays history committed under older
+			// epochs during catch-up, while a deposed leader's frames —
+			// whatever epoch they claim — must be judged by who is
+			// sending them.
+			f.mu.Lock()
+			authEpoch := f.streamEpoch
+			f.mu.Unlock()
+			if err := f.store.ApplyReplicatedFrom(persist.TxnRecord{Seq: tf.Seq, Epoch: tf.Epoch, TraceID: tf.TraceID, Added: tf.Added, Removed: tf.Removed}, authEpoch); err != nil {
 				if errors.Is(err, persist.ErrFenced) {
 					// The stream's leader was deposed: drop the
 					// connection and let the coordinator (or the next

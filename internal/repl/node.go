@@ -36,7 +36,11 @@ import (
 //     own — so a majority of grants proves the winner's prefix
 //     contains every write that was ever acknowledged to a client
 //     (acknowledged writes are replicated to a majority first; any
-//     two majorities intersect).
+//     two majorities intersect). Granting a vote raises the voter's
+//     store fencing floor to the voted epoch, so from the moment a
+//     majority has voted, the old leader can no longer replicate to
+//     (or collect acks from) a majority — a write racing the election
+//     can never be acknowledged on the losing timeline.
 //   - On a majority, the winner promotes itself: persist.BeginEpoch
 //     stamps the new epoch into the WAL, and from then on every
 //     commit marker and replication frame carries it. Stores reject
@@ -74,11 +78,25 @@ type Node struct {
 	// suspended is set on a leader that cannot reach a majority of the
 	// member set: writes are refused until contact returns.
 	suspended bool
-	// peerSeq is the leader's view of each peer's applied sequence,
-	// fed by /v1/repl/ack; WaitReplicated blocks on it.
-	peerSeq map[string]int
+	// peerSeq is the leader's view of each peer's applied position —
+	// sequence AND the epoch of its applied tip — fed by /v1/repl/ack;
+	// WaitReplicated blocks on it, counting only peers whose tip epoch
+	// matches the leader's own (a peer still on a deposed leader's
+	// divergent tail can report a high sequence that proves nothing
+	// about THIS timeline). Entries are last-writer-wins so a peer
+	// that re-bootstraps to a lower sequence regresses honestly.
+	peerSeq map[string]peerAck
 	// stopStream cancels the follower's streaming loop on promotion.
 	stopStream context.CancelFunc
+}
+
+// peerAck is one peer's last reported replication position: the
+// newest applied sequence and the epoch its applied tip was written
+// under. Quorum counting requires the epoch to match the leader's —
+// a sequence from another timeline is not progress on this one.
+type peerAck struct {
+	epoch int64
+	seq   int
 }
 
 // Role is a node's position in the replica set.
@@ -165,7 +183,7 @@ func NewNode(store *persist.Store, f *Follower, cfg NodeConfig) (*Node, error) {
 		logf:    cfg.Logf,
 		role:    RoleFollower,
 		contact: time.Now(),
-		peerSeq: make(map[string]int),
+		peerSeq: make(map[string]peerAck),
 	}
 	if n.hc == nil {
 		n.hc = http.DefaultClient
@@ -243,6 +261,7 @@ func (n *Node) Leader() (id, url string) {
 // pre-election polls.
 func (n *Node) Status() StatusInfo {
 	epoch := n.store.Epoch()
+	fence := n.store.FenceEpoch()
 	seq := n.store.Seq()
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -250,6 +269,7 @@ func (n *Node) Status() StatusInfo {
 		NodeID:      n.cfg.ID,
 		Role:        n.role.String(),
 		Epoch:       epoch,
+		FenceEpoch:  fence,
 		AppliedSeq:  seq,
 		LeaderID:    n.leaderID,
 		LeaderURL:   n.leaderURL,
@@ -260,10 +280,16 @@ func (n *Node) Status() StatusInfo {
 
 // StatusInfo is the JSON body of GET /v1/repl/status.
 type StatusInfo struct {
-	NodeID     string `json:"nodeId"`
-	Role       string `json:"role"`
-	Epoch      int64  `json:"epoch"`
-	AppliedSeq int    `json:"appliedSeq"`
+	NodeID string `json:"nodeId"`
+	Role   string `json:"role"`
+	Epoch  int64  `json:"epoch"`
+	// FenceEpoch is the node's fencing floor: the highest epoch it has
+	// committed under, voted in, or bootstrapped from. A leader that
+	// sees a peer's FenceEpoch above its own epoch has been (or is
+	// being) deposed and must step down, even before the new epoch's
+	// winner announces itself.
+	FenceEpoch int64 `json:"fenceEpoch,omitempty"`
+	AppliedSeq int   `json:"appliedSeq"`
 	// LeaderID/LeaderURL are this node's belief about the current
 	// leader (itself when Role == "leader").
 	LeaderID  string `json:"leaderId,omitempty"`
@@ -304,11 +330,18 @@ type VoteResponse struct {
 
 // AckRequest is the JSON body of POST /v1/repl/ack: a follower
 // reporting its replication progress to the leader. WaitReplicated
-// blocks writes on these.
+// blocks writes on these. Epoch is the epoch of the follower's
+// applied tip — the leader counts the ack toward quorum only when it
+// matches its own epoch, because a sequence applied on another
+// timeline proves nothing about this one. FenceEpoch is the
+// follower's fencing floor; a leader seeing one above its own epoch
+// learns it was deposed (e.g. its followers voted someone else in)
+// and steps down.
 type AckRequest struct {
 	NodeID     string `json:"nodeId"`
 	AppliedSeq int    `json:"appliedSeq"`
 	Epoch      int64  `json:"epoch"`
+	FenceEpoch int64  `json:"fenceEpoch,omitempty"`
 }
 
 // Run drives the failover loop until ctx is cancelled: the follower
@@ -380,15 +413,19 @@ func (n *Node) campaign(ctx context.Context, force bool) {
 	n.setRole(RoleCandidate)
 	statuses := n.pollPeers(ctx)
 
-	// Discovery: if any reachable member leads at our epoch or above,
-	// adopt it instead of electing. Prefer the highest epoch — after a
-	// partition heals, both the new leader and the deposed one may
-	// still answer "leader".
+	// Discovery: if any reachable member leads at our fencing floor or
+	// above, adopt it instead of electing. Prefer the highest epoch —
+	// after a partition heals, both the new leader and the deposed one
+	// may still answer "leader". Filtering against the FLOOR (not the
+	// applied-tip epoch, which regresses mid-bootstrap) keeps a node
+	// that voted in epoch e+1 from re-adopting the deposed epoch-e
+	// leader.
 	if !force {
+		floor := n.store.FenceEpoch()
 		var best *StatusInfo
 		for id := range statuses {
 			st := statuses[id]
-			if st.Role != "leader" || st.Suspended || st.Epoch < n.store.Epoch() {
+			if st.Role != "leader" || st.Suspended || st.Epoch < floor {
 				continue
 			}
 			if best == nil || st.Epoch > best.Epoch {
@@ -415,14 +452,18 @@ func (n *Node) campaign(ctx context.Context, force bool) {
 	// epoch — votes are durable and single-grant — this just avoids
 	// burning epochs on duels).
 	selfSeq := n.store.Seq()
-	maxEpoch := n.store.Epoch()
-	if ve, _ := n.store.LastVote(); ve > maxEpoch {
-		maxEpoch = ve
-	}
+	// Campaign strictly above every epoch anyone has acknowledged: our
+	// fencing floor already folds in our own votes and bootstraps, and
+	// peers report theirs so we never burn a round on an epoch a voter
+	// will refuse.
+	maxEpoch := n.store.FenceEpoch()
 	bestID, bestSeq := n.cfg.ID, selfSeq
 	for id, st := range statuses {
 		if st.Epoch > maxEpoch {
 			maxEpoch = st.Epoch
+		}
+		if st.FenceEpoch > maxEpoch {
+			maxEpoch = st.FenceEpoch
 		}
 		if st.AppliedSeq > bestSeq || (st.AppliedSeq == bestSeq && id < bestID) {
 			bestID, bestSeq = id, st.AppliedSeq
@@ -498,7 +539,7 @@ func (n *Node) promote(epoch int64, grants int) {
 	n.role = RoleLeader
 	n.leaderID, n.leaderURL = n.cfg.ID, n.cfg.SelfURL
 	n.suspended = false
-	n.peerSeq = make(map[string]int)
+	n.peerSeq = make(map[string]peerAck)
 	stop := n.stopStream
 	n.stopStream = nil
 	n.cond.Broadcast()
@@ -553,15 +594,18 @@ func (n *Node) adoptLeader(leaderID, leaderURL string) {
 	n.logf("repl: adopted leader %s at %s", leaderID, leaderURL)
 }
 
-// leaderTick is the leader's self-check: demote on any higher epoch,
-// suspend writes while a majority is unreachable.
+// leaderTick is the leader's self-check: demote on any higher epoch —
+// including a peer whose fencing floor is higher because it voted in
+// an election we lost track of — and suspend writes while a majority
+// is unreachable.
 func (n *Node) leaderTick(ctx context.Context) {
 	statuses := n.pollPeers(ctx)
 	epoch := n.store.Epoch()
 	for id := range statuses {
 		st := statuses[id]
-		if st.Epoch > epoch {
-			n.logf("repl: deposed: %s reports epoch %d > %d", id, st.Epoch, epoch)
+		if st.Epoch > epoch || st.FenceEpoch > epoch {
+			n.logf("repl: deposed: %s reports epoch %d (fence %d) > %d",
+				id, st.Epoch, st.FenceEpoch, epoch)
 			n.demote(st.LeaderID, st.LeaderURL)
 			return
 		}
@@ -607,6 +651,17 @@ func (n *Node) Promote(ctx context.Context) error {
 func (n *Node) HandleVote(req VoteRequest) VoteResponse {
 	cur := n.store.Epoch()
 	resp := VoteResponse{Epoch: cur}
+	if ve, vf := n.store.LastVote(); ve == req.Epoch && vf == req.CandidateID {
+		// Idempotent re-grant: our durable vote for this exact candidate
+		// and epoch already exists (the previous response was lost).
+		// Re-running the liveness or prefix checks could only produce an
+		// inconsistent answer about a decision already made durable.
+		n.mu.Lock()
+		n.contact = time.Now()
+		n.mu.Unlock()
+		resp.Granted = true
+		return resp
+	}
 	if req.Epoch <= cur {
 		resp.Reason = fmt.Sprintf("stale epoch %d (current %d)", req.Epoch, cur)
 		return resp
@@ -648,10 +703,14 @@ func (n *Node) HandleVote(req VoteRequest) VoteResponse {
 // HandleAck ingests a follower's replication progress report
 // (POST /v1/repl/ack).
 func (n *Node) HandleAck(req AckRequest) {
-	if req.Epoch > n.store.Epoch() && n.IsLeader() {
-		// A follower running ahead of our epoch means we were deposed
-		// and missed it; discovery on the next tick finds the leader.
-		n.logf("repl: deposed: ack from %s carries epoch %d", req.NodeID, req.Epoch)
+	epoch := n.store.Epoch()
+	if (req.Epoch > epoch || req.FenceEpoch > epoch) && n.IsLeader() {
+		// A follower ahead of our epoch — applied tip or fencing floor
+		// (it may only have VOTED in the newer epoch, with no commits
+		// under it yet) — means we were deposed and missed it; discovery
+		// on the next tick finds the leader.
+		n.logf("repl: deposed: ack from %s carries epoch %d (fence %d)",
+			req.NodeID, req.Epoch, req.FenceEpoch)
 		n.demote("", "")
 		return
 	}
@@ -660,8 +719,13 @@ func (n *Node) HandleAck(req AckRequest) {
 	if n.role != RoleLeader || req.NodeID == "" {
 		return
 	}
-	if req.AppliedSeq > n.peerSeq[req.NodeID] {
-		n.peerSeq[req.NodeID] = req.AppliedSeq
+	// Last-writer-wins, not max: a follower that re-bootstrapped from a
+	// snapshot (or sat on a deposed leader's divergent tail) must be
+	// allowed to regress its reported position. sendAck runs
+	// sequentially per follower, so the newest report is the truth.
+	pa := peerAck{epoch: req.Epoch, seq: req.AppliedSeq}
+	if n.peerSeq[req.NodeID] != pa {
+		n.peerSeq[req.NodeID] = pa
 		n.cond.Broadcast()
 	}
 }
@@ -676,6 +740,14 @@ func (n *Node) WaitReplicated(ctx context.Context, seq int) error {
 	if n.majority() <= 1 {
 		return nil
 	}
+	// The awaited sequence was committed under our current epoch, so a
+	// peer whose applied TIP is at that epoch and at or past seq holds
+	// the write. A peer reporting seq under an OLDER tip epoch is on a
+	// deposed leader's timeline — its sequence numbers name different
+	// writes and must not count. (Not a liveness hole: applying through
+	// seq on this timeline adopts this epoch, so honest replication
+	// always converges to a countable ack.)
+	epoch := n.store.Epoch()
 	defer context.AfterFunc(ctx, func() {
 		n.mu.Lock()
 		n.cond.Broadcast()
@@ -691,8 +763,8 @@ func (n *Node) WaitReplicated(ctx context.Context, seq int) error {
 			return ErrNotLeader
 		}
 		count := 1
-		for _, s := range n.peerSeq {
-			if s >= seq {
+		for _, pa := range n.peerSeq {
+			if pa.epoch == epoch && pa.seq >= seq {
 				count++
 			}
 		}
@@ -766,6 +838,7 @@ func (n *Node) sendAck(ctx context.Context) {
 		NodeID:     n.cfg.ID,
 		AppliedSeq: n.store.Seq(),
 		Epoch:      n.store.Epoch(),
+		FenceEpoch: n.store.FenceEpoch(),
 	})
 	if err != nil {
 		return

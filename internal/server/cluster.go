@@ -53,6 +53,7 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 	st := repl.StatusInfo{
 		Role:       "leader",
 		Epoch:      epoch,
+		FenceEpoch: s.store.FenceEpoch(),
 		AppliedSeq: s.store.Seq(),
 	}
 	if s.follower != nil {
