@@ -6,6 +6,9 @@
 //	parkcli run -program rules.park -db data.park [-updates u.park] [flags]
 //	parkcli check -program rules.park
 //	parkcli txn trace <seq> [-url http://localhost:7474] [-json]
+//	parkcli rules top [-url http://localhost:7474] [-n 20]
+//	parkcli cluster status [-url http://localhost:7474]
+//	parkcli events [-since N] [-type campaign-won,leader-demoted]
 //	parkcli repl
 //
 // Flags for run:
@@ -42,6 +45,12 @@ func main() {
 		err = cmdWatch(os.Args[2:])
 	case "txn":
 		err = cmdTxn(os.Args[2:])
+	case "rules":
+		err = cmdRules(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "events":
+		err = cmdEvents(os.Args[2:])
 	case "repl":
 		err = cmdRepl(os.Args[2:])
 	case "help", "-h", "--help":
@@ -72,5 +81,11 @@ commands:
   txn   trace <seq> | slow | list  [-url U] [-json]
         inspect the flight recorder: one txn's paper-style trace, the
         slow-transaction window, or the recent-trace window
+  rules top [-url U] [-n N] [-json]
+        per-rule profile of a running parkd, ranked by match cost
+  cluster status [-url U] [-json]
+        aggregated replica-set view from any member
+  events [-url U] [-since N] [-type t1,t2] [-json]
+        tail the lifecycle event journal (elections, fences, stalls)
   repl  interactive session`)
 }

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// cmdRules inspects the per-rule profiler of a running parkd:
+//
+//	parkcli rules top [-url U] [-n 20] [-json]
+//
+// Rules are ranked by cumulative match cost (the server's order), so
+// the top rows are where evaluation time goes — the candidates for
+// rewriting or for a future discrimination-network match.
+func cmdRules(args []string) error {
+	if len(args) < 1 || args[0] != "top" {
+		return fmt.Errorf("usage: parkcli rules top [-url U] [-n N] [-json]")
+	}
+	fs := flag.NewFlagSet("rules top", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:7474", "parkd base URL")
+	n := fs.Int("n", 20, "show the N most expensive rules (0 = all)")
+	asJSON := fs.Bool("json", false, "print the raw JSON instead of the table")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	c := &server.Client{BaseURL: *url}
+	resp, err := c.RuleStats(context.Background())
+	if err != nil {
+		return err
+	}
+	return rulesTop(resp, *n, *asJSON, os.Stdout)
+}
+
+// rulesTop renders the profile table.
+func rulesTop(resp *server.RuleStatsResponse, n int, asJSON bool, w io.Writer) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+	if len(resp.Rules) == 0 {
+		fmt.Fprintln(w, "no transactions profiled yet")
+		return nil
+	}
+	rules := resp.Rules
+	if n > 0 && len(rules) > n {
+		rules = rules[:n]
+	}
+	fmt.Fprintf(w, "%d transactions profiled\n", resp.Txns)
+	fmt.Fprintf(w, "%-28s  %6s  %10s  %8s  %10s  %5s  %6s  %7s\n",
+		"RULE", "TXNS", "GROUNDINGS", "FIRES", "MATCH", "WINS", "LOSSES", "BLOCKED")
+	for _, r := range rules {
+		fmt.Fprintf(w, "%-28s  %6d  %10d  %8d  %10s  %5d  %6d  %7d\n",
+			r.Rule, r.Txns, r.Groundings, r.Fires,
+			time.Duration(r.MatchNanos).Round(time.Microsecond),
+			r.ConflictWins, r.ConflictLosses, r.Blocked)
+	}
+	if n > 0 && len(resp.Rules) > n {
+		fmt.Fprintf(w, "(%d more rules; -n 0 shows all)\n", len(resp.Rules)-n)
+	}
+	return nil
+}
+
+// cmdCluster shows the aggregated replica-set view of a running
+// parkd member:
+//
+//	parkcli cluster status [-url U] [-json]
+//
+// Any member answers: it fans out to its peers and merges their
+// health and replication status.
+func cmdCluster(args []string) error {
+	if len(args) < 1 || args[0] != "status" {
+		return fmt.Errorf("usage: parkcli cluster status [-url U] [-json]")
+	}
+	fs := flag.NewFlagSet("cluster status", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:7474", "base URL of any replica-set member")
+	asJSON := fs.Bool("json", false, "print the raw JSON instead of the table")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	c := &server.Client{BaseURL: *url}
+	resp, err := c.ClusterStatus(context.Background())
+	if err != nil {
+		return err
+	}
+	return clusterStatus(resp, *asJSON, os.Stdout)
+}
+
+// clusterStatus renders the merged replica-set table.
+func clusterStatus(resp *server.ClusterResponse, asJSON bool, w io.Writer) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+	switch {
+	case resp.LeaderAgreement:
+		fmt.Fprintf(w, "leader: %s (%s), epoch %d", resp.LeaderID, resp.LeaderURL, resp.MaxEpoch)
+	default:
+		fmt.Fprintf(w, "leader: DISAGREEMENT or none known (max epoch %d)", resp.MaxEpoch)
+	}
+	if resp.Partial {
+		fmt.Fprint(w, " — PARTIAL VIEW: some members unreachable")
+	}
+	fmt.Fprintf(w, "  [reported by %s]\n", resp.ReportedBy)
+	fmt.Fprintf(w, "%-10s  %-10s  %6s  %6s  %8s  %-10s  %s\n",
+		"MEMBER", "ROLE", "EPOCH", "FENCE", "APPLIED", "LEADER", "FLAGS")
+	for _, m := range resp.Members {
+		if !m.Reachable {
+			fmt.Fprintf(w, "%-10s  %-10s  %6s  %6s  %8s  %-10s  %s\n",
+				m.ID, "?", "?", "?", "?", "?", "UNREACHABLE: "+m.Error)
+			continue
+		}
+		var flags []string
+		if m.Self {
+			flags = append(flags, "self")
+		}
+		if m.Suspended {
+			flags = append(flags, "SUSPENDED")
+		}
+		if m.Degraded {
+			flags = append(flags, "DEGRADED")
+		}
+		if m.Stale {
+			flags = append(flags, "STALE")
+		}
+		if m.LagSeq > 0 {
+			flags = append(flags, fmt.Sprintf("lag=%d", m.LagSeq))
+		}
+		fmt.Fprintf(w, "%-10s  %-10s  %6d  %6d  %8d  %-10s  %s\n",
+			m.ID, m.Role, m.Epoch, m.FenceEpoch, m.AppliedSeq, m.LeaderID,
+			strings.Join(flags, ","))
+	}
+	return nil
+}
+
+// cmdEvents tails the lifecycle event journal of a running parkd:
+//
+//	parkcli events [-url U] [-since N] [-type t1,t2] [-limit K] [-json]
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:7474", "parkd base URL")
+	since := fs.Int64("since", 0, "only events with journal sequence > N")
+	types := fs.String("type", "", "comma-separated event types (e.g. campaign-won,leader-demoted)")
+	limit := fs.Int("limit", 0, "at most K events (0 = all retained)")
+	asJSON := fs.Bool("json", false, "print the raw JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ts []string
+	if *types != "" {
+		ts = strings.Split(*types, ",")
+	}
+	c := &server.Client{BaseURL: *url}
+	resp, err := c.Events(context.Background(), *since, ts, *limit)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+	if resp.Missed > 0 {
+		fmt.Printf("(%d events after seq %d already evicted)\n", resp.Missed, *since)
+	}
+	for _, e := range resp.Events {
+		detail := e.Detail
+		if e.Peer != "" {
+			detail = strings.TrimSpace("peer=" + e.Peer + " " + detail)
+		}
+		fmt.Printf("%6d  %s  %-18s  epoch=%-3d seq=%-5d %s\n",
+			e.Seq, e.Time.Format(time.RFC3339), e.Type, e.Epoch, e.StoreSeq, detail)
+	}
+	return nil
+}

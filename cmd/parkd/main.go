@@ -24,6 +24,11 @@
 // transaction flight recorder retains the last -trace-buffer traces
 // (0 disables recording) plus any transaction slower than -slow-txn;
 // fetch them with GET /v1/txns/{seq}/trace or `parkcli txn trace`.
+// The -events journal retains the last N lifecycle events (elections,
+// fence raises, degraded transitions, checkpoints, replication
+// stalls) for GET /v1/events; per-rule profiling is served at
+// GET /v1/rules/stats (`parkcli rules top`) and the aggregated
+// replica-set view at GET /v1/cluster (`parkcli cluster status`).
 // See docs/OBSERVABILITY.md.
 //
 // With -follow, parkd runs as a read-only replica of the leader at
@@ -73,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/flight"
 	"repro/internal/persist"
 	"repro/internal/repl"
@@ -96,6 +102,7 @@ type config struct {
 	lease     time.Duration // leader lease duration (0 = repl.DefaultLease)
 
 	pprof           bool
+	eventBuf        int           // event-journal capacity (0 disables /v1/events)
 	failpoints      bool          // expose /v1/debug/failpoint (fault drills)
 	probeInterval   time.Duration // degraded-mode disk re-probe cadence
 	traceBuffer     int           // flight-recorder window (traces; 0 disables)
@@ -180,11 +187,21 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	// The event journal collects lifecycle events (elections, fences,
+	// degraded transitions, checkpoints, replication stalls) from every
+	// layer and serves them over /v1/events. A nil journal is a no-op
+	// at each emission site, so -events 0 simply disables the endpoint.
+	var ev *events.Log
+	if cfg.eventBuf != 0 {
+		ev = events.NewLog(cfg.eventBuf)
+		ev.SetNodeID(cfg.nodeID)
+	}
 	// The store logs through slog only; the legacy printf sink would
 	// duplicate the degrade/recover events the slogger already carries.
 	popts := []persist.Option{
 		persist.WithSlog(logger),
 		persist.WithTraceBuffer(cfg.traceBuffer),
+		persist.WithEvents(ev),
 	}
 	if cfg.slowTxn != 0 {
 		popts = append(popts, persist.WithSlowThreshold(cfg.slowTxn))
@@ -210,9 +227,12 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 		return nil, nil, nil, err
 	}
 	if cfg.follow != "" {
-		follower := repl.NewFollower(store, cfg.follow, repl.WithLogger(log.Printf))
+		follower := repl.NewFollower(store, cfg.follow, repl.WithLogger(log.Printf), repl.WithEvents(ev))
 		srv := server.NewReplica(store, follower, cfg.follow)
 		srv.SetLogger(logger)
+		if ev != nil {
+			srv.SetEvents(ev)
+		}
 		if ffs != nil {
 			srv.EnableFailpoints(ffs)
 		}
@@ -226,13 +246,14 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 		}
 		// The member starts with no known leader; the node's election
 		// loop discovers or elects one and retargets the follower.
-		follower := repl.NewFollower(store, "", repl.WithLogger(log.Printf))
+		follower := repl.NewFollower(store, "", repl.WithLogger(log.Printf), repl.WithEvents(ev))
 		node, err := repl.NewNode(store, follower, repl.NodeConfig{
 			ID:      cfg.nodeID,
 			SelfURL: cfg.advertise,
 			Peers:   peers,
 			Lease:   cfg.lease,
-			Logf:    log.Printf,
+			Logger:  logger,
+			Events:  ev,
 		})
 		if err != nil {
 			return fail(err)
@@ -242,6 +263,9 @@ func setup(cfg config) (*server.Server, *persist.Store, *repl.Follower, error) {
 		srv = server.New(store)
 	}
 	srv.SetLogger(logger)
+	if ev != nil {
+		srv.SetEvents(ev)
+	}
 	if ffs != nil {
 		srv.EnableFailpoints(ffs)
 	}
@@ -339,6 +363,7 @@ func main() {
 	flag.StringVar(&cfg.peers, "peers", "", "comma-separated id=url roster of the replica set's members (self may be included)")
 	flag.DurationVar(&cfg.lease, "lease", 0, "leader lease duration in replica-set mode (0 uses the default, "+repl.DefaultLease.String()+")")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.IntVar(&cfg.eventBuf, "events", events.DefaultCap, "event-journal capacity: retain the last N lifecycle events for /v1/events (0 disables)")
 	flag.BoolVar(&cfg.failpoints, "failpoints", false, "route store I/O through a fault-injection filesystem controllable via /v1/debug/failpoint (fault drills only)")
 	flag.DurationVar(&cfg.probeInterval, "probe-interval", 0, "disk re-probe interval while degraded to read-only (0 uses the store default)")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", flight.DefaultRecent, "flight-recorder window: retain traces of the last N transactions (0 disables recording)")

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/load"
 	"repro/internal/persist"
 	"repro/internal/repl"
@@ -306,12 +307,17 @@ func spawnFailoverSet(ctx context.Context, n int, lease time.Duration, program, 
 			return nil, nil, err
 		}
 		cleanups = append(cleanups, func() { os.RemoveAll(nodeDir) })
-		store, err := persist.Open(nodeDir)
+		// Each member gets its own event journal so the failover drill's
+		// lifecycle events land in the report's eventDelta.
+		ev := events.NewLog(0)
+		ev.SetNodeID(ids[i])
+		store, err := persist.Open(nodeDir, persist.WithEvents(ev))
 		if err != nil {
 			return nil, nil, err
 		}
 		f := repl.NewFollower(store, "",
-			repl.WithBackoff(5*time.Millisecond, 100*time.Millisecond))
+			repl.WithBackoff(5*time.Millisecond, 100*time.Millisecond),
+			repl.WithEvents(ev))
 		peers := map[string]string{}
 		for j := range urls {
 			if j != i {
@@ -319,13 +325,14 @@ func spawnFailoverSet(ctx context.Context, n int, lease time.Duration, program, 
 			}
 		}
 		node, err := repl.NewNode(store, f, repl.NodeConfig{
-			ID: ids[i], SelfURL: urls[i], Peers: peers, Lease: lease,
+			ID: ids[i], SelfURL: urls[i], Peers: peers, Lease: lease, Events: ev,
 		})
 		if err != nil {
 			store.Close()
 			return nil, nil, err
 		}
 		srv := server.NewClusterMember(store, f, node)
+		srv.SetEvents(ev)
 		if program != "" {
 			if err := srv.SetProgram(program); err != nil {
 				store.Close()

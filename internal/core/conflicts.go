@@ -51,13 +51,18 @@ func (e *Engine) resolveConflicts(atoms []AID) (bool, error) {
 		if err != nil {
 			return false, &ErrStrategy{Strategy: e.strategy.Name(), Err: err}
 		}
-		losers := c.Del
+		winners, losers := c.Ins, c.Del
 		if dec == DecideDelete {
-			losers = c.Ins
+			winners, losers = c.Del, c.Ins
+		}
+		for _, g := range winners {
+			rs.rules[g.Rule].ConflictWins++
 		}
 		var newly []Grounding
 		for _, g := range losers {
+			rs.rules[g.Rule].ConflictLosses++
 			if rs.blocked.Add(g) {
+				rs.rules[g.Rule].Blocked++
 				newly = append(newly, g)
 			}
 		}

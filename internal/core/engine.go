@@ -105,6 +105,33 @@ type ResolvedConflict struct {
 	Decision Decision
 }
 
+// RuleStat aggregates one rule's contribution to a run, indexed like
+// P_U (SelectInput.Program): program rules first, then the
+// transaction's update rules. The counters are incremented at the
+// same sites as the run-wide totals, so they sum exactly: Fires to
+// Stats.Derivations, Groundings to RunStats.Groundings, Blocked to
+// Stats.BlockedInstances.
+type RuleStat struct {
+	// Groundings counts enumerations of this rule folded into Γ steps,
+	// before per-step dedup and blocked-set filtering.
+	Groundings int64
+	// Fires counts derivations that produced a head (after dedup and
+	// blocked filtering) — the per-rule split of Stats.Derivations.
+	Fires int64
+	// MatchNanos is the cumulative wall-clock time spent enumerating
+	// this rule's groundings during Γ steps (body matching plus the
+	// fold-in of each grounding). Parallel full steps sum the per-shard
+	// matching time, so the total can exceed the run's wall clock.
+	MatchNanos int64
+	// ConflictWins and ConflictLosses count this rule's groundings on
+	// the winning resp. losing side of resolved conflict triples.
+	ConflictWins   int64
+	ConflictLosses int64
+	// Blocked counts this rule's groundings newly added to the blocked
+	// set B — the per-rule split of Stats.BlockedInstances.
+	Blocked int64
+}
+
 // RunStats extends Stats with the operational counters and timings
 // the observability layer exposes: how the Δ operator spent its time
 // (per-phase wall clock), how Γ evaluation split between full and
@@ -139,6 +166,10 @@ type RunStats struct {
 	PhaseWall []time.Duration
 	// Wall is the total wall-clock duration of the run.
 	Wall time.Duration
+	// Rules aggregates per-rule counters, indexed like P_U (program
+	// rules first, then the transaction's update rules). The per-rule
+	// profiler in persist folds these into its rolling profile.
+	Rules []RuleStat
 }
 
 // Engine evaluates the PARK semantics for one program over databases
@@ -214,8 +245,10 @@ type runState struct {
 
 	stats     RunStats
 	conflicts []ResolvedConflict
-	firings   []int64
-	tracer    Tracer
+	// rules holds the per-rule counters, indexed like progU.Rules;
+	// stats.Rules aliases it so partial counts survive failed runs.
+	rules  []RuleStat
+	tracer Tracer
 }
 
 // Run computes PARK(P, D, U): it forms P_U from the transaction
@@ -236,7 +269,7 @@ func (e *Engine) Run(ctx context.Context, d *Database, updates []Update) (*Resul
 		tracer = NopTracer{}
 	}
 	rs := &runState{
-		firings:  make([]int64, len(progU.Rules)),
+		rules:    make([]RuleStat, len(progU.Rules)),
 		progU:    progU,
 		d:        d,
 		in:       NewInterp(e.u, d),
@@ -247,6 +280,9 @@ func (e *Engine) Run(ctx context.Context, d *Database, updates []Update) (*Resul
 		tracer:   tracer,
 	}
 	rs.in.UseIndex = !e.opts.NoIndex
+	// Alias the per-rule counters into the stats snapshot so partial
+	// counts survive a failed run via e.lastRun.
+	rs.stats.Rules = rs.rules
 	if ta, ok := tracer.(interpAttacher); ok {
 		ta.SetInterp(rs.in)
 	}
@@ -283,13 +319,17 @@ func (e *Engine) Run(ctx context.Context, d *Database, updates []Update) (*Resul
 	rs.stats.BlockedInstances = rs.blocked.Len()
 	rs.stats.Wall = time.Since(start)
 	rs.stats.Restarts = rs.stats.Phases - 1
+	firings := make([]int64, len(rs.rules))
+	for i := range rs.rules {
+		firings[i] = rs.rules[i].Fires
+	}
 	res := &Result{
 		Output:      rs.in.Incorp(),
 		Stats:       rs.stats.Stats,
 		RunStats:    rs.stats,
 		Blocked:     append([]Grounding(nil), rs.blocked.All()...),
 		Conflicts:   rs.conflicts,
-		RuleFirings: rs.firings,
+		RuleFirings: firings,
 	}
 	if e.opts.Explain {
 		res.Explainer = &Explainer{u: e.u, prog: progU, in: rs.in, prov: rs.prov}

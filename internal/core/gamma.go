@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // gammaStep computes the candidate additions of one application of
 // the immediate consequence operator Γ_{P,B} to the current
@@ -92,10 +95,12 @@ func (e *Engine) gammaStep(m *matcher, full bool) []AID {
 // restricted by a preset binding), recording provenance and collecting
 // new candidate facts.
 func (e *Engine) enumRule(m *matcher, ri int, preset []Sym) {
+	start := time.Now()
 	m.Match(&e.run.progU.Rules[ri], preset, func(binding []Sym) bool {
 		e.processGrounding(Grounding{Rule: int32(ri), Args: append([]Sym(nil), binding...)})
 		return true
 	})
+	e.run.rules[ri].MatchNanos += time.Since(start).Nanoseconds()
 }
 
 // processGrounding folds one valid grounding into the current step:
@@ -104,6 +109,7 @@ func (e *Engine) enumRule(m *matcher, ri int, preset []Sym) {
 func (e *Engine) processGrounding(g Grounding) {
 	rs := e.run
 	rs.stats.Groundings++
+	rs.rules[g.Rule].Groundings++
 	r := &rs.progU.Rules[g.Rule]
 	k := g.Key()
 	if _, ok := rs.stepSeen[k]; ok {
@@ -114,7 +120,7 @@ func (e *Engine) processGrounding(g Grounding) {
 		return
 	}
 	rs.stats.Derivations++
-	rs.firings[g.Rule]++
+	rs.rules[g.Rule].Fires++
 
 	headArgs := make([]Sym, 0, len(r.Head.Args))
 	for _, t := range r.Head.Args {

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // enumRulesParallel evaluates a full Γ step with Options.Parallel
 // worker goroutines. Work is sharded below the rule level: for each
@@ -51,7 +54,11 @@ func (e *Engine) enumRulesParallel() {
 	}
 
 	rs.stats.Shards += int64(len(tasks))
-	results := make([][]Grounding, len(tasks))
+	type shardResult struct {
+		gs    []Grounding
+		nanos int64
+	}
+	results := make([]shardResult, len(tasks))
 	workers := e.opts.Parallel
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -74,20 +81,25 @@ func (e *Engine) enumRulesParallel() {
 				}
 				t := tasks[ti]
 				var gs []Grounding
+				start := time.Now()
 				for _, preset := range t.presets {
 					m.Match(&rs.progU.Rules[t.rule], preset, func(binding []Sym) bool {
 						gs = append(gs, Grounding{Rule: int32(t.rule), Args: append([]Sym(nil), binding...)})
 						return true
 					})
 				}
-				results[ti] = gs
+				results[ti] = shardResult{gs: gs, nanos: time.Since(start).Nanoseconds()}
 			}
 		}()
 	}
 	wg.Wait()
 
-	for _, gs := range results {
-		for _, g := range gs {
+	// Per-rule match nanos sum the shards' wall times, so under
+	// parallel evaluation MatchNanos can exceed the run's wall clock
+	// (documented on RuleStat).
+	for ti, res := range results {
+		rs.rules[tasks[ti].rule].MatchNanos += res.nanos
+		for _, g := range res.gs {
 			e.processGrounding(g)
 		}
 	}

@@ -1,0 +1,277 @@
+// Package events is the cluster event journal: a bounded,
+// sequence-numbered, concurrency-safe ring of typed lifecycle events.
+// Where the flight recorder (internal/flight) answers "what did
+// transaction N do?", the journal answers "what happened to this
+// NODE?": elections campaigned and won, votes granted, fencing floors
+// raised, leaders demoted, the store degrading to read-only and
+// recovering, checkpoints, snapshot bootstraps, replication streams
+// stalling and resuming, timers failing to fire.
+//
+// The journal is deliberately small and dependency-light:
+//
+//   - Log.Emit stamps a monotonically increasing journal sequence and
+//     wall time on each event and appends it behind one short mutex.
+//     When the ring is full the oldest event is overwritten and the
+//     drop is counted, so memory stays bounded on a flapping cluster.
+//   - Log.Since(cursor) serves pagination: events with Seq > cursor,
+//     oldest first, plus how many events in that range were already
+//     overwritten — a client that polls too slowly learns it has a
+//     gap instead of silently missing it.
+//   - A nil *Log is a valid no-op sink, so emit sites in persist,
+//     repl and server never need a guard (the same convention as the
+//     nil-safe metric wrappers).
+//
+// internal/server serves the journal at GET /v1/events and registers
+// park_events_total{type=} / park_events_dropped_total via Instrument.
+// This is the monitoring view of the ECA literature (treating system
+// transitions as first-class queryable events) applied to the PARK
+// server's own lifecycle.
+package events
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Type classifies a lifecycle event.
+type Type string
+
+// The journal's event vocabulary. Election events come from
+// internal/repl (the Node coordinator), durability and timeline
+// events from internal/persist, timer events from internal/server.
+const (
+	// CampaignStarted: this node began campaigning for an epoch.
+	CampaignStarted Type = "campaign-started"
+	// CampaignWon: the campaign reached a majority and the node
+	// promoted itself to leader.
+	CampaignWon Type = "campaign-won"
+	// CampaignLost: the campaign ended without a majority (blocked,
+	// stood down, or lost the vote).
+	CampaignLost Type = "campaign-lost"
+	// VoteGranted: this node durably granted its vote to a candidate.
+	VoteGranted Type = "vote-granted"
+	// FenceRaised: the store's fencing floor rose (commit under a new
+	// epoch, granted vote, epoch begun, or snapshot bootstrap).
+	FenceRaised Type = "fence-raised"
+	// LeaderDemoted: a leader stepped down after seeing a higher epoch.
+	LeaderDemoted Type = "leader-demoted"
+	// DegradedEnter / DegradedExit bracket read-only mode after a
+	// durability failure.
+	DegradedEnter Type = "degraded-enter"
+	DegradedExit  Type = "degraded-exit"
+	// Checkpoint: the store snapshotted and truncated its WAL.
+	Checkpoint Type = "checkpoint"
+	// SnapshotBootstrap: the store discarded its timeline and reset to
+	// a leader-shipped snapshot.
+	SnapshotBootstrap Type = "snapshot-bootstrap"
+	// ReplStall / ReplResume bracket replication-stream outages: a
+	// stream that had delivered frames ended, and a (re)connection
+	// started delivering again.
+	ReplStall  Type = "repl-stall"
+	ReplResume Type = "repl-resume"
+	// TimerError: a registered interval timer's firing failed.
+	TimerError Type = "timer-error"
+)
+
+// Event is one journal entry. Seq and Time are stamped by Emit; the
+// emitter fills the rest. Exactly the fields meaningful for the Type
+// are set; zero values are omitted from the JSON.
+type Event struct {
+	// Seq is the journal sequence (1, 2, ...), assigned by Emit. It
+	// orders events within one process and is the /v1/events cursor.
+	Seq int64 `json:"seq"`
+	// Time is the wall-clock emission time (RFC 3339 in JSON).
+	Time time.Time `json:"time"`
+	// Type classifies the event.
+	Type Type `json:"type"`
+	// NodeID is the cluster member the event happened on (stamped from
+	// the Log default when the emitter leaves it empty).
+	NodeID string `json:"nodeId,omitempty"`
+	// Epoch is the leadership epoch the event concerns, where one does.
+	Epoch int64 `json:"epoch,omitempty"`
+	// StoreSeq is the store's transaction sequence at the event, where
+	// relevant (checkpoints, bootstraps, degradation).
+	StoreSeq int `json:"storeSeq,omitempty"`
+	// TraceID correlates the event with a request or timer firing,
+	// where one is available.
+	TraceID string `json:"traceId,omitempty"`
+	// Peer names the other member involved (vote candidates, adopted
+	// or succeeding leaders).
+	Peer string `json:"peer,omitempty"`
+	// Detail is a short human-readable summary.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultCap is the ring capacity used when NewLog is given a value
+// below 1. Lifecycle events are rare (an election emits a handful),
+// so even a flap storm fits.
+const DefaultCap = 1024
+
+// Log is the bounded event journal. All methods are safe for
+// concurrent use, and all methods on a nil *Log are no-ops, so a Log
+// can be threaded through constructors unconditionally.
+type Log struct {
+	mu  sync.Mutex
+	buf []Event // ring storage, len == cap once full
+	cap int
+	// next is the next journal sequence to assign; the ring holds
+	// events [next-len(buf), next).
+	next int64
+	// head indexes the oldest retained event in buf.
+	head    int
+	dropped int64
+	nodeID  string
+
+	// byType accumulates per-type emission counts so Instrument can
+	// seed freshly registered counters with pre-registration history.
+	byType map[Type]int64
+
+	// reg, once attached, receives park_events_total{type=} and
+	// park_events_dropped_total.
+	reg        *metrics.Registry
+	droppedCtr *metrics.Counter
+}
+
+// NewLog returns a journal retaining up to capacity events (DefaultCap
+// when capacity < 1).
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = DefaultCap
+	}
+	return &Log{cap: capacity, byType: make(map[Type]int64)}
+}
+
+// SetNodeID sets the node ID stamped on events whose emitter left
+// NodeID empty. Call before wiring the log into emitters.
+func (l *Log) SetNodeID(id string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.nodeID = id
+	l.mu.Unlock()
+}
+
+// Instrument registers park_events_total{type=} and
+// park_events_dropped_total in reg. Counters are seeded with the
+// events already emitted, so they agree with the journal however late
+// the registry attaches.
+func (l *Log) Instrument(reg *metrics.Registry) {
+	if l == nil || reg == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reg = reg
+	l.droppedCtr = reg.Counter("park_events_dropped_total",
+		"Journal events overwritten by ring wraparound before any reader saw them.")
+	l.droppedCtr.Add(l.dropped)
+	for typ, n := range l.byType {
+		l.counterLocked(typ).Add(n)
+	}
+}
+
+// counterLocked returns the per-type emission counter. Callers hold
+// l.mu and have checked l.reg != nil is not required (Registry.Counter
+// is get-or-create).
+func (l *Log) counterLocked(typ Type) *metrics.Counter {
+	return l.reg.Counter("park_events_total",
+		"Lifecycle events recorded in the journal, by type.",
+		metrics.L("type", string(typ)))
+}
+
+// Emit stamps and appends one event. The journal assigns Seq; Time is
+// stamped unless the emitter set it (tests may). The Log's default
+// node ID fills an empty NodeID.
+func (l *Log) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	if e.NodeID == "" {
+		e.NodeID = l.nodeID
+	}
+	l.next++
+	e.Seq = l.next
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.head] = e
+		l.head = (l.head + 1) % len(l.buf)
+		l.dropped++
+		if l.droppedCtr != nil {
+			l.droppedCtr.Inc()
+		}
+	}
+	l.byType[e.Type]++
+	var ctr *metrics.Counter
+	if l.reg != nil {
+		ctr = l.counterLocked(e.Type)
+	}
+	l.mu.Unlock()
+	if ctr != nil {
+		ctr.Inc()
+	}
+}
+
+// Dropped returns the number of events overwritten by wraparound
+// since construction.
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// LastSeq returns the newest assigned journal sequence (0 before the
+// first event). A poller starts its cursor here to receive only
+// events emitted after now.
+func (l *Log) LastSeq() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Since returns up to limit retained events with Seq > cursor, oldest
+// first, optionally filtered to the given types (nil or empty means
+// all). missed reports how many events in (cursor, first returned
+// sequence] — before filtering — were already overwritten by
+// wraparound: a nonzero value tells the poller its cursor fell behind
+// the ring. limit < 1 means no bound.
+func (l *Log) Since(cursor int64, types map[Type]bool, limit int) (evs []Event, missed int64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.buf)
+	if n == 0 {
+		return nil, 0
+	}
+	oldest := l.next - int64(n) + 1
+	if cursor+1 < oldest {
+		missed = oldest - cursor - 1
+		cursor = oldest - 1
+	}
+	for seq := cursor + 1; seq <= l.next; seq++ {
+		e := l.buf[(l.head+int(seq-oldest))%n]
+		if len(types) > 0 && !types[e.Type] {
+			continue
+		}
+		evs = append(evs, e)
+		if limit > 0 && len(evs) >= limit {
+			break
+		}
+	}
+	return evs, missed
+}

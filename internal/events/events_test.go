@@ -1,0 +1,198 @@
+package events
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestEmitAssignsSequences(t *testing.T) {
+	l := NewLog(8)
+	l.SetNodeID("n1")
+	l.Emit(Event{Type: CampaignStarted, Epoch: 2})
+	l.Emit(Event{Type: CampaignWon, Epoch: 2, NodeID: "other"})
+	evs, missed := l.Since(0, nil, 0)
+	if missed != 0 {
+		t.Fatalf("missed = %d, want 0", missed)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("sequences = %d, %d; want 1, 2", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].NodeID != "n1" {
+		t.Fatalf("default node ID not stamped: %q", evs[0].NodeID)
+	}
+	if evs[1].NodeID != "other" {
+		t.Fatalf("explicit node ID overwritten: %q", evs[1].NodeID)
+	}
+	if evs[0].Time.IsZero() {
+		t.Fatal("wall time not stamped")
+	}
+	if l.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2", l.LastSeq())
+	}
+}
+
+func TestWraparoundDropsOldest(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Type: Checkpoint, StoreSeq: i})
+	}
+	if got := l.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs, missed := l.Since(0, nil, 0)
+	if missed != 6 {
+		t.Fatalf("missed = %d, want 6", missed)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want the 4 retained", len(evs))
+	}
+	// The retained window is the newest 4, oldest first.
+	for i, e := range evs {
+		if want := int64(7 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestSinceCursorAcrossWrap(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 3; i++ {
+		l.Emit(Event{Type: Checkpoint})
+	}
+	// Reader catches up fully at cursor 3.
+	evs, missed := l.Since(3, nil, 0)
+	if len(evs) != 0 || missed != 0 {
+		t.Fatalf("caught-up reader got %d events, %d missed", len(evs), missed)
+	}
+	// Six more events wrap the ring past the cursor: seqs 4 and 5 are
+	// gone (ring holds 6..9), so the reader must learn it missed 2.
+	for i := 0; i < 6; i++ {
+		l.Emit(Event{Type: FenceRaised})
+	}
+	evs, missed = l.Since(3, nil, 0)
+	if missed != 2 {
+		t.Fatalf("missed = %d, want 2", missed)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("retained window = [%d, %d], want [6, 9]", evs[0].Seq, evs[3].Seq)
+	}
+	// Resuming from the last returned sequence is gap-free.
+	l.Emit(Event{Type: Checkpoint})
+	evs, missed = l.Since(9, nil, 0)
+	if missed != 0 || len(evs) != 1 || evs[0].Seq != 10 {
+		t.Fatalf("resume: events=%v missed=%d", evs, missed)
+	}
+}
+
+func TestSinceTypeFilterAndLimit(t *testing.T) {
+	l := NewLog(16)
+	for i := 0; i < 4; i++ {
+		l.Emit(Event{Type: Checkpoint})
+		l.Emit(Event{Type: VoteGranted})
+	}
+	evs, _ := l.Since(0, map[Type]bool{VoteGranted: true}, 0)
+	if len(evs) != 4 {
+		t.Fatalf("filtered got %d events, want 4", len(evs))
+	}
+	for _, e := range evs {
+		if e.Type != VoteGranted {
+			t.Fatalf("filter leaked type %s", e.Type)
+		}
+	}
+	evs, _ = l.Since(0, nil, 3)
+	if len(evs) != 3 {
+		t.Fatalf("limited got %d events, want 3", len(evs))
+	}
+}
+
+// TestConcurrentEmitters exercises the journal under -race: many
+// goroutines emitting while readers page through. Every assigned
+// sequence must be unique and the final count exact.
+func TestConcurrentEmitters(t *testing.T) {
+	l := NewLog(64)
+	const emitters, perEmitter = 8, 250
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				l.Emit(Event{Type: FenceRaised, NodeID: fmt.Sprintf("n%d", g), Epoch: int64(i)})
+			}
+		}(g)
+	}
+	// Concurrent readers must never observe a torn ring.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var cursor int64
+		for {
+			evs, _ := l.Since(cursor, nil, 0)
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq <= evs[i-1].Seq {
+					t.Errorf("non-monotonic sequences: %d then %d", evs[i-1].Seq, evs[i].Seq)
+					return
+				}
+			}
+			if len(evs) > 0 {
+				cursor = evs[len(evs)-1].Seq
+			}
+			if cursor >= emitters*perEmitter {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	total := emitters * perEmitter
+	if got := l.LastSeq(); got != int64(total) {
+		t.Fatalf("LastSeq = %d, want %d", got, total)
+	}
+	if got := l.Dropped(); got != int64(total-64) {
+		t.Fatalf("Dropped = %d, want %d", got, total-64)
+	}
+}
+
+// TestInstrumentSeedsCounters verifies a late-attached registry agrees
+// with the journal's full history, including drops.
+func TestInstrumentSeedsCounters(t *testing.T) {
+	l := NewLog(2)
+	l.Emit(Event{Type: Checkpoint})
+	l.Emit(Event{Type: Checkpoint})
+	l.Emit(Event{Type: VoteGranted}) // overwrites one checkpoint
+	reg := metrics.NewRegistry()
+	l.Instrument(reg)
+	if got := reg.Counter("park_events_total", "", metrics.L("type", string(Checkpoint))).Value(); got != 2 {
+		t.Fatalf("seeded checkpoint count = %d, want 2", got)
+	}
+	if got := reg.Counter("park_events_dropped_total", "").Value(); got != 1 {
+		t.Fatalf("seeded dropped count = %d, want 1", got)
+	}
+	l.Emit(Event{Type: VoteGranted})
+	if got := reg.Counter("park_events_total", "", metrics.L("type", string(VoteGranted))).Value(); got != 2 {
+		t.Fatalf("post-attach vote count = %d, want 2", got)
+	}
+}
+
+// TestNilLogIsNoOp: emit sites hold a possibly-nil *Log without guards.
+func TestNilLogIsNoOp(t *testing.T) {
+	var l *Log
+	l.Emit(Event{Type: Checkpoint})
+	l.SetNodeID("x")
+	l.Instrument(metrics.NewRegistry())
+	if evs, missed := l.Since(0, nil, 0); evs != nil || missed != 0 {
+		t.Fatal("nil log returned data")
+	}
+	if l.Dropped() != 0 || l.LastSeq() != 0 {
+		t.Fatal("nil log returned counts")
+	}
+}

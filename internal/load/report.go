@@ -76,6 +76,13 @@ type ScenarioResult struct {
 	// timer fires, ...), summed across labels per metric name.
 	ServerDelta map[string]int64 `json:"serverDelta,omitempty"`
 
+	// EventDelta counts the lifecycle events (by type) the server's
+	// /v1/events journal recorded during the measured window — a
+	// failover drill shows its campaign-won and leader-demoted here.
+	// Events the bounded journal evicted before collection are counted
+	// under "(evicted)". Absent when the target serves no journal.
+	EventDelta map[string]int64 `json:"eventDelta,omitempty"`
+
 	// CPUSeconds attributes server CPU to endpoints over the window,
 	// from pprof goroutine labels (see docs/BENCHMARKING.md). Samples
 	// outside any labeled request are under "(other)". Empty when the

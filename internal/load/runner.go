@@ -159,6 +159,7 @@ func (r *Runner) Run(ctx context.Context, sc *Scenario) (*ScenarioResult, error)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: metrics before: %w", sc.Name, err)
 	}
+	evCursor := r.eventCursor()
 	window := sc.DurationParsed()
 	r.logf("  measuring %v at %.0f ops/s", window, sc.Rate)
 
@@ -180,6 +181,7 @@ func (r *Runner) Run(ctx context.Context, sc *Scenario) (*ScenarioResult, error)
 	}
 	res.Name, res.Family, res.Description = sc.Name, sc.Family, sc.Description
 	res.ServerDelta = counterDelta(before, after)
+	res.EventDelta = r.eventDelta(evCursor)
 	if profCh != nil {
 		prof := <-profCh
 		res.CPUSeconds, res.CPUNote = prof.seconds, prof.note
@@ -452,6 +454,52 @@ func (r *Runner) counterSums() (map[string]int64, error) {
 		}
 	}
 	return out, nil
+}
+
+// eventCursor snapshots the target's event-journal sequence, or -1
+// when the target serves no /v1/events (journal disabled or an older
+// server). Like counterSums it reads the current leader under
+// FollowLeader.
+func (r *Runner) eventCursor() int64 {
+	c := r.Client
+	if r.FollowLeader {
+		c = &server.Client{BaseURL: r.targetURL(), HTTPClient: r.Client.HTTPClient}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := c.Events(ctx, 0, nil, 1)
+	if err != nil {
+		return -1
+	}
+	return resp.LastSeq
+}
+
+// eventDelta counts the journal events recorded since the cursor, by
+// type. A -1 cursor (no journal at window start) yields nil; evicted
+// events are reported under "(evicted)" so a hot journal is visible
+// rather than silently undercounted.
+func (r *Runner) eventDelta(cursor int64) map[string]int64 {
+	if cursor < 0 {
+		return nil
+	}
+	c := r.Client
+	if r.FollowLeader {
+		c = &server.Client{BaseURL: r.targetURL(), HTTPClient: r.Client.HTTPClient}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := c.Events(ctx, cursor, nil, 0)
+	if err != nil {
+		return nil
+	}
+	out := map[string]int64{}
+	for _, e := range resp.Events {
+		out[string(e.Type)]++
+	}
+	if resp.Missed > 0 {
+		out["(evicted)"] = resp.Missed
+	}
+	return out
 }
 
 // counterDelta subtracts snapshots, keeping metrics that moved.

@@ -108,7 +108,7 @@ func (s *Store) ApplyTxn(ctx context.Context, prog *core.Program, updates []core
 			s.enterDegraded("wal append", err)
 			return nil, CommitInfo{}, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 		}
-		s.recordTrace(rec, txn, res)
+		s.recordTrace(rec, prog, txn, res)
 		// The state is installed (later transactions already build on
 		// it); acknowledge the caller only once the batch is durable.
 		if err := s.waitDurable(lsn); err != nil {
@@ -119,14 +119,16 @@ func (s *Store) ApplyTxn(ctx context.Context, prog *core.Program, updates []core
 }
 
 // recordTrace publishes the attempt's flight trace (if recording was
-// on) and emits the structured commit record. It runs after the
-// install, outside every store lock: name resolution and the ring
-// insert are off the commit-ordering critical path.
-func (s *Store) recordTrace(rec *flight.Recorder, txn TxnRecord, res *core.Result) {
+// on), folds the run's per-rule counters into the rolling rule
+// profile, and emits the structured commit record. It runs after the
+// install, outside every store lock: name resolution, the ring insert
+// and the profile fold are off the commit-ordering critical path.
+func (s *Store) recordTrace(rec *flight.Recorder, prog *core.Program, txn TxnRecord, res *core.Result) {
 	wall := res.RunStats.Wall
 	if rec != nil && s.flight != nil {
 		s.flight.Insert(rec.Finish(txn.Seq, txn.TraceID, wall.Seconds()))
 	}
+	s.profile.record(prog, res.RunStats.Rules)
 	s.cfg.slogger.Debug("txn committed",
 		"seq", txn.Seq,
 		"traceId", txn.TraceID,
@@ -173,6 +175,7 @@ func (s *Store) installLocked(base *dbState, output *core.Database, added, remov
 		return txn, 0, err
 	}
 	s.seq = txn.Seq
+	s.seqMirror.Store(int64(txn.Seq))
 	s.history = append(s.history, txn)
 	s.state.Store(&dbState{db: output.Clone(), version: base.version + 1})
 	// Notify here (in commit order) rather than after the fsync:
@@ -280,7 +283,7 @@ func (s *Store) applySerialized(ctx context.Context, prog *core.Program, updates
 		s.enterDegraded("wal append", err)
 		return nil, CommitInfo{}, fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
-	s.recordTrace(rec, txn, res)
+	s.recordTrace(rec, prog, txn, res)
 	if err := s.wal.Sync(); err != nil {
 		s.syncMu.Lock()
 		s.syncErr = fmt.Errorf("%w; %w", err, ErrDegraded)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"repro/internal/events"
 )
 
 // Degraded read-only mode. A store that cannot promise durability —
@@ -102,10 +104,18 @@ func (s *Store) enterDegraded(reason string, cause error) {
 
 	s.met.setDegraded(true)
 	s.met.incDegrade()
+	seq, epoch := s.seqMirror.Load(), s.epochMirror.Load()
 	s.cfg.logf("persist: store degraded to read-only (%s: %v); probing disk every %v",
 		reason, cause, s.cfg.probeEvery)
 	s.cfg.slogger.Warn("store degraded to read-only",
-		"reason", reason, "cause", cause.Error(), "probeEvery", s.cfg.probeEvery)
+		"reason", reason, "cause", cause.Error(), "probeEvery", s.cfg.probeEvery,
+		"seq", seq, "epoch", epoch)
+	s.ev.Emit(events.Event{
+		Type:     events.DegradedEnter,
+		Epoch:    epoch,
+		StoreSeq: int(seq),
+		Detail:   fmt.Sprintf("%s: %v", reason, cause),
+	})
 	go s.probeLoop(stop, done)
 }
 
@@ -119,10 +129,18 @@ func (s *Store) exitDegraded() {
 	s.deg.mu.Unlock()
 	if down {
 		s.met.setDegraded(false)
+		seq, epoch := s.seqMirror.Load(), s.epochMirror.Load()
 		s.cfg.logf("persist: disk recovered after %v; write availability restored",
 			time.Since(since).Round(time.Millisecond))
 		s.cfg.slogger.Info("disk recovered; write availability restored",
-			"degradedFor", time.Since(since).Round(time.Millisecond))
+			"degradedFor", time.Since(since).Round(time.Millisecond),
+			"seq", seq, "epoch", epoch)
+		s.ev.Emit(events.Event{
+			Type:     events.DegradedExit,
+			Epoch:    epoch,
+			StoreSeq: int(seq),
+			Detail:   fmt.Sprintf("degraded for %v", time.Since(since).Round(time.Millisecond)),
+		})
 	}
 }
 

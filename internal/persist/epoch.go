@@ -3,6 +3,8 @@ package persist
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/events"
 )
 
 // This file is the store-side substrate for leader-election fencing
@@ -119,7 +121,9 @@ func (s *Store) BeginEpoch(epoch int64) error {
 		return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
 	s.epoch = epoch
-	if epoch > s.fence {
+	s.epochMirror.Store(epoch)
+	raised := epoch > s.fence
+	if raised {
 		s.fence = epoch
 	}
 	s.met.setEpoch(epoch)
@@ -128,8 +132,17 @@ func (s *Store) BeginEpoch(epoch int64) error {
 	s.pendingTxns++
 	lsn := s.appendedLSN
 	s.syncMu.Unlock()
+	seq := s.seq
 	s.mu.Unlock()
-	s.cfg.slogger.Info("epoch begun", "epoch", epoch)
+	s.cfg.slogger.Info("epoch begun", "epoch", epoch, "seq", seq)
+	if raised {
+		s.ev.Emit(events.Event{
+			Type:     events.FenceRaised,
+			Epoch:    epoch,
+			StoreSeq: seq,
+			Detail:   "epoch begun (promotion)",
+		})
+	}
 	return s.waitDurable(lsn)
 }
 
@@ -173,7 +186,8 @@ func (s *Store) RecordVote(epoch int64, nodeID string) error {
 		return fmt.Errorf("persist: wal append: %w; %w", err, ErrDegraded)
 	}
 	s.voteEpoch, s.voteFor = epoch, nodeID
-	if epoch > s.fence {
+	raised := epoch > s.fence
+	if raised {
 		s.fence = epoch
 	}
 	s.syncMu.Lock()
@@ -181,7 +195,17 @@ func (s *Store) RecordVote(epoch int64, nodeID string) error {
 	s.pendingTxns++
 	lsn := s.appendedLSN
 	s.syncMu.Unlock()
+	seq := s.seq
 	s.mu.Unlock()
+	if raised {
+		s.ev.Emit(events.Event{
+			Type:     events.FenceRaised,
+			Epoch:    epoch,
+			StoreSeq: seq,
+			Peer:     nodeID,
+			Detail:   "vote granted",
+		})
+	}
 	return s.waitDurable(lsn)
 }
 

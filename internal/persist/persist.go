@@ -84,6 +84,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/flight"
 	"repro/internal/parser"
 )
@@ -133,6 +134,12 @@ type Store struct {
 	// state is the installed current database, read lock-free by
 	// Snapshot/Query/Len/Backup. Replaced (never mutated) under mu.
 	state atomic.Pointer[dbState]
+
+	// seqMirror and epochMirror shadow seq/epoch for contexts that must
+	// not take mu (enterDegraded can run with mu held). Updated at every
+	// point seq/epoch change, under mu.
+	seqMirror   atomic.Int64
+	epochMirror atomic.Int64
 
 	// mu is the narrow commit lock: it guards WAL appends, the
 	// install of state, seq/history bookkeeping, and Checkpoint/Close.
@@ -209,6 +216,16 @@ type Store struct {
 	// its short insert mutex.
 	flight *flight.Ring
 
+	// ev is the cluster event journal (nil-safe; see internal/events).
+	// The store emits durability and timeline lifecycle events into it:
+	// degraded enter/exit, fence raises, checkpoints, snapshot
+	// bootstraps.
+	ev *events.Log
+
+	// profile is the rolling per-rule cost profile accumulated from
+	// committed transactions' RunStats (profile.go).
+	profile ruleProfile
+
 	cfg config
 	met storeMetrics
 
@@ -243,6 +260,7 @@ type config struct {
 	slogger     *slog.Logger
 	traceBuffer int
 	slowThresh  time.Duration
+	events      *events.Log
 }
 
 // Option configures Open.
@@ -311,6 +329,13 @@ func WithSlog(l *slog.Logger) Option {
 			c.slogger = l
 		}
 	}
+}
+
+// WithEvents routes the store's lifecycle events (degraded enter/exit,
+// fence raises, checkpoints, snapshot bootstraps) into the given
+// cluster event journal. A nil journal — the default — discards them.
+func WithEvents(ev *events.Log) Option {
+	return func(c *config) { c.events = ev }
 }
 
 // WithTraceBuffer sets K for the flight-recorder ring: the store keeps
@@ -392,7 +417,7 @@ func open(dir string, repair bool, opts ...Option) (*Store, *RepairReport, error
 	if err := cfg.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
-	s := &Store{dir: dir, u: core.NewUniverse(), cfg: cfg, fs: cfg.fs}
+	s := &Store{dir: dir, u: core.NewUniverse(), cfg: cfg, fs: cfg.fs, ev: cfg.events}
 	if cfg.traceBuffer > 0 {
 		s.flight = flight.NewRing(cfg.traceBuffer, cfg.slowThresh)
 	}
@@ -448,6 +473,8 @@ func open(dir string, repair bool, opts ...Option) (*Store, *RepairReport, error
 	s.wal = wal
 	s.walRecords = records
 	s.state.Store(&dbState{db: db, version: 1})
+	s.seqMirror.Store(int64(s.seq))
+	s.epochMirror.Store(s.epoch)
 	return s, report, nil
 }
 

@@ -1,0 +1,121 @@
+package persist
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// This file is the store's rolling per-rule cost profile: the
+// cumulative per-rule counters (groundings, fires, match nanoseconds,
+// conflict wins/losses, blocked instances) of every transaction
+// committed since the store opened, keyed by rule label. It is the
+// baseline dataset a future discrimination-network matcher will be
+// measured against — "which rules cost what today" — and is served at
+// GET /v1/rules/stats.
+//
+// Accumulation happens in recordTrace (commit.go), after the install
+// and outside every store lock, so the profile never sits on the
+// commit-ordering critical path. A transaction's update rules (the
+// synthetic "update:±atom" rules appended to form P_U) have names
+// unique to that transaction; folding each into the map would grow it
+// without bound, so they are aggregated under one "(updates)" bucket.
+
+// UpdateRulesLabel is the profile bucket aggregating every synthetic
+// per-transaction update rule of P_U.
+const UpdateRulesLabel = "(updates)"
+
+// RuleProfileEntry is one rule's cumulative cost profile.
+type RuleProfileEntry struct {
+	// Rule is the rule label: its declared name, its positional
+	// "rule#i" fallback, or UpdateRulesLabel for the aggregated
+	// transaction update rules.
+	Rule string `json:"rule"`
+	// Txns counts the committed transactions in which the rule was
+	// part of P_U (for update rules: transactions carrying updates).
+	Txns int64 `json:"txns"`
+	// Groundings / Fires / MatchNanos / ConflictWins / ConflictLosses /
+	// Blocked sum the corresponding core.RuleStat counters across those
+	// transactions.
+	Groundings     int64 `json:"groundings"`
+	Fires          int64 `json:"fires"`
+	MatchNanos     int64 `json:"matchNanos"`
+	ConflictWins   int64 `json:"conflictWins"`
+	ConflictLosses int64 `json:"conflictLosses"`
+	Blocked        int64 `json:"blocked"`
+}
+
+// ruleProfile is the concurrency-safe accumulator behind RuleProfile.
+type ruleProfile struct {
+	mu      sync.Mutex
+	byLabel map[string]*RuleProfileEntry
+	txns    int64
+}
+
+// record folds one committed transaction's per-rule counters into the
+// profile. Indexes < len(prog.Rules) are the program's own rules
+// (labelled by RuleLabel); the rest are the transaction's update
+// rules, aggregated under UpdateRulesLabel.
+func (p *ruleProfile) record(prog *core.Program, stats []core.RuleStat) {
+	if len(stats) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.byLabel == nil {
+		p.byLabel = make(map[string]*RuleProfileEntry)
+	}
+	p.txns++
+	touched := make(map[*RuleProfileEntry]struct{}, len(stats))
+	for i, st := range stats {
+		label := UpdateRulesLabel
+		if i < len(prog.Rules) {
+			label = prog.RuleLabel(i)
+		}
+		e := p.byLabel[label]
+		if e == nil {
+			e = &RuleProfileEntry{Rule: label}
+			p.byLabel[label] = e
+		}
+		if _, dup := touched[e]; !dup {
+			// Once per transaction per label: update rules (and program
+			// rules sharing a name) fold into one bucket.
+			touched[e] = struct{}{}
+			e.Txns++
+		}
+		e.Groundings += st.Groundings
+		e.Fires += st.Fires
+		e.MatchNanos += st.MatchNanos
+		e.ConflictWins += st.ConflictWins
+		e.ConflictLosses += st.ConflictLosses
+		e.Blocked += st.Blocked
+	}
+}
+
+// snapshot returns the profile entries ranked by cumulative match
+// cost (descending, ties broken by label), plus the transaction count.
+func (p *ruleProfile) snapshot() ([]RuleProfileEntry, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]RuleProfileEntry, 0, len(p.byLabel))
+	for _, e := range p.byLabel {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MatchNanos != out[j].MatchNanos {
+			return out[i].MatchNanos > out[j].MatchNanos
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out, p.txns
+}
+
+// RuleProfile returns the rolling per-rule cost profile accumulated
+// from every transaction committed since the store opened, ranked by
+// cumulative match nanoseconds (most expensive first), and the number
+// of transactions profiled. The profile is in-memory only: it resets
+// on restart.
+func (s *Store) RuleProfile() ([]RuleProfileEntry, int64) {
+	return s.profile.snapshot()
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/parser"
 )
 
@@ -168,6 +169,13 @@ func (s *Store) ApplyReplicatedFrom(txn TxnRecord, leaderEpoch int64) error {
 			}
 		}
 		s.fence = auth
+		s.ev.Emit(events.Event{
+			Type:     events.FenceRaised,
+			Epoch:    auth,
+			StoreSeq: s.seq,
+			TraceID:  txn.TraceID,
+			Detail:   "replication stream authority",
+		})
 	}
 	for _, text := range txn.Added {
 		if err := s.appendRecord('+', text); err != nil {
@@ -197,8 +205,10 @@ func (s *Store) ApplyReplicatedFrom(txn TxnRecord, leaderEpoch int64) error {
 	rec.Added = append(rec.Added, txn.Added...)
 	rec.Removed = append(rec.Removed, txn.Removed...)
 	s.seq = txn.Seq
+	s.seqMirror.Store(int64(txn.Seq))
 	if txn.Epoch > s.epoch {
 		s.epoch = txn.Epoch
+		s.epochMirror.Store(txn.Epoch)
 		s.met.setEpoch(txn.Epoch)
 	}
 	s.history = append(s.history, rec)
@@ -302,8 +312,10 @@ func (s *Store) ResetToSnapshot(seq int, epoch int64, facts []string, leaderEpoc
 	s.snapDB = db.Clone()
 	s.history = nil
 	s.seq = seq
+	s.seqMirror.Store(int64(seq))
 	s.baseSeq = seq
 	s.epoch = epoch
+	s.epochMirror.Store(epoch)
 	s.baseEpoch = epoch
 	if leaderEpoch > s.fence {
 		s.fence = leaderEpoch
@@ -319,6 +331,14 @@ func (s *Store) ResetToSnapshot(seq int, epoch int64, facts []string, leaderEpoc
 	s.met.setEpoch(epoch)
 	cur := s.current()
 	s.state.Store(&dbState{db: db, version: cur.version + 1})
+	s.cfg.slogger.Info("bootstrapped from leader snapshot",
+		"seq", seq, "epoch", epoch, "leaderEpoch", leaderEpoch, "facts", len(facts))
+	s.ev.Emit(events.Event{
+		Type:     events.SnapshotBootstrap,
+		Epoch:    epoch,
+		StoreSeq: seq,
+		Detail:   fmt.Sprintf("adopted leader snapshot (%d facts, authority epoch %d)", len(facts), leaderEpoch),
+	})
 	// Anything previously appended is superseded by the durable
 	// snapshot; release group-commit waiters.
 	s.syncMu.Lock()

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/parser"
 )
 
@@ -126,6 +127,12 @@ func (s *Store) Checkpoint() error {
 	s.history = nil
 	s.baseSeq = s.seq
 	s.baseEpoch = s.epoch
+	s.cfg.slogger.Info("checkpoint written", "seq", s.seq, "epoch", s.epoch)
+	s.ev.Emit(events.Event{
+		Type:     events.Checkpoint,
+		Epoch:    s.epoch,
+		StoreSeq: s.seq,
+	})
 	// Every appended transaction is in the durable snapshot now;
 	// release any committers still waiting on an fsync. (LSNs are
 	// logical counts, so an fsync in flight across this point settles

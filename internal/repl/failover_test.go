@@ -37,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/persist"
 	"repro/internal/repl"
 	"repro/internal/server"
@@ -126,7 +127,11 @@ func (m *clusterMember) start(ln net.Listener) error {
 			time.Sleep(20 * time.Millisecond)
 		}
 	}
-	store, err := persist.Open(m.dir)
+	// Each incarnation gets a fresh event journal, like a restarted
+	// parkd process would.
+	ev := events.NewLog(0)
+	ev.SetNodeID(m.id)
+	store, err := persist.Open(m.dir, persist.WithEvents(ev))
 	if err != nil {
 		ln.Close()
 		return err
@@ -136,9 +141,10 @@ func (m *clusterMember) start(ln net.Listener) error {
 	}
 	f := repl.NewFollower(store, "",
 		repl.WithBackoff(2*time.Millisecond, 25*time.Millisecond),
-		repl.WithLogger(logf))
+		repl.WithLogger(logf),
+		repl.WithEvents(ev))
 	node, err := repl.NewNode(store, f, repl.NodeConfig{
-		ID: m.id, SelfURL: m.url, Peers: m.peers, Lease: m.lease, Logf: logf,
+		ID: m.id, SelfURL: m.url, Peers: m.peers, Lease: m.lease, Logf: logf, Events: ev,
 	})
 	if err != nil {
 		store.Close()
@@ -146,6 +152,7 @@ func (m *clusterMember) start(ln net.Listener) error {
 		return err
 	}
 	srv := server.NewClusterMember(store, f, node)
+	srv.SetEvents(ev)
 	ctx, cancel := context.WithCancel(context.Background())
 	hs := &http.Server{Handler: srv.Handler()}
 	go node.Run(ctx)
@@ -522,6 +529,161 @@ func TestClusterManualPromotionDeposesLeader(t *testing.T) {
 	_, err = leader.client().Transact(context.Background(), "+d(x).")
 	if err == nil || !strings.Contains(err.Error(), "HTTP 421") {
 		t.Fatalf("write on deposed leader = %v, want HTTP 421", err)
+	}
+}
+
+// TestClusterEventJournalAndAggregatedStatus: an election round lands
+// its lifecycle events in the members' journals — campaign-won on the
+// winner, leader-demoted on the deposed leader, a vote grant
+// somewhere in the set — and /v1/cluster on every member reports the
+// same leader with full agreement.
+func TestClusterEventJournalAndAggregatedStatus(t *testing.T) {
+	t.Parallel()
+	members := startCluster(t, 3, testLease)
+	leader := waitLeader(t, members, 20*testLease)
+	ctx := context.Background()
+
+	// The first winner's journal already has its campaign and win.
+	evs, err := leader.client().Events(ctx, 0, []string{"campaign-started", "campaign-won"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	won := false
+	for _, e := range evs.Events {
+		if e.Type == events.CampaignWon {
+			if e.NodeID != leader.id || e.Epoch <= 0 {
+				t.Fatalf("campaign-won event %+v, want nodeId %s and a positive epoch", e, leader.id)
+			}
+			won = true
+		}
+	}
+	if !won {
+		t.Fatalf("leader %s's journal has no campaign-won event (%+v)", leader.id, evs.Events)
+	}
+
+	// Force a failover without killing anyone: promote a follower and
+	// let the old leader demote itself on seeing the higher epoch.
+	var target *clusterMember
+	for _, m := range members {
+		if m != leader {
+			target = m
+			break
+		}
+	}
+	resp, err := http.Post(target.url+"/v1/repl/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted repl.StatusInfo
+	err = json.NewDecoder(resp.Body).Decode(&promoted)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote on %s: HTTP %d, err %v", target.id, resp.StatusCode, err)
+	}
+	deadline := time.Now().Add(20 * testLease)
+	for {
+		st, err := leader.status()
+		if err == nil && st.Role == "follower" && st.LeaderID == target.id {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("old leader %s never demoted (status %+v, err %v)", leader.id, st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The new leader's journal has the win at the promoted epoch, the
+	// deposed leader's has its demotion naming the successor.
+	evs, err = target.client().Events(ctx, 0, []string{"campaign-won"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	won = false
+	for _, e := range evs.Events {
+		if e.Type == events.CampaignWon && e.Epoch == promoted.Epoch {
+			won = true
+		}
+	}
+	if !won {
+		t.Fatalf("promoted leader %s's journal has no campaign-won at epoch %d (%+v)",
+			target.id, promoted.Epoch, evs.Events)
+	}
+	evs, err = leader.client().Events(ctx, 0, []string{"leader-demoted"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs.Events) == 0 {
+		t.Fatalf("deposed leader %s's journal has no leader-demoted event", leader.id)
+	}
+	// The successor is named when the demotion came from the peer poll;
+	// a demotion triggered by a follower's ack (which only carries the
+	// higher epoch, not who won it) legitimately leaves Peer empty.
+	if got := evs.Events[len(evs.Events)-1].Peer; got != target.id && got != "" {
+		t.Fatalf("leader-demoted names successor %q, want %q or unknown", got, target.id)
+	}
+
+	// A majority win means at least one member granted a vote (the
+	// candidate's own is a fence-raised, a peer's is vote-granted).
+	granted := false
+	for _, m := range members {
+		evs, err := m.client().Events(ctx, 0, []string{"vote-granted"}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs.Events) > 0 {
+			granted = true
+		}
+	}
+	if !granted {
+		t.Fatal("no member's journal records a granted vote")
+	}
+
+	// Aggregated status: every member's /v1/cluster converges on the
+	// new leader, full agreement, nobody unreachable.
+	for _, m := range members {
+		deadline := time.Now().Add(20 * testLease)
+		for {
+			cs, err := m.client().ClusterStatus(ctx)
+			if err == nil && cs.LeaderAgreement && cs.LeaderID == target.id && !cs.Partial {
+				if cs.ReportedBy != m.id || len(cs.Members) != 3 {
+					t.Fatalf("cluster status from %s: %+v", m.id, cs)
+				}
+				for _, row := range cs.Members {
+					if !row.Reachable {
+						t.Fatalf("cluster status from %s marks %s unreachable: %+v", m.id, row.ID, cs)
+					}
+				}
+				if cs.MaxEpoch < promoted.Epoch {
+					t.Fatalf("cluster status from %s reports maxEpoch %d, want >= %d", m.id, cs.MaxEpoch, promoted.Epoch)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("member %s's /v1/cluster never agreed on leader %s (last %+v, err %v)",
+					m.id, target.id, cs, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Incremental polling: a cursor at lastSeq sees nothing new and
+	// misses nothing.
+	last, err := target.client().Events(ctx, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := target.client().Events(ctx, last.LastSeq, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.Missed != 0 {
+		t.Fatalf("cursor at lastSeq %d missed %d events", last.LastSeq, tail.Missed)
+	}
+	for _, e := range tail.Events {
+		// Anything new must be strictly after the cursor.
+		if e.Seq <= last.LastSeq {
+			t.Fatalf("cursor at %d returned event with seq %d", last.LastSeq, e.Seq)
+		}
 	}
 }
 

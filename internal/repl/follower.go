@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/persist"
 )
@@ -40,6 +41,10 @@ type Follower struct {
 	// reaches the leader's sequence and on heartbeats).
 	syncEvery int
 	logf      func(format string, args ...any)
+	// ev is the cluster event journal (nil-safe): the follower emits
+	// repl-stall when a stream that delivered frames ends and
+	// repl-resume when a connection starts delivering again.
+	ev *events.Log
 
 	met followerMetrics
 	// rng draws reconnect jitter. It is a per-instance source seeded
@@ -70,6 +75,9 @@ type Follower struct {
 	streamCancel context.CancelFunc
 	// retargeted notes a leader switch so Run resets its backoff.
 	retargeted bool
+	// stalled notes that an established stream ended (repl-stall
+	// emitted); the next established stream emits repl-resume.
+	stalled bool
 	// wake interrupts Run's backoff sleep after a Retarget: a failover
 	// must not wait out a backoff accumulated against the dead leader.
 	wake chan struct{}
@@ -175,6 +183,12 @@ func WithSyncEvery(n int) Option {
 // backoff) to logf; by default the follower is silent.
 func WithLogger(logf func(format string, args ...any)) Option {
 	return func(f *Follower) { f.logf = logf }
+}
+
+// WithEvents emits replication-stream lifecycle events (stall/resume)
+// into the given cluster event journal; nil discards them.
+func WithEvents(ev *events.Log) Option {
+	return func(f *Follower) { f.ev = ev }
 }
 
 // NewFollower builds a follower replaying leaderURL into store. Call
@@ -370,6 +384,32 @@ func (f *Follower) stream(ctx context.Context) (int, error) {
 	}
 	f.setConnected(true)
 	defer f.setConnected(false)
+	f.mu.Lock()
+	resumed := f.stalled
+	f.stalled = false
+	f.mu.Unlock()
+	if resumed {
+		f.ev.Emit(events.Event{
+			Type:     events.ReplResume,
+			StoreSeq: from,
+			Detail:   "stream to " + leader + " reestablished",
+		})
+	}
+	// Mark the outage when this established stream ends for any reason
+	// other than our own shutdown or promotion (context cancelled).
+	defer func() {
+		if cctx.Err() != nil && ctx.Err() != nil {
+			return
+		}
+		f.mu.Lock()
+		f.stalled = true
+		f.mu.Unlock()
+		f.ev.Emit(events.Event{
+			Type:     events.ReplStall,
+			StoreSeq: f.store.Seq(),
+			Detail:   "stream to " + leader + " ended",
+		})
+	}()
 	f.logf("repl: streaming from %s (resume from seq %d)", leader, from)
 
 	// Watchdog: a stream that goes silent past staleAfter is dead

@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/persist"
 )
@@ -60,7 +62,12 @@ type Node struct {
 	store *persist.Store
 	f     *Follower
 	hc    *http.Client
-	logf  func(format string, args ...any)
+	// log carries the node's lifecycle records with node_id (and
+	// per-record epoch/seq) attrs; built from NodeConfig.Logger, or a
+	// forwarding handler over NodeConfig.Logf, or discard.
+	log *slog.Logger
+	// ev is the cluster event journal (nil-safe).
+	ev *events.Log
 
 	met nodeMetrics
 
@@ -142,8 +149,16 @@ type NodeConfig struct {
 	// acks.
 	HTTPClient *http.Client
 	// Logf receives lifecycle messages (elections, promotions,
-	// demotions, suspensions); silent by default.
+	// demotions, suspensions) as rendered lines; silent by default.
+	// Ignored when Logger is set.
 	Logf func(format string, args ...any)
+	// Logger receives the same lifecycle records structured (slog, with
+	// node_id/epoch/seq attrs). Takes precedence over Logf.
+	Logger *slog.Logger
+	// Events is the cluster event journal lifecycle events are emitted
+	// into (campaign started/won/lost, vote granted, leader demoted);
+	// nil discards them.
+	Events *events.Log
 }
 
 // ErrNotLeader is returned by WaitReplicated when the node lost
@@ -180,7 +195,7 @@ func NewNode(store *persist.Store, f *Follower, cfg NodeConfig) (*Node, error) {
 		store:   store,
 		f:       f,
 		hc:      cfg.HTTPClient,
-		logf:    cfg.Logf,
+		ev:      cfg.Events,
 		role:    RoleFollower,
 		contact: time.Now(),
 		peerSeq: make(map[string]peerAck),
@@ -188,12 +203,49 @@ func NewNode(store *persist.Store, f *Follower, cfg NodeConfig) (*Node, error) {
 	if n.hc == nil {
 		n.hc = http.DefaultClient
 	}
-	if n.logf == nil {
-		n.logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		if cfg.Logf != nil {
+			logger = slog.New(logfHandler{logf: cfg.Logf})
+		} else {
+			logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+		}
 	}
+	n.log = logger.With("node_id", cfg.ID)
 	n.cond = sync.NewCond(&n.mu)
 	return n, nil
 }
+
+// logfHandler adapts a printf-style sink to slog so NodeConfig.Logf
+// keeps working: each record is rendered as "msg key=val ...". Levels
+// are not filtered (the legacy sink received everything).
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	h.logf("repl: %s", b.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return h
+}
+
+func (h logfHandler) WithGroup(string) slog.Handler { return h }
 
 // Lease returns the configured lease duration.
 func (n *Node) Lease() time.Duration { return n.cfg.Lease }
@@ -440,8 +492,14 @@ func (n *Node) campaign(ctx context.Context, force bool) {
 
 	reachable := len(statuses) + 1
 	if reachable < n.majority() {
-		n.logf("repl: election blocked: %d/%d members reachable, need %d",
-			reachable, n.members(), n.majority())
+		n.log.Warn("election blocked: majority unreachable",
+			"reachable", reachable, "members", n.members(), "need", n.majority(),
+			"epoch", n.store.Epoch(), "seq", n.store.Seq())
+		n.ev.Emit(events.Event{
+			Type:   events.CampaignLost,
+			Epoch:  n.store.Epoch(),
+			Detail: fmt.Sprintf("blocked: %d/%d members reachable, need %d", reachable, n.members(), n.majority()),
+		})
 		n.setRole(RoleFollower)
 		return
 	}
@@ -473,20 +531,39 @@ func (n *Node) campaign(ctx context.Context, force bool) {
 	// voters' applied-prefix check still refuses a candidate behind
 	// the majority, so safety does not depend on this heuristic.
 	if bestID != n.cfg.ID && !force {
-		n.logf("repl: standing down for %s (applied %d >= %d)", bestID, bestSeq, selfSeq)
+		n.log.Info("standing down for better-placed candidate",
+			"peer", bestID, "peerSeq", bestSeq, "seq", selfSeq)
+		n.ev.Emit(events.Event{
+			Type:     events.CampaignLost,
+			StoreSeq: selfSeq,
+			Peer:     bestID,
+			Detail:   fmt.Sprintf("stood down: %s applied %d >= %d", bestID, bestSeq, selfSeq),
+		})
 		n.setRole(RoleFollower)
 		return
 	}
 
 	epoch := maxEpoch + 1
 	if err := n.store.RecordVote(epoch, n.cfg.ID); err != nil {
-		n.logf("repl: cannot vote for self in epoch %d: %v", epoch, err)
+		n.log.Warn("cannot vote for self", "epoch", epoch, "seq", selfSeq, "err", err.Error())
+		n.ev.Emit(events.Event{
+			Type:     events.CampaignLost,
+			Epoch:    epoch,
+			StoreSeq: selfSeq,
+			Detail:   fmt.Sprintf("self-vote failed: %v", err),
+		})
 		n.setRole(RoleFollower)
 		return
 	}
 	n.met.election()
-	n.logf("repl: campaigning for epoch %d (applied seq %d, %d/%d reachable)",
-		epoch, selfSeq, reachable, n.members())
+	n.log.Info("campaigning for leadership",
+		"epoch", epoch, "seq", selfSeq, "reachable", reachable, "members", n.members())
+	n.ev.Emit(events.Event{
+		Type:     events.CampaignStarted,
+		Epoch:    epoch,
+		StoreSeq: selfSeq,
+		Detail:   fmt.Sprintf("%d/%d members reachable", reachable, n.members()),
+	})
 
 	req := VoteRequest{
 		Epoch:        epoch,
@@ -507,7 +584,7 @@ func (n *Node) campaign(ctx context.Context, force bool) {
 			defer wg.Done()
 			resp, err := n.requestVote(ctx, url, req)
 			if err != nil {
-				n.logf("repl: vote request to %s failed: %v", id, err)
+				n.log.Warn("vote request failed", "peer", id, "epoch", epoch, "err", err.Error())
 				return
 			}
 			if resp.Granted {
@@ -515,13 +592,19 @@ func (n *Node) campaign(ctx context.Context, force bool) {
 				grants++
 				gmu.Unlock()
 			} else {
-				n.logf("repl: %s rejected epoch %d: %s", id, epoch, resp.Reason)
+				n.log.Info("vote rejected", "peer", id, "epoch", epoch, "reason", resp.Reason)
 			}
 		}(id, url)
 	}
 	wg.Wait()
 	if grants < n.majority() {
-		n.logf("repl: election for epoch %d lost: %d/%d votes", epoch, grants, n.majority())
+		n.log.Warn("election lost", "epoch", epoch, "votes", grants, "need", n.majority(), "seq", selfSeq)
+		n.ev.Emit(events.Event{
+			Type:     events.CampaignLost,
+			Epoch:    epoch,
+			StoreSeq: selfSeq,
+			Detail:   fmt.Sprintf("%d/%d votes", grants, n.majority()),
+		})
 		n.setRole(RoleFollower)
 		return
 	}
@@ -531,7 +614,12 @@ func (n *Node) campaign(ctx context.Context, force bool) {
 // promote installs a new epoch and takes leadership.
 func (n *Node) promote(epoch int64, grants int) {
 	if err := n.store.BeginEpoch(epoch); err != nil {
-		n.logf("repl: promotion to epoch %d failed: %v", epoch, err)
+		n.log.Warn("promotion failed", "epoch", epoch, "err", err.Error())
+		n.ev.Emit(events.Event{
+			Type:   events.CampaignLost,
+			Epoch:  epoch,
+			Detail: fmt.Sprintf("BeginEpoch failed: %v", err),
+		})
 		n.setRole(RoleFollower)
 		return
 	}
@@ -549,7 +637,14 @@ func (n *Node) promote(epoch int64, grants int) {
 	}
 	n.met.setRole(RoleLeader)
 	n.met.promotion()
-	n.logf("repl: promoted to leader in epoch %d (%d/%d votes)", epoch, grants, n.members())
+	seq := n.store.Seq()
+	n.log.Info("promoted to leader", "epoch", epoch, "votes", grants, "members", n.members(), "seq", seq)
+	n.ev.Emit(events.Event{
+		Type:     events.CampaignWon,
+		Epoch:    epoch,
+		StoreSeq: seq,
+		Detail:   fmt.Sprintf("%d/%d votes", grants, n.members()),
+	})
 }
 
 // demote steps down to follower, pointing the streaming loop at the
@@ -575,7 +670,16 @@ func (n *Node) demote(leaderID, leaderURL string) {
 		n.f.Retarget(leaderURL)
 	}
 	if wasLeader {
-		n.logf("repl: demoted to follower (new leader %s at %s)", leaderID, leaderURL)
+		epoch := n.store.Epoch()
+		n.log.Warn("demoted to follower",
+			"leader", leaderID, "leaderUrl", leaderURL, "epoch", epoch, "seq", n.store.Seq())
+		n.ev.Emit(events.Event{
+			Type:     events.LeaderDemoted,
+			Epoch:    epoch,
+			StoreSeq: n.store.Seq(),
+			Peer:     leaderID,
+			Detail:   "stepped down after seeing a higher epoch",
+		})
 	}
 }
 
@@ -591,7 +695,7 @@ func (n *Node) adoptLeader(leaderID, leaderURL string) {
 	if leaderURL != "" {
 		n.f.Retarget(leaderURL)
 	}
-	n.logf("repl: adopted leader %s at %s", leaderID, leaderURL)
+	n.log.Info("adopted discovered leader", "leader", leaderID, "leaderUrl", leaderURL)
 }
 
 // leaderTick is the leader's self-check: demote on any higher epoch —
@@ -604,8 +708,8 @@ func (n *Node) leaderTick(ctx context.Context) {
 	for id := range statuses {
 		st := statuses[id]
 		if st.Epoch > epoch || st.FenceEpoch > epoch {
-			n.logf("repl: deposed: %s reports epoch %d (fence %d) > %d",
-				id, st.Epoch, st.FenceEpoch, epoch)
+			n.log.Warn("deposed: peer reports a higher epoch",
+				"peer", id, "peerEpoch", st.Epoch, "peerFence", st.FenceEpoch, "epoch", epoch)
 			n.demote(st.LeaderID, st.LeaderURL)
 			return
 		}
@@ -619,11 +723,11 @@ func (n *Node) leaderTick(ctx context.Context) {
 	if now != was {
 		n.met.setSuspended(now)
 		if now {
-			n.logf("repl: suspended writes: %d/%d members reachable, need %d",
-				reachable, n.members(), n.majority())
+			n.log.Warn("suspended writes: majority unreachable",
+				"reachable", reachable, "members", n.members(), "need", n.majority(), "epoch", epoch)
 		} else {
-			n.logf("repl: majority contact restored (%d/%d); resuming writes",
-				reachable, n.members())
+			n.log.Info("majority contact restored; resuming writes",
+				"reachable", reachable, "members", n.members(), "epoch", epoch)
 		}
 	}
 }
@@ -696,7 +800,13 @@ func (n *Node) HandleVote(req VoteRequest) VoteResponse {
 	n.contact = time.Now()
 	n.mu.Unlock()
 	resp.Granted = true
-	n.logf("repl: voted for %s in epoch %d", req.CandidateID, req.Epoch)
+	n.log.Info("vote granted", "peer", req.CandidateID, "epoch", req.Epoch, "seq", n.store.Seq())
+	n.ev.Emit(events.Event{
+		Type:     events.VoteGranted,
+		Epoch:    req.Epoch,
+		StoreSeq: n.store.Seq(),
+		Peer:     req.CandidateID,
+	})
 	return resp
 }
 
@@ -709,8 +819,8 @@ func (n *Node) HandleAck(req AckRequest) {
 		// (it may only have VOTED in the newer epoch, with no commits
 		// under it yet) — means we were deposed and missed it; discovery
 		// on the next tick finds the leader.
-		n.logf("repl: deposed: ack from %s carries epoch %d (fence %d)",
-			req.NodeID, req.Epoch, req.FenceEpoch)
+		n.log.Warn("deposed: follower ack carries a higher epoch",
+			"peer", req.NodeID, "peerEpoch", req.Epoch, "peerFence", req.FenceEpoch, "epoch", epoch)
 		n.demote("", "")
 		return
 	}
@@ -794,7 +904,7 @@ func (n *Node) setRole(r Role) {
 // every locally applied commit (the store re-notifies replicated
 // transactions) and on a lease/3 heartbeat.
 func (n *Node) ackLoop(ctx context.Context) {
-	events, cancel := n.store.Subscribe(64)
+	txns, cancel := n.store.Subscribe(64)
 	defer cancel()
 	tick := n.cfg.Lease / 3
 	if tick < 10*time.Millisecond {
@@ -806,11 +916,11 @@ func (n *Node) ackLoop(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
-		case <-events:
+		case <-txns:
 			// Coalesce a burst into one ack for the newest sequence.
 			for {
 				select {
-				case <-events:
+				case <-txns:
 					continue
 				default:
 				}
@@ -932,6 +1042,18 @@ func (n *Node) requestVote(ctx context.Context, url string, vreq VoteRequest) (V
 		return VoteResponse{}, err
 	}
 	return vr, nil
+}
+
+// Members returns the full member roster (self included) as an
+// ID-to-base-URL map. The server's /v1/cluster aggregation fans out
+// over it.
+func (n *Node) Members() map[string]string {
+	out := make(map[string]string, len(n.cfg.Peers)+1)
+	out[n.cfg.ID] = n.cfg.SelfURL
+	for id, url := range n.cfg.Peers {
+		out[id] = url
+	}
+	return out
 }
 
 // MemberIDs returns the sorted member set (self included), for logs

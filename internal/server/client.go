@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/internal/flight"
@@ -307,6 +309,52 @@ func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
 	var resp HealthResponse
 	if err := json.Unmarshal(data, &resp); err != nil {
 		return nil, fmt.Errorf("server: healthz: HTTP %d: %w", httpResp.StatusCode, err)
+	}
+	return &resp, nil
+}
+
+// Events fetches the structured event journal: entries with sequence
+// number > since, optionally filtered by type, at most limit entries
+// (0 = no bound). Pass the response's LastSeq back as since to poll
+// incrementally.
+func (c *Client) Events(ctx context.Context, since int64, types []string, limit int) (*EventsResponse, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatInt(since, 10))
+	}
+	if len(types) > 0 {
+		q.Set("type", strings.Join(types, ","))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/events"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp EventsResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RuleStats fetches the per-rule profile, ranked by cumulative match
+// cost.
+func (c *Client) RuleStats(ctx context.Context) (*RuleStatsResponse, error) {
+	var resp RuleStatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/rules/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ClusterStatus fetches this member's aggregated view of the replica
+// set (/v1/cluster).
+func (c *Client) ClusterStatus(ctx context.Context) (*ClusterResponse, error) {
+	var resp ClusterResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &resp); err != nil {
+		return nil, err
 	}
 	return &resp, nil
 }

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/persist"
+	"repro/internal/repl"
+)
+
+// This file is the server's cluster-observability surface: the
+// structured event journal (GET /v1/events), the per-rule profiler
+// (GET /v1/rules/stats) and the aggregated replica-set view
+// (GET /v1/cluster). The first two read local state; the third fans
+// out to every member's /v1/repl/status and /v1/healthz with a
+// bounded timeout, so one curl against any member answers "who leads,
+// who lags, who is degraded" even while part of the set is down.
+
+// SetEvents attaches the structured event journal. Lifecycle events
+// (elections, fences, demotions, degraded transitions, checkpoints,
+// replication stalls, timer errors) land in it and are served over
+// GET /v1/events; its counters (park_events_total{type=},
+// park_events_dropped_total) are registered into the server's
+// registry. Call before Handler.
+func (s *Server) SetEvents(ev *events.Log) {
+	s.ev = ev
+	ev.Instrument(s.reg)
+}
+
+// EventsResponse is the body of GET /v1/events.
+type EventsResponse struct {
+	// Events are the matching journal entries, oldest first, each with
+	// a monotone per-node sequence number.
+	Events []events.Event `json:"events"`
+	// Missed counts events after the requested cursor that the bounded
+	// journal has already evicted: the reader's cursor fell behind.
+	Missed int64 `json:"missed"`
+	// LastSeq is the newest sequence in the journal — pass it back as
+	// ?since= to poll incrementally.
+	LastSeq int64 `json:"lastSeq"`
+	// Dropped is the lifetime count of events evicted by the ring.
+	Dropped int64 `json:"dropped"`
+}
+
+// handleEvents serves GET /v1/events?since=N&type=a,b&limit=K: the
+// events with sequence > N (all, when since is absent), optionally
+// filtered by type, oldest first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.ev == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("event journal disabled"))
+		return
+	}
+	q := r.URL.Query()
+	var since int64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad 'since' parameter %q", v))
+			return
+		}
+		since = n
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad 'limit' parameter %q", v))
+			return
+		}
+		limit = n
+	}
+	var types map[events.Type]bool
+	// ?type= repeats and accepts comma-separated lists; both forms
+	// compose.
+	for _, v := range q["type"] {
+		for _, t := range strings.Split(v, ",") {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				continue
+			}
+			if types == nil {
+				types = make(map[events.Type]bool)
+			}
+			types[events.Type(t)] = true
+		}
+	}
+	evs, missed := s.ev.Since(since, types, limit)
+	if evs == nil {
+		evs = []events.Event{}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{
+		Events:  evs,
+		Missed:  missed,
+		LastSeq: s.ev.LastSeq(),
+		Dropped: s.ev.Dropped(),
+	})
+}
+
+// RuleStatsResponse is the body of GET /v1/rules/stats.
+type RuleStatsResponse struct {
+	// Txns is the number of committed transactions profiled since the
+	// server started (the profile is in-memory and resets on restart).
+	Txns int64 `json:"txns"`
+	// Rules is the per-rule profile, ranked by cumulative match cost
+	// (MatchNanos, descending). The label "(updates)" aggregates the
+	// per-transaction update rules.
+	Rules []persist.RuleProfileEntry `json:"rules"`
+}
+
+// handleRuleStats serves GET /v1/rules/stats: the per-rule profile
+// accumulated across every transaction committed by this process —
+// groundings, fires, cumulative match time, conflicts won and lost,
+// blocked instances — ranked most-expensive first.
+func (s *Server) handleRuleStats(w http.ResponseWriter, r *http.Request) {
+	rules, txns := s.store.RuleProfile()
+	if rules == nil {
+		rules = []persist.RuleProfileEntry{}
+	}
+	writeJSON(w, http.StatusOK, RuleStatsResponse{Txns: txns, Rules: rules})
+}
+
+// ClusterMemberInfo is one member's row in GET /v1/cluster.
+type ClusterMemberInfo struct {
+	ID  string `json:"id"`
+	URL string `json:"url,omitempty"`
+	// Self marks the member that answered the aggregation request.
+	Self bool `json:"self,omitempty"`
+	// Reachable is false when the member could not be polled within
+	// the deadline; Error says why.
+	Reachable bool   `json:"reachable"`
+	Error     string `json:"error,omitempty"`
+	// Role/Epoch/FenceEpoch/AppliedSeq/LeaderID mirror the member's
+	// /v1/repl/status.
+	Role       string `json:"role,omitempty"`
+	Epoch      int64  `json:"epoch,omitempty"`
+	FenceEpoch int64  `json:"fenceEpoch,omitempty"`
+	AppliedSeq int    `json:"appliedSeq"`
+	LeaderID   string `json:"leaderId,omitempty"`
+	LeaderURL  string `json:"leaderUrl,omitempty"`
+	Suspended  bool   `json:"suspended,omitempty"`
+	// Degraded/Stale/LagSeq mirror the member's /v1/healthz.
+	Degraded bool `json:"degraded,omitempty"`
+	Stale    bool `json:"stale,omitempty"`
+	LagSeq   int  `json:"lagSeq,omitempty"`
+}
+
+// ClusterResponse is the body of GET /v1/cluster: one member's
+// aggregated view of the whole replica set.
+type ClusterResponse struct {
+	// ReportedBy is the member that served this aggregation.
+	ReportedBy string `json:"reportedBy"`
+	// LeaderID/LeaderURL are the consensus leader when every reachable
+	// member agrees on one; empty otherwise.
+	LeaderID  string `json:"leaderId,omitempty"`
+	LeaderURL string `json:"leaderUrl,omitempty"`
+	// LeaderAgreement is true when every reachable member names the
+	// same, non-empty leader.
+	LeaderAgreement bool `json:"leaderAgreement"`
+	// MaxEpoch is the highest leadership epoch any reachable member
+	// reported.
+	MaxEpoch int64 `json:"maxEpoch"`
+	// Partial is true when at least one member could not be polled:
+	// the view may be incomplete and LeaderAgreement only covers the
+	// members that answered.
+	Partial bool `json:"partial"`
+	// Members lists every configured member, sorted by ID.
+	Members []ClusterMemberInfo `json:"members"`
+}
+
+// clusterPollTimeout bounds one member poll during the /v1/cluster
+// fan-out: a lease is how long the set tolerates silence, so a member
+// that cannot answer within one is reported unreachable rather than
+// holding the aggregation.
+func (s *Server) clusterPollTimeout() time.Duration {
+	d := 2 * time.Second
+	if s.node != nil {
+		d = s.node.Lease()
+	}
+	if d < 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// handleCluster serves GET /v1/cluster. In cluster mode it fans out
+// to every member's /v1/repl/status and /v1/healthz concurrently
+// (bounded by clusterPollTimeout) and merges the answers; outside
+// cluster mode it reports the single local node, so the endpoint is
+// uniform across deployment shapes.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.node == nil {
+		m := s.localMemberInfo()
+		resp := ClusterResponse{
+			ReportedBy:      m.ID,
+			MaxEpoch:        m.Epoch,
+			LeaderAgreement: m.LeaderID != "",
+			LeaderID:        m.LeaderID,
+			LeaderURL:       m.LeaderURL,
+			Members:         []ClusterMemberInfo{m},
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	members := s.node.Members()
+	infos := make([]ClusterMemberInfo, 0, len(members))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	timeout := s.clusterPollTimeout()
+	for id, url := range members {
+		if id == s.node.ID() {
+			// Answer for ourselves locally: no self-HTTP round trip, and
+			// the row stays correct even if our own listener is wedged.
+			m := s.localMemberInfo()
+			m.URL = url
+			mu.Lock()
+			infos = append(infos, m)
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(id, url string) {
+			defer wg.Done()
+			m := s.pollMember(r, id, url, timeout)
+			mu.Lock()
+			infos = append(infos, m)
+			mu.Unlock()
+		}(id, url)
+	}
+	wg.Wait()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+
+	resp := ClusterResponse{ReportedBy: s.node.ID(), Members: infos}
+	agreement := true
+	leader := ""
+	for _, m := range infos {
+		if !m.Reachable {
+			resp.Partial = true
+			continue
+		}
+		if m.Epoch > resp.MaxEpoch {
+			resp.MaxEpoch = m.Epoch
+		}
+		switch {
+		case m.LeaderID == "":
+			agreement = false
+		case leader == "":
+			leader = m.LeaderID
+		case m.LeaderID != leader:
+			agreement = false
+		}
+	}
+	if agreement && leader != "" {
+		resp.LeaderAgreement = true
+		resp.LeaderID = leader
+		resp.LeaderURL = members[leader]
+		for _, m := range infos {
+			if m.Reachable && m.LeaderURL != "" {
+				resp.LeaderURL = m.LeaderURL
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// localMemberInfo builds this node's own /v1/cluster row from local
+// state — the same facts /v1/repl/status and /v1/healthz would serve.
+func (s *Server) localMemberInfo() ClusterMemberInfo {
+	m := ClusterMemberInfo{Self: true, Reachable: true}
+	if s.node != nil {
+		st := s.node.Status()
+		m.ID = st.NodeID
+		m.Role = st.Role
+		m.Epoch = st.Epoch
+		m.FenceEpoch = st.FenceEpoch
+		m.AppliedSeq = st.AppliedSeq
+		m.LeaderID = st.LeaderID
+		m.LeaderURL = st.LeaderURL
+		m.Suspended = st.Suspended
+	} else {
+		epoch, _ := s.store.Epochs()
+		m.ID = "local"
+		m.Role = "leader"
+		m.Epoch = epoch
+		m.FenceEpoch = s.store.FenceEpoch()
+		m.AppliedSeq = s.store.Seq()
+		if s.follower == nil {
+			m.LeaderID = m.ID
+		}
+	}
+	if s.follower != nil {
+		fst := s.follower.Status()
+		m.Stale = fst.Stale
+		if s.node == nil {
+			m.Role = "follower"
+			m.LeaderURL = s.leaderURL
+			m.AppliedSeq = fst.AppliedSeq
+			m.LagSeq = fst.LagSeq()
+		}
+	}
+	m.Degraded = s.store.Health().Degraded
+	return m
+}
+
+// pollMember fetches one peer's /v1/repl/status and /v1/healthz for
+// the /v1/cluster aggregation. Any transport failure marks the member
+// unreachable; a healthz failure after a good status poll degrades
+// gracefully (the status fields still fill the row).
+func (s *Server) pollMember(r *http.Request, id, url string, timeout time.Duration) ClusterMemberInfo {
+	m := ClusterMemberInfo{ID: id, URL: url}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	var st repl.StatusInfo
+	if err := fetchJSON(ctx, url+"/v1/repl/status", &st); err != nil {
+		m.Error = err.Error()
+		return m
+	}
+	m.Reachable = true
+	m.Role = st.Role
+	m.Epoch = st.Epoch
+	m.FenceEpoch = st.FenceEpoch
+	m.AppliedSeq = st.AppliedSeq
+	m.LeaderID = st.LeaderID
+	m.LeaderURL = st.LeaderURL
+	m.Suspended = st.Suspended
+	var h HealthResponse
+	if err := fetchJSON(ctx, url+"/v1/healthz", &h); err == nil {
+		m.Degraded = h.Degraded
+		if h.Replication != nil {
+			m.Stale = h.Replication.Stale
+			m.LagSeq = h.Replication.LagSeq
+		}
+	}
+	return m
+}
+
+// fetchJSON GETs url and decodes the body regardless of HTTP status
+// (healthz answers 503 while degraded and the body still matters);
+// only transport and decode failures are errors.
+func fetchJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("HTTP %d: %w", resp.StatusCode, err)
+	}
+	return nil
+}

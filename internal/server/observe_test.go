@@ -1,0 +1,182 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/persist"
+)
+
+// newObserveTestServer starts a server with the event journal wired
+// end to end: the store, timers and server all emit into ev.
+func newObserveTestServer(t *testing.T) (*Client, *events.Log) {
+	t.Helper()
+	ev := events.NewLog(0)
+	ev.SetNodeID("t1")
+	store, err := persist.Open(t.TempDir(), persist.WithEvents(ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store)
+	srv.SetEvents(ev)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &Client{BaseURL: ts.URL}, ev
+}
+
+func TestEventsEndpointFiltersAndCursor(t *testing.T) {
+	c, ev := newObserveTestServer(t)
+	ctx := context.Background()
+	ev.Emit(events.Event{Type: events.CampaignStarted, Epoch: 1})
+	ev.Emit(events.Event{Type: events.CampaignWon, Epoch: 1})
+	ev.Emit(events.Event{Type: events.Checkpoint, StoreSeq: 3})
+	ev.Emit(events.Event{Type: events.CampaignWon, Epoch: 2})
+
+	all, err := c.Events(ctx, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Events) != 4 || all.Missed != 0 || all.LastSeq != 4 {
+		t.Fatalf("all events = %+v", all)
+	}
+	for _, e := range all.Events {
+		if e.NodeID != "t1" {
+			t.Fatalf("event %+v missing journal node ID", e)
+		}
+	}
+
+	// Type filter, including the comma-separated form.
+	wins, err := c.Events(ctx, 0, []string{"campaign-won", "checkpoint"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins.Events) != 3 {
+		t.Fatalf("filtered events = %+v", wins.Events)
+	}
+
+	// Cursor: only events after the given sequence.
+	tail, err := c.Events(ctx, all.Events[1].Seq, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Events) != 2 || tail.Events[0].Type != events.Checkpoint {
+		t.Fatalf("tail events = %+v", tail.Events)
+	}
+
+	// Limit keeps the oldest matches.
+	first, err := c.Events(ctx, 0, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Events) != 1 || first.Events[0].Type != events.CampaignStarted {
+		t.Fatalf("limited events = %+v", first.Events)
+	}
+
+	// A checkpoint flows from the store into the journal.
+	if _, err := c.Transact(ctx, "+p."); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cps, err := c.Events(ctx, all.LastSeq, []string{"checkpoint"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps.Events) != 1 || cps.Events[0].StoreSeq != 1 {
+		t.Fatalf("checkpoint events after txn = %+v", cps.Events)
+	}
+}
+
+func TestEventsEndpointDisabled(t *testing.T) {
+	c, _ := newTestServer(t)
+	_, err := c.Events(context.Background(), 0, nil, 0)
+	if err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("events on a server without a journal = %v, want HTTP 404", err)
+	}
+}
+
+func TestRuleStatsEndpoint(t *testing.T) {
+	c, srv := newTestServer(t)
+	ctx := context.Background()
+	// The conflict fixture: +p grounds all three rules, a is both
+	// derived (via q) and deleted, so every transaction carrying +p
+	// resolves a conflict.
+	if err := srv.SetProgram("rule derive_q: p -> +q.\nrule drop_a: p -> -a.\nrule derive_a: q -> +a.\n"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.Transact(ctx, "+p.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Conflicts) == 0 {
+		t.Fatalf("fixture transaction did not conflict: %+v", tx)
+	}
+
+	stats, err := c.RuleStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Txns != 1 {
+		t.Fatalf("profiled txns = %d, want 1", stats.Txns)
+	}
+	byRule := map[string]persist.RuleProfileEntry{}
+	for i, e := range stats.Rules {
+		byRule[e.Rule] = e
+		if i > 0 && e.MatchNanos > stats.Rules[i-1].MatchNanos {
+			t.Fatalf("rules not ranked by match cost: %+v", stats.Rules)
+		}
+	}
+	for _, name := range []string{"derive_q", "drop_a", "derive_a", persist.UpdateRulesLabel} {
+		if _, ok := byRule[name]; !ok {
+			t.Fatalf("profile missing %q: %+v", name, stats.Rules)
+		}
+	}
+	// The update rule (+p) and derive_q fired; the a-conflict was
+	// resolved between drop_a and derive_a.
+	if byRule[persist.UpdateRulesLabel].Fires == 0 || byRule["derive_q"].Fires == 0 {
+		t.Fatalf("fire counts: %+v", stats.Rules)
+	}
+	wins, losses := int64(0), int64(0)
+	for _, e := range stats.Rules {
+		wins += e.ConflictWins
+		losses += e.ConflictLosses
+	}
+	if wins == 0 || losses == 0 {
+		t.Fatalf("conflict counts: wins %d losses %d (%+v)", wins, losses, stats.Rules)
+	}
+
+	// A second transaction accumulates.
+	if _, err := c.Transact(ctx, "-p."); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = c.RuleStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Txns != 2 {
+		t.Fatalf("profiled txns = %d, want 2", stats.Txns)
+	}
+}
+
+func TestClusterEndpointSingleNode(t *testing.T) {
+	c, _ := newTestServer(t)
+	cs, err := c.ClusterStatus(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Members) != 1 {
+		t.Fatalf("single-node cluster status = %+v", cs)
+	}
+	m := cs.Members[0]
+	if !m.Self || !m.Reachable || m.Role != "leader" || cs.Partial {
+		t.Fatalf("single-node member row = %+v (partial %v)", m, cs.Partial)
+	}
+	if cs.ReportedBy != m.ID {
+		t.Fatalf("reportedBy %q, want %q", cs.ReportedBy, m.ID)
+	}
+}

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// This file round-trips our own /v1/metrics Prometheus text
+// exposition through a strict parser: every sample line must parse,
+// every family must carry HELP/TYPE headers before its first sample,
+// histogram buckets must be cumulative and end at le="+Inf" matching
+// _count, and label escaping (backslash, quote, newline) must
+// round-trip. A scrape-side regression here is invisible to the JSON
+// tests, so the exposition gets its own.
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromValue handles the exposition's number forms, including the
+// signed infinities Prometheus spells +Inf/-Inf.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parsePromLine parses `name{k="v",...} value` (labels optional),
+// undoing the text-format label escapes.
+func parsePromLine(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no name/value separator in %q", line)
+	}
+	s.name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return s, fmt.Errorf("bad label in %q", line)
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			j := 0
+			for ; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' {
+					j++
+					if j >= len(rest) {
+						return s, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch rest[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("unknown escape \\%c in %q", rest[j], line)
+					}
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			if j >= len(rest) {
+				return s, fmt.Errorf("unterminated label value in %q", line)
+			}
+			s.labels[key] = val.String()
+			rest = rest[j+1:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return s, fmt.Errorf("bad label separator in %q", line)
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// familyOf strips the histogram series suffixes so samples map back
+// to their TYPE/HELP family.
+func familyOf(name string, kinds map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && kinds[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// labelKeyWithoutLe canonicalizes a sample's labels minus le, to
+// group one histogram child's bucket series.
+func labelKeyWithoutLe(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%q;", k, labels[k])
+	}
+	return sb.String()
+}
+
+func TestPrometheusExpositionRoundTrips(t *testing.T) {
+	c, srv := newTestServer(t)
+	ctx := context.Background()
+	// The conflict fixture from the metrics tests, so engine counters
+	// and latency histograms all have observations.
+	if err := srv.SetProgram("p -> +q.\np -> -a.\nq -> +a.\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Transact(ctx, "+p."); err != nil {
+		t.Fatal(err)
+	}
+	// A counter whose label value needs every escape the format
+	// defines.
+	nasty := "a\\b\"c\nd"
+	srv.Metrics().Counter("park_test_escape_total",
+		"Escaping canary.", metrics.L("v", nasty)).Inc()
+
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	helps := map[string]string{}
+	kinds := map[string]string{}
+	var samples []promSample
+	seenBeforeHeader := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(rest) != 2 || strings.Contains(rest[1], "\n") {
+				t.Fatalf("bad HELP line %q", line)
+			}
+			helps[rest[0]] = rest[1]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if len(rest) != 2 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch rest[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			kinds[rest[0]] = rest[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, s)
+		fam := familyOf(s.name, kinds)
+		if _, ok := kinds[fam]; !ok {
+			seenBeforeHeader[s.name] = true
+		}
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples in exposition")
+	}
+	for name := range seenBeforeHeader {
+		t.Errorf("sample %s appeared before its TYPE header", name)
+	}
+
+	// Every family with samples has a non-empty HELP.
+	for _, s := range samples {
+		fam := familyOf(s.name, kinds)
+		if helps[fam] == "" {
+			t.Errorf("family %s has no HELP line", fam)
+		}
+	}
+
+	// The escape canary round-trips exactly.
+	found := false
+	for _, s := range samples {
+		if s.name == "park_test_escape_total" {
+			found = true
+			if s.labels["v"] != nasty {
+				t.Fatalf("escaped label round-trip = %q, want %q", s.labels["v"], nasty)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("escape canary counter missing from exposition")
+	}
+
+	// Histogram series: cumulative buckets ending at +Inf == _count,
+	// with a _sum for every child.
+	type child struct {
+		les    []float64
+		counts map[float64]float64
+		sum    bool
+		count  float64
+		hasCnt bool
+	}
+	children := map[string]*child{}
+	key := func(fam string, labels map[string]string) string {
+		return fam + "|" + labelKeyWithoutLe(labels)
+	}
+	for _, s := range samples {
+		fam := familyOf(s.name, kinds)
+		if kinds[fam] != "histogram" {
+			continue
+		}
+		ch := children[key(fam, s.labels)]
+		if ch == nil {
+			ch = &child{counts: map[float64]float64{}}
+			children[key(fam, s.labels)] = ch
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, err := parsePromValue(s.labels["le"])
+			if err != nil {
+				t.Fatalf("bad le label %q", s.labels["le"])
+			}
+			ch.les = append(ch.les, le)
+			ch.counts[le] = s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			ch.sum = true
+		case strings.HasSuffix(s.name, "_count"):
+			ch.hasCnt = true
+			ch.count = s.value
+		}
+	}
+	if len(children) == 0 {
+		t.Fatal("no histogram series in exposition")
+	}
+	for k, ch := range children {
+		if !ch.sum || !ch.hasCnt {
+			t.Errorf("histogram %s missing _sum or _count", k)
+			continue
+		}
+		sort.Float64s(ch.les)
+		if len(ch.les) == 0 || !math.IsInf(ch.les[len(ch.les)-1], 1) {
+			t.Errorf("histogram %s has no le=\"+Inf\" bucket", k)
+			continue
+		}
+		prev := 0.0
+		for _, le := range ch.les {
+			if ch.counts[le] < prev {
+				t.Errorf("histogram %s buckets not cumulative at le=%v", k, le)
+			}
+			prev = ch.counts[le]
+		}
+		if inf := ch.counts[ch.les[len(ch.les)-1]]; inf != ch.count {
+			t.Errorf("histogram %s: +Inf bucket %v != count %v", k, inf, ch.count)
+		}
+	}
+}

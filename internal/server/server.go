@@ -25,6 +25,9 @@
 //	GET  /v1/metrics       engine/HTTP/store metrics (JSON or Prometheus)
 //	GET  /v1/version       build provenance and uptime
 //	GET  /v1/healthz       write-readiness: 200 healthy, 503 degraded
+//	GET  /v1/events        structured lifecycle event journal (?since=N&type=...)
+//	GET  /v1/rules/stats   per-rule profiler, ranked by cumulative match cost
+//	GET  /v1/cluster       aggregated replica-set view (fans out to peers)
 //
 // Every request is stamped with an X-Park-Trace-Id (propagated from
 // the client when valid, assigned otherwise) that correlates the
@@ -64,6 +67,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/persist"
@@ -88,6 +92,11 @@ type Server struct {
 	// the writable gate consults it on every mutating request, because
 	// the role changes at runtime as leases expire and elections run.
 	node *repl.Node
+
+	// ev is the structured event journal (SetEvents); nil disables
+	// /v1/events. The events.Log methods are nil-safe, so emission
+	// sites don't guard.
+	ev *events.Log
 
 	// faultFS is non-nil when EnableFailpoints has armed the
 	// /v1/debug/failpoint endpoints (tests and operator drills only).
@@ -263,6 +272,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/repl/promote", s.instrument("/v1/repl/promote", s.handleReplPromote))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/events", s.instrument("/v1/events", s.handleEvents))
+	mux.HandleFunc("GET /v1/rules/stats", s.instrument("/v1/rules/stats", s.handleRuleStats))
+	mux.HandleFunc("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	if s.faultFS != nil {
 		mux.HandleFunc("POST /v1/debug/failpoint", s.instrument("/v1/debug/failpoint", s.handleSetFailpoint))
 		mux.HandleFunc("GET /v1/debug/failpoint", s.instrument("/v1/debug/failpoint", s.handleGetFailpoints))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/parser"
@@ -249,6 +250,11 @@ func (s *Server) runTimer(ctx context.Context, t *timer) {
 		if err != nil {
 			fireErrs.Inc()
 			s.logger.Warn("timer firing failed", "timer", t.name, "firing", n, "err", err)
+			s.ev.Emit(events.Event{
+				Type:     events.TimerError,
+				StoreSeq: s.store.Seq(),
+				Detail:   fmt.Sprintf("timer %q firing %d: %v", t.name, n, err),
+			})
 			if ctx.Err() != nil {
 				return
 			}

@@ -33,6 +33,7 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$WORK/parkd" ./cmd/parkd
+go build -o "$WORK/parkcli" ./cmd/parkcli
 
 cat > "$WORK/rules.park" <<'RULES'
 rule audit: +ev(X) -> +audit(X).
@@ -412,3 +413,88 @@ case "$db" in
 esac
 
 echo "smoke: replica-set drill passed (election, bounded promotion, write resume, ex-leader fenced to follower)"
+
+# ---------------------------------------------------------------------
+# Observability drill: every member serves the /v1/events lifecycle
+# journal, the journals record the election story (campaign-won on the
+# winner, leader-demoted on a superseded leader, vote-granted on the
+# electorate), and `parkcli cluster status` asked at ANY member names
+# the same leader. A leader-demoted event needs a live leader to step
+# down — the kill above never journaled one — so the drill promotes the
+# rejoined ex-leader: the current leader must demote itself on seeing
+# the higher epoch and journal the demotion.
+
+# Every member answers /v1/events.
+for url in "$N1_URL" "$N2_URL" "$N3_URL"; do
+    ecode=$(curl -s -o /dev/null -w '%{http_code}' "$url/v1/events")
+    if [ "$ecode" != "200" ]; then
+        echo "smoke: $url/v1/events returned HTTP $ecode, want 200" >&2
+        exit 1
+    fi
+done
+
+# The failover's winner journaled its own victory.
+if ! curl -s "$NEW_LEADER/v1/events?type=campaign-won" | grep -q '"campaign-won"'; then
+    echo "smoke: new leader $NEW_LEADER journal has no campaign-won event" >&2
+    exit 1
+fi
+
+# Promote the rejoined ex-leader and wait for the takeover.
+curl -sf -X POST "$CLUSTER_LEADER/v1/repl/promote" > /dev/null
+for _ in $(seq 1 150); do
+    if [ "$(member_role "$CLUSTER_LEADER")" = "leader" ]; then break; fi
+    sleep 0.1
+done
+if [ "$(member_role "$CLUSTER_LEADER")" != "leader" ]; then
+    echo "smoke: promoted ex-leader $CLUSTER_LEADER never took leadership" >&2
+    exit 1
+fi
+
+# The superseded leader journaled its demotion; the promoted member
+# journaled its win; some member journaled granting the winning vote.
+for _ in $(seq 1 100); do
+    if curl -s "$NEW_LEADER/v1/events?type=leader-demoted" | grep -q '"leader-demoted"'; then break; fi
+    sleep 0.1
+done
+if ! curl -s "$NEW_LEADER/v1/events?type=leader-demoted" | grep -q '"leader-demoted"'; then
+    echo "smoke: demoted leader $NEW_LEADER journal has no leader-demoted event" >&2
+    exit 1
+fi
+if ! curl -s "$CLUSTER_LEADER/v1/events?type=campaign-won" | grep -q '"campaign-won"'; then
+    echo "smoke: promoted member $CLUSTER_LEADER journal has no campaign-won event" >&2
+    exit 1
+fi
+granted=""
+for url in "$N1_URL" "$N2_URL" "$N3_URL"; do
+    if curl -s "$url/v1/events?type=vote-granted" | grep -q '"vote-granted"'; then
+        granted=1
+    fi
+done
+if [ -z "$granted" ]; then
+    echo "smoke: no member journaled a vote-granted event" >&2
+    exit 1
+fi
+
+# parkcli cluster status: every member must merge the same view —
+# full agreement on the promoted leader, nobody unreachable. Followers
+# can lag the takeover by a lease or two, so poll.
+for url in "$N1_URL" "$N2_URL" "$N3_URL"; do
+    agreed=""
+    for _ in $(seq 1 150); do
+        cs=$("$WORK/parkcli" cluster status -url "$url" -json 2>/dev/null || true)
+        if printf '%s' "$cs" | grep -q '"leaderAgreement": *true' &&
+           printf '%s' "$cs" | grep -q '"partial": *false' &&
+           printf '%s' "$cs" | grep -q "\"leaderId\": *\"${OLD_ID}\""; then
+            agreed=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "$agreed" ]; then
+        echo "smoke: parkcli cluster status at $url never agreed on leader ${OLD_ID}:" >&2
+        printf '%s\n' "$cs" >&2
+        exit 1
+    fi
+done
+
+echo "smoke: observability drill passed (/v1/events on every member, campaign-won + leader-demoted + vote-granted journaled, cluster status agrees on ${OLD_ID} everywhere)"
